@@ -1,0 +1,160 @@
+(* demi: command-line driver for the Demikernel reproduction.
+
+   Examples:
+     demi fig5 --count 10000
+     demi fig9 --rates 100000,500000,1500000 --duration-ms 50
+     demi echo --flavor catmint --msg-size 1024
+     demi tables *)
+
+open Cmdliner
+
+let count_arg =
+  Arg.(value & opt int 2_000 & info [ "count" ] ~docv:"N" ~doc:"Iterations per measurement.")
+
+let set_count count =
+  Harness.Common.default_count := count;
+  Harness.Fig_apps.relay_count := count
+
+let flavor_conv =
+  let parse = function
+    | "catnap" -> Ok Demikernel.Boot.Catnap_os
+    | "catnip" -> Ok Demikernel.Boot.Catnip_os
+    | "catmint" -> Ok Demikernel.Boot.Catmint_os
+    | s -> Error (`Msg ("unknown libOS flavor: " ^ s))
+  in
+  let print fmt f =
+    Format.pp_print_string fmt
+      (match f with
+      | Demikernel.Boot.Catnap_os -> "catnap"
+      | Demikernel.Boot.Catnip_os -> "catnip"
+      | Demikernel.Boot.Catmint_os -> "catmint")
+  in
+  Arg.conv (parse, print)
+
+let profile_conv =
+  let parse = function
+    | "bare-metal" | "linux" -> Ok Net.Cost.bare_metal
+    | "windows" -> Ok Net.Cost.windows
+    | "azure" -> Ok Net.Cost.azure_vm
+    | s -> Error (`Msg ("unknown cost profile: " ^ s))
+  in
+  let print fmt c = Format.pp_print_string fmt c.Net.Cost.profile_name in
+  Arg.conv (parse, print)
+
+let simple name doc run =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun count ->
+          set_count count;
+          run ())
+      $ count_arg)
+
+let fig9_cmd =
+  let rates =
+    Arg.(
+      value
+      & opt (list float) [ 100_000.; 500_000.; 1_000_000.; 1_500_000.; 2_000_000. ]
+      & info [ "rates" ] ~docv:"R,R,..." ~doc:"Offered loads in requests/second.")
+  in
+  let duration =
+    Arg.(value & opt int 20 & info [ "duration-ms" ] ~docv:"MS" ~doc:"Measured window per point.")
+  in
+  Cmd.v
+    (Cmd.info "fig9" ~doc:"Latency vs offered load (Figure 9).")
+    Term.(
+      const (fun rates duration_ms ->
+          Harness.Fig_throughput.print_fig9
+            (Harness.Fig_throughput.fig9 ~rates ~duration_ms ()))
+      $ rates $ duration)
+
+let echo_cmd =
+  let flavor =
+    Arg.(
+      value
+      & opt flavor_conv Demikernel.Boot.Catnip_os
+      & info [ "flavor" ] ~docv:"LIBOS" ~doc:"catnap | catnip | catmint.")
+  in
+  let msg_size =
+    Arg.(value & opt int 64 & info [ "msg-size" ] ~docv:"BYTES" ~doc:"Echo payload size.")
+  in
+  let persist =
+    Arg.(value & flag & info [ "persist" ] ~doc:"Log every message to disk before replying.")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt profile_conv Net.Cost.bare_metal
+      & info [ "profile" ] ~docv:"PROFILE" ~doc:"bare-metal | windows | azure.")
+  in
+  let trace_flag =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the last 80 simulator trace events.")
+  in
+  Cmd.v
+    (Cmd.info "echo" ~doc:"Run one echo measurement and print the distribution.")
+    Term.(
+      const (fun count flavor msg_size persist cost trace ->
+          set_count count;
+          if trace then begin
+            (* Traced runs rebuild the world by hand so we can hold the
+               Sim.t; keep them short. *)
+            let sim = Engine.Sim.create () in
+            let tracer = Engine.Sim.enable_trace sim in
+            let fabric = Net.Fabric.create sim ~cost () in
+            let server = Demikernel.Boot.make sim fabric ~index:1 ~with_disk:persist flavor in
+            let client = Demikernel.Boot.make sim fabric ~index:2 flavor in
+            let hist = Metrics.Histogram.create () in
+            Demikernel.Boot.run_app server (Apps.Echo.server ~port:7 ~persist);
+            Demikernel.Boot.run_app client
+              (Apps.Echo.client
+                 ~dst:(Demikernel.Boot.endpoint server 7)
+                 ~msg_size ~count:(min count 3)
+                 ~record:(Metrics.Histogram.add hist));
+            Demikernel.Boot.start server;
+            Demikernel.Boot.start client;
+            Engine.Sim.run ~until:(Engine.Clock.s 10) sim;
+            Engine.Trace.dump ~last:80 Format.std_formatter tracer;
+            Format.printf "%d echos: avg %a@." (Metrics.Histogram.count hist) Engine.Clock.pp
+              (int_of_float (Metrics.Histogram.mean hist))
+          end
+          else begin
+            let hist =
+              Harness.Common.demi_echo_rtt ~cost ~persist ~msg_size
+                ~proto:Harness.Common.Echo_tcp flavor
+            in
+            Format.printf "%d echos: avg %a  p50 %a  p99 %a@." (Metrics.Histogram.count hist)
+              Engine.Clock.pp
+              (int_of_float (Metrics.Histogram.mean hist))
+              Engine.Clock.pp (Metrics.Histogram.p50 hist) Engine.Clock.pp
+              (Metrics.Histogram.p99 hist)
+          end)
+      $ count_arg $ flavor $ msg_size $ persist $ profile $ trace_flag)
+
+let cmds =
+  [
+    simple "fig5" "Echo RTT comparison (Figure 5)." (fun () ->
+        Harness.Fig_latency.print ~title:"Figure 5: echo RTTs" (Harness.Fig_latency.fig5 ()));
+    simple "fig6" "Windows and Azure profiles (Figure 6)." (fun () ->
+        Harness.Fig_latency.print ~title:"Figure 6a: Windows"
+          (Harness.Fig_latency.fig6_windows ());
+        Harness.Fig_latency.print ~title:"Figure 6b: Azure" (Harness.Fig_latency.fig6_azure ()));
+    simple "fig7" "Echo with synchronous logging (Figure 7)." (fun () ->
+        Harness.Fig_latency.print ~title:"Figure 7: echo + sync logging"
+          (Harness.Fig_latency.fig7 ()));
+    simple "fig8" "NetPIPE bandwidth (Figure 8)." (fun () ->
+        Harness.Fig_throughput.print_fig8 (Harness.Fig_throughput.fig8 ()));
+    fig9_cmd;
+    simple "fig10" "UDP relay (Figure 10)." (fun () ->
+        Harness.Fig_apps.print_fig10 (Harness.Fig_apps.fig10 ()));
+    simple "fig11" "KV store throughput (Figure 11)." (fun () ->
+        Harness.Fig_apps.print_fig11 (Harness.Fig_apps.fig11 ()));
+    simple "fig12" "TxnStore YCSB-F (Figure 12)." (fun () ->
+        Harness.Fig_apps.print_fig12 (Harness.Fig_apps.fig12 ()));
+    simple "tables" "LoC inventories (Tables 2 and 3)." (fun () ->
+        Harness.Loc.print ~title:"Table 2: library OS sizes" (Harness.Loc.table2 ());
+        Harness.Loc.print ~title:"Table 3: application sizes" (Harness.Loc.table3 ()));
+    echo_cmd;
+  ]
+
+let () =
+  let info = Cmd.info "demi" ~doc:"Demikernel reproduction experiment driver." in
+  exit (Cmd.eval (Cmd.group info cmds))

@@ -1,0 +1,1 @@
+examples/kv_demo.ml: Apps Boot Demikernel Engine Format Host Memory Net Pdpix Printf

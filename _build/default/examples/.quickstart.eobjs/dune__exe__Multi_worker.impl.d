@@ -1,0 +1,1 @@
+examples/multi_worker.ml: Boot Demikernel Engine Format List Net Pdpix Printf

@@ -1,0 +1,1 @@
+examples/portability.ml: Apps Boot Demikernel Engine Format List Net Pdpix

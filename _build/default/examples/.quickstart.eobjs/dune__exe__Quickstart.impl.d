@@ -1,0 +1,1 @@
+examples/quickstart.ml: Boot Demikernel Engine Format List Net Pdpix

@@ -1,0 +1,1 @@
+examples/relay_demo.ml: Apps Baselines Demikernel Engine Format Metrics Net

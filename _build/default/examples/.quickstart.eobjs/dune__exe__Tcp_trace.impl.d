@@ -1,0 +1,1 @@
+examples/tcp_trace.ml: Bytes Engine Format List Memory Net Printf Tcp

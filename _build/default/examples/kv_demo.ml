@@ -1,0 +1,59 @@
+(* The Redis-like KV store on Catnip x Cattree: network and storage
+   datapaths integrated on one host (§5.5).
+
+   Run with:  dune exec examples/kv_demo.exe
+
+   SETs are synchronously appended to the Cattree log on the simulated
+   NVMe device before the reply, so a crash after an acked SET cannot
+   lose it — and the whole request path (NIC -> app -> disk -> NIC) runs
+   without a single CPU copy on the server. *)
+
+open Demikernel
+
+let () =
+  let sim = Engine.Sim.create () in
+  let fabric = Net.Fabric.create sim ~cost:Net.Cost.bare_metal () in
+  let server = Boot.make sim fabric ~index:1 ~with_disk:true Boot.Catnip_os in
+  let client = Boot.make sim fabric ~index:2 Boot.Catnip_os in
+  Boot.run_app server ~name:"dkv-server" (Apps.Dkv.server ~port:6379 ~persist:true);
+  Boot.run_app client ~name:"dkv-client" (fun api ->
+      let c = Apps.Dkv.client_connect api (Boot.endpoint server 6379) in
+      let show_set key value =
+        let t0 = api.Pdpix.clock () in
+        let status = Apps.Dkv.set c key value in
+        Format.printf "SET %s = %S -> %s (%a, durable)@." key value
+          (match status with Apps.Dkv.Ok -> "OK" | _ -> "error")
+          Engine.Clock.pp
+          (api.Pdpix.clock () - t0)
+      in
+      let show_get key =
+        let t0 = api.Pdpix.clock () in
+        let status, value = Apps.Dkv.get c key in
+        Format.printf "GET %s -> %s (%a)@." key
+          (match status with
+          | Apps.Dkv.Ok -> Printf.sprintf "%S" value
+          | Apps.Dkv.Not_found -> "(nil)"
+          | Apps.Dkv.Error -> "(error)")
+          Engine.Clock.pp
+          (api.Pdpix.clock () - t0)
+      in
+      show_set "lang" "ocaml";
+      show_set "paper" "demikernel";
+      show_get "lang";
+      ignore (Apps.Dkv.del c "lang");
+      show_get "lang";
+      show_get "paper";
+      Apps.Dkv.client_close c);
+  Boot.start server;
+  Boot.start client;
+  Engine.Sim.run sim;
+  (match server.Boot.ssd with
+  | Some ssd ->
+      Format.printf "@.NVMe device persisted %d bytes of append-only log@."
+        (Net.Ssd_sim.bytes_written ssd)
+  | None -> ());
+  let stats = Memory.Heap.stats server.Boot.host.Host.heap in
+  Format.printf
+    "server DMA heap: %d allocations, %d CPU bytes copied (zero-copy datapath), %d frees \
+     deferred by UAF protection@."
+    stats.Memory.Heap.allocations stats.Memory.Heap.bytes_copied stats.Memory.Heap.uaf_protected

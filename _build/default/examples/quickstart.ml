@@ -1,0 +1,68 @@
+(* Quickstart: a Demikernel echo server and client on the Catnip
+   (DPDK + software TCP) library OS.
+
+   Run with:  dune exec examples/quickstart.exe
+
+   The simulated datacenter has two hosts on one switch. Every PDPIX
+   call below is the paper's API: socket/bind/listen/accept/connect
+   return queue descriptors; push/pop return queue tokens; wait blocks
+   the calling coroutine until the datapath OS completes the
+   operation. *)
+
+open Demikernel
+
+let port = 7
+
+let server_app (api : Pdpix.api) =
+  let listen_qd = api.Pdpix.socket Pdpix.Tcp in
+  api.Pdpix.bind listen_qd (Net.Addr.endpoint 0 port);
+  api.Pdpix.listen listen_qd ~backlog:8;
+  (* Block until a client connects. *)
+  match api.Pdpix.wait (api.Pdpix.accept listen_qd) with
+  | Pdpix.Accepted conn -> (
+      Format.printf "server: accepted a connection@.";
+      (* Echo one message: pop grants us ownership of buffers allocated
+         straight from the DMA heap; pushing them back is zero-copy. *)
+      match api.Pdpix.wait (api.Pdpix.pop conn) with
+      | Pdpix.Popped sga ->
+          Format.printf "server: got %S@." (Pdpix.sga_to_string sga);
+          (match api.Pdpix.wait (api.Pdpix.push conn sga) with
+          | Pdpix.Pushed ->
+              (* Ownership came back; freeing is safe even if TCP still
+                 holds the buffers for retransmission (UAF protection). *)
+              List.iter api.Pdpix.free sga
+          | _ -> failwith "push failed");
+          api.Pdpix.close conn
+      | _ -> failwith "pop failed")
+  | _ -> failwith "accept failed"
+
+let client_app server_ip (api : Pdpix.api) =
+  let qd = api.Pdpix.socket Pdpix.Tcp in
+  (match api.Pdpix.wait (api.Pdpix.connect qd (Net.Addr.endpoint server_ip port)) with
+  | Pdpix.Connected -> Format.printf "client: connected@."
+  | _ -> failwith "connect failed");
+  let t0 = api.Pdpix.clock () in
+  let buf = api.Pdpix.alloc_str "hello, demikernel!" in
+  (match api.Pdpix.wait (api.Pdpix.push qd [ buf ]) with
+  | Pdpix.Pushed -> api.Pdpix.free buf
+  | _ -> failwith "push failed");
+  (match api.Pdpix.wait (api.Pdpix.pop qd) with
+  | Pdpix.Popped sga ->
+      Format.printf "client: echoed %S in %a@." (Pdpix.sga_to_string sga) Engine.Clock.pp
+        (api.Pdpix.clock () - t0);
+      List.iter api.Pdpix.free sga
+  | _ -> failwith "pop failed");
+  api.Pdpix.close qd
+
+let () =
+  let sim = Engine.Sim.create () in
+  let fabric = Net.Fabric.create sim ~cost:Net.Cost.bare_metal () in
+  let server = Boot.make sim fabric ~index:1 Boot.Catnip_os in
+  let client = Boot.make sim fabric ~index:2 Boot.Catnip_os in
+  Boot.run_app server ~name:"echo-server" server_app;
+  Boot.run_app client ~name:"echo-client" (client_app server.Boot.ip);
+  Boot.start server;
+  Boot.start client;
+  Engine.Sim.run sim;
+  Format.printf "simulation finished at %a after %d events@." Engine.Clock.pp
+    (Engine.Sim.now sim) (Engine.Sim.events_processed sim)

@@ -1,0 +1,1 @@
+lib/apps/dkv.ml: Array Bytes Char Demikernel Engine Framing Hashtbl Int64 List Memory Net Pdpix Printf String

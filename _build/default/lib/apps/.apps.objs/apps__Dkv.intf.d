@@ -1,0 +1,1 @@
+lib/apps/dkv.mli: Demikernel Net

@@ -1,0 +1,1 @@
+lib/apps/echo.ml: Array Demikernel List Net Pdpix Queue String

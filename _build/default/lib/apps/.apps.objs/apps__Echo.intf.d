@@ -1,0 +1,1 @@
+lib/apps/echo.mli: Demikernel Net

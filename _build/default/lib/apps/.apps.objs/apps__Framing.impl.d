@@ -1,0 +1,1 @@
+lib/apps/framing.ml: Buffer Bytes Demikernel List Memory Net Pdpix String

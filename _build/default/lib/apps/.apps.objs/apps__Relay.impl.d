@@ -1,0 +1,1 @@
+lib/apps/relay.ml: Bytes Demikernel Hashtbl List Memory Net Pdpix

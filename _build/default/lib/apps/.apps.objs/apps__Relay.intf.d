@@ -1,0 +1,1 @@
+lib/apps/relay.mli: Demikernel Net

@@ -1,0 +1,1 @@
+lib/apps/txnstore.ml: Array Bytes Demikernel Engine Framing Hashtbl Int64 List Memory Net Pdpix String Workload

@@ -1,0 +1,1 @@
+lib/apps/txnstore.mli: Demikernel Hashtbl Net

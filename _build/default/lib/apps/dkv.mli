@@ -1,0 +1,60 @@
+(** Dkv: the Redis-stand-in in-memory data-structure server (§7.2,
+    §7.5).
+
+    Binary protocol inside {!Framing} messages — request
+    [u8 cmd][u16 klen][key][value], response [u8 status][value].
+
+    The server reproduces the porting story of the paper's Redis:
+
+    - a single event loop over [wait_any] replaces epoll;
+    - values live in the DMA heap: a SET on the fast path stores {e the
+      popped buffer itself}, re-windowed onto the value bytes (incoming
+      PUTs land directly in the store), and a GET pushes the stored
+      buffer (outgoing GETs are served zero-copy) — safe without
+      copies precisely because values are never updated in place and
+      use-after-free protection defers frees that race with in-flight
+      pushes;
+    - with [persist], every SET is pushed to the append-only log and
+      waited before the reply (fsync-per-SET, §7.5), and a restarted
+      server replays the log into its store before serving — boot a new
+      node against the crashed node's device ({!Demikernel.Boot.make}
+      with [?ssd]) and no acked SET is lost. *)
+
+type status = Ok | Not_found | Error
+
+(** {1 Wire codec} — shared with the kernel-path baseline so both speak
+    one protocol. Messages ride inside {!Framing} frames. *)
+
+type command = Get | Set | Del
+
+val encode_command : command -> key:string -> value:string -> string
+val parse_command : string -> (command * string * string) option
+val encode_response : status -> value:string -> string
+val parse_response : string -> (status * string) option
+
+val server : ?port:int -> ?persist:bool -> Demikernel.Pdpix.api -> unit
+
+(** {1 Client} *)
+
+type client
+
+val client_connect : Demikernel.Pdpix.api -> Net.Addr.endpoint -> client
+val get : client -> string -> status * string
+val set : client -> string -> string -> status
+val del : client -> string -> status
+val client_close : client -> unit
+
+val bench_client :
+  dst:Net.Addr.endpoint ->
+  keys:int ->
+  value_size:int ->
+  ops:int ->
+  kind:[ `Get | `Set ] ->
+  seed:int ->
+  ?on_start:(unit -> unit) ->
+  ?record:(int -> unit) ->
+  ?on_done:(unit -> unit) ->
+  Demikernel.Pdpix.api ->
+  unit
+(** redis-benchmark-style closed loop: uniform random keys, fixed-size
+    values. [`Get] runs preload the keyspace first. *)

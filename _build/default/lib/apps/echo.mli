@@ -1,0 +1,45 @@
+(** The echo system of §7.2: a single-coroutine server multiplexing all
+    connections with [wait_any], and closed-loop clients. Written once
+    against PDPIX; runs on every libOS.
+
+    The server is zero-copy by construction: the popped sga is pushed
+    back verbatim and freed immediately after the push — correct only
+    because of the datapath OS's use-after-free protection. With
+    [persist] it synchronously appends each message to a log before
+    replying (the Figure 7 configuration). *)
+
+val server : ?port:int -> ?persist:bool -> Demikernel.Pdpix.api -> unit
+(** Runs until the simulation ends. *)
+
+val client :
+  dst:Net.Addr.endpoint ->
+  msg_size:int ->
+  count:int ->
+  ?record:(int -> unit) ->
+  ?on_done:(unit -> unit) ->
+  Demikernel.Pdpix.api ->
+  unit
+(** Closed-loop TCP echo client; [record] receives each RTT in ns. *)
+
+val udp_server : ?port:int -> Demikernel.Pdpix.api -> unit
+
+val udp_client :
+  dst:Net.Addr.endpoint ->
+  src_port:int ->
+  msg_size:int ->
+  count:int ->
+  ?record:(int -> unit) ->
+  ?on_done:(unit -> unit) ->
+  Demikernel.Pdpix.api ->
+  unit
+
+val stream_client :
+  dst:Net.Addr.endpoint ->
+  msg_size:int ->
+  count:int ->
+  window:int ->
+  ?on_done:(unit -> unit) ->
+  Demikernel.Pdpix.api ->
+  unit
+(** Open-loop-ish streaming client keeping [window] echos in flight
+    (NetPIPE-style bandwidth measurement, Figure 8). *)

@@ -1,0 +1,71 @@
+open Demikernel
+
+let encode payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Net.Wire.set_u32 b 0 n;
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+type accum = { buf : Buffer.t }
+
+let create () = { buf = Buffer.create 256 }
+
+let feed a s = Buffer.add_string a.buf s
+
+let buffered a = Buffer.length a.buf
+
+let next a =
+  let len = Buffer.length a.buf in
+  if len < 4 then None
+  else begin
+    let contents = Buffer.contents a.buf in
+    let b = Bytes.unsafe_of_string contents in
+    let msg_len = Net.Wire.get_u32 b 0 in
+    if len < 4 + msg_len then None
+    else begin
+      let msg = String.sub contents 4 msg_len in
+      Buffer.clear a.buf;
+      Buffer.add_substring a.buf contents (4 + msg_len) (len - 4 - msg_len);
+      Some msg
+    end
+  end
+
+type chan = { api : Pdpix.api; qd : Pdpix.qd; acc : accum; mutable eof : bool }
+
+let chan_of_qd api qd = { api; qd; acc = create (); eof = false }
+
+let send c payload =
+  let buf = c.api.Pdpix.alloc_str (encode payload) in
+  match c.api.Pdpix.wait (c.api.Pdpix.push c.qd [ buf ]) with
+  | Pdpix.Pushed -> c.api.Pdpix.free buf
+  | Pdpix.Failed why -> failwith ("Framing.send: " ^ why)
+  | _ -> failwith "Framing.send: unexpected completion"
+
+let rec recv c =
+  match next c.acc with
+  | Some msg -> Some msg
+  | None ->
+      if c.eof then None
+      else begin
+        (match c.api.Pdpix.wait (c.api.Pdpix.pop c.qd) with
+        | Pdpix.Popped [] -> c.eof <- true
+        | Pdpix.Popped sga ->
+            List.iter
+              (fun buf ->
+                feed c.acc (Memory.Heap.to_string buf);
+                c.api.Pdpix.free buf)
+              sga
+        | Pdpix.Failed _ -> c.eof <- true
+        | _ -> failwith "Framing.recv: unexpected completion");
+        recv c
+      end
+
+let connect api dst =
+  let qd = api.Pdpix.socket Pdpix.Tcp in
+  match api.Pdpix.wait (api.Pdpix.connect qd dst) with
+  | Pdpix.Connected -> chan_of_qd api qd
+  | Pdpix.Failed why -> failwith ("Framing.connect: " ^ why)
+  | _ -> failwith "Framing.connect: unexpected completion"
+
+let close c = c.api.Pdpix.close c.qd

@@ -1,0 +1,39 @@
+(** Length-prefixed message framing over PDPIX byte streams.
+
+    Catnip connections are TCP streams that re-chunk pushes; Catmint
+    delivers whole messages. A 4-byte length prefix makes application
+    protocols (KV store, TxnStore RPC) portable across both. *)
+
+val encode : string -> string
+(** Prefix with a u32 big-endian length. *)
+
+type accum
+(** Reassembly state for one connection. *)
+
+val create : unit -> accum
+
+val feed : accum -> string -> unit
+(** Append received bytes. *)
+
+val next : accum -> string option
+(** Extract the next complete message, if any. *)
+
+val buffered : accum -> int
+
+(** {1 Blocking channel} — for client coroutines that own their
+    connection outright. *)
+
+type chan
+
+val chan_of_qd : Demikernel.Pdpix.api -> Demikernel.Pdpix.qd -> chan
+
+val send : chan -> string -> unit
+(** Push one framed message and wait for the push completion. *)
+
+val recv : chan -> string option
+(** Block until a complete message arrives; [None] on EOF. *)
+
+val connect : Demikernel.Pdpix.api -> Net.Addr.endpoint -> chan
+(** Create + connect a TCP-proto queue and wrap it. Raises on failure. *)
+
+val close : chan -> unit

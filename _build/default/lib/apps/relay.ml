@@ -1,0 +1,70 @@
+open Demikernel
+
+let op_register = 0
+let op_relay = 1
+
+let header_size = 5
+
+let make_packet api ~session ~op payload_size =
+  let b = Bytes.make (header_size + payload_size) 'r' in
+  Net.Wire.set_u32 b 0 session;
+  Net.Wire.set_u8 b 4 op;
+  api.Pdpix.alloc_str (Bytes.unsafe_to_string b)
+
+let server ?(port = 3478) (api : Pdpix.api) =
+  let qd = api.Pdpix.socket Pdpix.Udp in
+  api.Pdpix.bind qd (Net.Addr.endpoint 0 port);
+  let sessions : (int, Net.Addr.endpoint) Hashtbl.t = Hashtbl.create 64 in
+  let rec loop () =
+    (match api.Pdpix.wait (api.Pdpix.pop qd) with
+    | Pdpix.Popped_from (from, sga) -> (
+        let first = match sga with b :: _ -> b | [] -> failwith "relay: empty sga" in
+        let data = Memory.Heap.data first in
+        let off = Memory.Heap.offset first in
+        if Memory.Heap.length first < header_size then List.iter api.Pdpix.free sga
+        else
+          let session = Net.Wire.get_u32 data off in
+          let op = Net.Wire.get_u8 data (off + 4) in
+          if op = op_register then begin
+            Hashtbl.replace sessions session from;
+            List.iter api.Pdpix.free sga
+          end
+          else
+            match Hashtbl.find_opt sessions session with
+            | Some receiver -> (
+                (* Forward the packet unchanged — zero-copy relay. *)
+                match api.Pdpix.wait (api.Pdpix.pushto qd receiver sga) with
+                | Pdpix.Pushed -> List.iter api.Pdpix.free sga
+                | _ -> failwith "relay: forward failed")
+            | None -> List.iter api.Pdpix.free sga)
+    | Pdpix.Failed _ -> ()
+    | _ -> failwith "relay: unexpected completion");
+    loop ()
+  in
+  loop ()
+
+let generator ~dst ~src_port ~session ~msg_size ~count ?record ?on_done (api : Pdpix.api) =
+  let qd = api.Pdpix.socket Pdpix.Udp in
+  api.Pdpix.bind qd (Net.Addr.endpoint 0 src_port);
+  (* Register ourselves as the session receiver. *)
+  let reg = make_packet api ~session ~op:op_register 0 in
+  (match api.Pdpix.wait (api.Pdpix.pushto qd dst [ reg ]) with
+  | Pdpix.Pushed -> api.Pdpix.free reg
+  | _ -> failwith "relay generator: register failed");
+  let payload_size = max 0 (msg_size - header_size) in
+  let rec go n =
+    if n > 0 then begin
+      let start = api.Pdpix.clock () in
+      let pkt = make_packet api ~session ~op:op_relay payload_size in
+      (match api.Pdpix.wait (api.Pdpix.pushto qd dst [ pkt ]) with
+      | Pdpix.Pushed -> api.Pdpix.free pkt
+      | _ -> failwith "relay generator: send failed");
+      (match api.Pdpix.wait (api.Pdpix.pop qd) with
+      | Pdpix.Popped_from (_, sga) -> List.iter api.Pdpix.free sga
+      | _ -> failwith "relay generator: pop failed");
+      (match record with Some f -> f (api.Pdpix.clock () - start) | None -> ());
+      go (n - 1)
+    end
+  in
+  go count;
+  match on_done with Some f -> f () | None -> ()

@@ -1,0 +1,21 @@
+(** The TURN-style UDP relay of §7.2/§7.4.
+
+    Datagram format: [u32 session][u8 op] payload, where op 0 registers
+    the sender as the session's receiver and op 1 relays the payload to
+    the registered receiver. The benchmark generator registers itself,
+    then measures the send-to-relayed-receive round trip — server-side
+    cycles per relayed packet are the metric that matters at Teams/Skype
+    scale. *)
+
+val server : ?port:int -> Demikernel.Pdpix.api -> unit
+
+val generator :
+  dst:Net.Addr.endpoint ->
+  src_port:int ->
+  session:int ->
+  msg_size:int ->
+  count:int ->
+  ?record:(int -> unit) ->
+  ?on_done:(unit -> unit) ->
+  Demikernel.Pdpix.api ->
+  unit

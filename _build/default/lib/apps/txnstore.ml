@@ -1,0 +1,184 @@
+open Demikernel
+
+let op_get = 1
+let op_put = 2
+
+(* Requests: [u8 op][u16 klen][key] (GET)
+             [u8 op][u16 klen][key][u32 version][value] (PUT)
+   Responses: GET hit  [u8 1][u32 version][value]
+              GET miss [u8 0]
+              PUT ack  [u8 1] *)
+
+(* ---------- server ---------- *)
+
+type conn_state = { qd : Pdpix.qd; acc : Framing.accum }
+
+let handle_request ~store msg =
+  let b = Bytes.unsafe_of_string msg in
+  if Bytes.length b < 3 then "\x00"
+  else begin
+    let op = Net.Wire.get_u8 b 0 in
+    let klen = Net.Wire.get_u16 b 1 in
+    let key = Bytes.sub_string b 3 klen in
+    if op = op_get then
+      match Hashtbl.find_opt store key with
+      | Some (version, value) ->
+          let r = Bytes.create (5 + String.length value) in
+          Net.Wire.set_u8 r 0 1;
+          Net.Wire.set_u32 r 1 version;
+          Bytes.blit_string value 0 r 5 (String.length value);
+          Bytes.unsafe_to_string r
+      | None -> "\x00"
+    else if op = op_put then begin
+      let version = Net.Wire.get_u32 b (3 + klen) in
+      let value = Bytes.sub_string b (7 + klen) (Bytes.length b - 7 - klen) in
+      (* Last-writer-wins by version: stale replicated writes lose. *)
+      (match Hashtbl.find_opt store key with
+      | Some (v, _) when v >= version -> ()
+      | Some _ | None -> Hashtbl.replace store key (version, value));
+      "\x01"
+    end
+    else "\x00"
+  end
+
+let handle srv_api store qd msg =
+  let payload = handle_request ~store msg in
+  let buf = srv_api.Pdpix.alloc_str (Framing.encode payload) in
+  match srv_api.Pdpix.wait (srv_api.Pdpix.push qd [ buf ]) with
+  | Pdpix.Pushed | Pdpix.Failed _ -> srv_api.Pdpix.free buf
+  | _ -> failwith "txnstore: unexpected push completion"
+
+type role = Accept | Conn of conn_state
+
+let server ?(port = 7447) (api : Pdpix.api) =
+  let lqd = api.Pdpix.socket Pdpix.Tcp in
+  api.Pdpix.bind lqd (Net.Addr.endpoint 0 port);
+  api.Pdpix.listen lqd ~backlog:64;
+  let store : (string, int * string) Hashtbl.t = Hashtbl.create 1024 in
+  let tokens = ref [ (api.Pdpix.accept lqd, Accept) ] in
+  let add qt role = tokens := !tokens @ [ (qt, role) ] in
+  let remove i = tokens := List.filteri (fun j _ -> j <> i) !tokens in
+  let rec loop () =
+    let arr = Array.of_list (List.map fst !tokens) in
+    let i, completion = api.Pdpix.wait_any arr in
+    let _, role = List.nth !tokens i in
+    remove i;
+    (match (completion, role) with
+    | Pdpix.Accepted qd, Accept ->
+        add (api.Pdpix.accept lqd) Accept;
+        add (api.Pdpix.pop qd) (Conn { qd; acc = Framing.create () })
+    | Pdpix.Popped [], Conn cs -> api.Pdpix.close cs.qd
+    | Pdpix.Popped sga, Conn cs ->
+        List.iter
+          (fun buf ->
+            Framing.feed cs.acc (Memory.Heap.to_string buf);
+            api.Pdpix.free buf)
+          sga;
+        let rec drain () =
+          match Framing.next cs.acc with
+          | Some msg ->
+              handle api store cs.qd msg;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        add (api.Pdpix.pop cs.qd) (Conn cs)
+    | Pdpix.Failed _, Conn cs -> api.Pdpix.close cs.qd
+    | Pdpix.Failed _, Accept -> ()
+    | _, _ -> failwith "txnstore server: unexpected completion");
+    loop ()
+  in
+  loop ()
+
+(* ---------- client ---------- *)
+
+type client = {
+  api : Pdpix.api;
+  chans : Framing.chan array;
+  prng : Engine.Prng.t;
+  mutable rr : int;
+}
+
+let connect api ~replicas ~seed =
+  {
+    api;
+    chans = Array.of_list (List.map (Framing.connect api) replicas);
+    prng = Engine.Prng.create (Int64.of_int seed);
+    rr = 0;
+  }
+
+let encode_get key =
+  let b = Bytes.create (3 + String.length key) in
+  Net.Wire.set_u8 b 0 op_get;
+  Net.Wire.set_u16 b 1 (String.length key);
+  Bytes.blit_string key 0 b 3 (String.length key);
+  Bytes.unsafe_to_string b
+
+let encode_put key ~version value =
+  let klen = String.length key in
+  let b = Bytes.create (7 + klen + String.length value) in
+  Net.Wire.set_u8 b 0 op_put;
+  Net.Wire.set_u16 b 1 klen;
+  Bytes.blit_string key 0 b 3 klen;
+  Net.Wire.set_u32 b (3 + klen) version;
+  Bytes.blit_string value 0 b (7 + klen) (String.length value);
+  Bytes.unsafe_to_string b
+
+let parse_get_response resp =
+  if String.length resp >= 5 && resp.[0] = '\x01' then
+    let b = Bytes.unsafe_of_string resp in
+    Some (Net.Wire.get_u32 b 1, String.sub resp 5 (String.length resp - 5))
+  else None
+
+let get c key =
+  let chan = c.chans.(c.rr mod Array.length c.chans) in
+  c.rr <- c.rr + 1;
+  Framing.send chan (encode_get key);
+  match Framing.recv chan with
+  | Some resp -> (
+      match parse_get_response resp with Some hit -> Some hit | None -> None)
+  | None -> failwith "txnstore client: replica closed"
+
+let put c key ~version value =
+  let msg = encode_put key ~version value in
+  (* Send to every replica before waiting for any ack — push completes
+     at transmission, so the three replications overlap on the wire. *)
+  Array.iter (fun chan -> Framing.send chan msg) c.chans;
+  Array.iter
+    (fun chan ->
+      match Framing.recv chan with
+      | Some "\x01" -> ()
+      | Some _ | None -> failwith "txnstore client: put not acked")
+    c.chans
+
+let rmw c key f =
+  let version, value = match get c key with Some (v, s) -> (v, s) | None -> (0, "") in
+  put c key ~version:(version + 1) (f value)
+
+let close c = Array.iter Framing.close c.chans
+
+let ycsb_f ~dst_replicas ~keys ~value_size ~txns ~theta ~seed ?record ?on_done (api : Pdpix.api)
+    =
+  let c = connect api ~replicas:dst_replicas ~seed in
+  let next_key = Workload.zipfian c.prng ~n:keys ~theta in
+  let value = String.make value_size 'w' in
+  (* Preload so every transaction finds its key. *)
+  let rec preload i =
+    if i < keys then begin
+      put c (Workload.key_name i) ~version:1 value;
+      preload (i + 1)
+    end
+  in
+  preload 0;
+  let rec go n =
+    if n > 0 then begin
+      let key = Workload.key_name (next_key ()) in
+      let start = api.Pdpix.clock () in
+      rmw c key (fun _old -> value);
+      (match record with Some f -> f (api.Pdpix.clock () - start) | None -> ());
+      go (n - 1)
+    end
+  in
+  go txns;
+  close c;
+  match on_done with Some f -> f () | None -> ()

@@ -1,0 +1,29 @@
+let uniform prng ~n () = Engine.Prng.int prng n
+
+(* Gray et al., "Quickly generating billion-record synthetic databases"
+   (SIGMOD '94) — the generator YCSB's ZipfianGenerator implements. *)
+let zipfian prng ~n ~theta =
+  let zeta m =
+    let rec go i acc =
+      if i > m then acc else go (i + 1) (acc +. (1. /. Float.pow (float_of_int i) theta))
+    in
+    go 1 0.
+  in
+  let zetan = zeta n in
+  let zeta2 = zeta 2 in
+  let alpha = 1. /. (1. -. theta) in
+  let eta = (1. -. Float.pow (2. /. float_of_int n) (1. -. theta)) /. (1. -. (zeta2 /. zetan)) in
+  fun () ->
+    let u = Engine.Prng.float prng in
+    let uz = u *. zetan in
+    if uz < 1. then 0
+    else if uz < 1. +. Float.pow 0.5 theta then 1
+    else
+      let v = float_of_int n *. Float.pow ((eta *. u) -. eta +. 1.) alpha in
+      min (n - 1) (int_of_float v)
+
+let key_name i = Printf.sprintf "user%012d" i
+
+let poisson_interarrival prng ~rate_per_sec () =
+  let mean_ns = 1e9 /. rate_per_sec in
+  max 1 (int_of_float (Engine.Prng.exponential prng mean_ns))

@@ -1,0 +1,16 @@
+(** Key-popularity and arrival-process generators for the benchmark
+    workloads (YCSB-style). Deterministic: everything draws from a
+    caller-supplied {!Engine.Prng.t}. *)
+
+val uniform : Engine.Prng.t -> n:int -> unit -> int
+(** Uniform key index in [0, n). *)
+
+val zipfian : Engine.Prng.t -> n:int -> theta:float -> unit -> int
+(** The Gray et al. zipfian generator YCSB uses; [theta] ~ 0.99 for the
+    standard skew. O(n) setup, O(1) per sample. *)
+
+val key_name : int -> string
+(** Canonical fixed-width key string for an index. *)
+
+val poisson_interarrival : Engine.Prng.t -> rate_per_sec:float -> unit -> int
+(** Next interarrival gap in ns for an open-loop Poisson process. *)

@@ -1,0 +1,1 @@
+lib/baselines/kb_lib.ml: Bytes Engine List Metrics Net Queue String

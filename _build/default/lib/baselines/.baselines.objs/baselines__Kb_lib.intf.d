@@ -1,0 +1,1 @@
+lib/baselines/kb_lib.mli: Engine Metrics Net

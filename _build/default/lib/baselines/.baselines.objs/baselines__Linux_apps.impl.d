@@ -1,0 +1,1 @@
+lib/baselines/linux_apps.ml: Apps Array Bytes Engine Hashtbl Int64 List Net Oskernel Printf String

@@ -1,0 +1,1 @@
+lib/baselines/linux_apps.mli: Engine Net Oskernel

@@ -1,0 +1,1 @@
+lib/baselines/raw.ml: Bytes Engine List Net String

@@ -1,0 +1,1 @@
+lib/baselines/raw.mli: Engine Net

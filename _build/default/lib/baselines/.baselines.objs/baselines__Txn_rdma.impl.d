@@ -1,0 +1,1 @@
+lib/baselines/txn_rdma.ml: Apps Array Engine Fun Hashtbl Int64 List Net String

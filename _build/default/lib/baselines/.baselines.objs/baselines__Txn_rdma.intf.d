@@ -1,0 +1,1 @@
+lib/baselines/txn_rdma.mli: Engine Net

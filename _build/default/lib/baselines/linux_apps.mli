@@ -1,0 +1,98 @@
+(** The kernel-path ("Linux") application baselines: the same workloads
+    as [Apps], written against blocking POSIX-style syscalls on the
+    simulated kernel (§7's "POSIX versions"). Each function spawns the
+    application as a plain simulation fiber; the fiber pays syscall
+    crossings, payload copies and interrupt wakeup latency on every
+    I/O. The [Uring] kernel mode models io_uring's cheaper crossings
+    (Figure 10). *)
+
+val make_kernel :
+  Engine.Sim.t -> Net.Fabric.t -> index:int -> ?with_disk:bool -> ?mode:Oskernel.Kernel.mode ->
+  unit -> Oskernel.Kernel.t
+
+(** {1 Echo (Figures 5-7)} *)
+
+val echo_udp_server : Engine.Sim.t -> Oskernel.Kernel.t -> port:int -> persist:bool -> unit
+
+val echo_udp_client :
+  Engine.Sim.t ->
+  Oskernel.Kernel.t ->
+  dst:Net.Addr.endpoint ->
+  src_port:int ->
+  msg_size:int ->
+  count:int ->
+  record:(int -> unit) ->
+  on_done:(unit -> unit) ->
+  unit
+
+val echo_tcp_server : Engine.Sim.t -> Oskernel.Kernel.t -> port:int -> persist:bool -> unit
+
+val echo_tcp_client :
+  Engine.Sim.t ->
+  Oskernel.Kernel.t ->
+  dst:Net.Addr.endpoint ->
+  msg_size:int ->
+  count:int ->
+  record:(int -> unit) ->
+  on_done:(unit -> unit) ->
+  unit
+
+(** {1 UDP relay (Figure 10)} *)
+
+val relay_server : Engine.Sim.t -> Oskernel.Kernel.t -> port:int -> unit
+(** Speaks the same datagram format as {!Apps.Relay}. *)
+
+val relay_generator :
+  Engine.Sim.t ->
+  Oskernel.Kernel.t ->
+  dst:Net.Addr.endpoint ->
+  src_port:int ->
+  session:int ->
+  msg_size:int ->
+  count:int ->
+  record:(int -> unit) ->
+  on_done:(unit -> unit) ->
+  unit
+(** The paper's Linux-based traffic generator, used against every relay
+    implementation so only the server side varies (§7.4). *)
+
+(** {1 KV store (Figure 11)} *)
+
+val kv_server : Engine.Sim.t -> Oskernel.Kernel.t -> port:int -> persist:bool -> unit
+(** Speaks the {!Apps.Dkv} protocol over kernel TCP, multiplexing
+    connections with epoll-style [wait_readable]. *)
+
+val kv_bench_client :
+  Engine.Sim.t ->
+  Oskernel.Kernel.t ->
+  dst:Net.Addr.endpoint ->
+  keys:int ->
+  value_size:int ->
+  ops:int ->
+  kind:[ `Get | `Set ] ->
+  seed:int ->
+  on_start:(unit -> unit) ->
+  record:(int -> unit) ->
+  on_done:(unit -> unit) ->
+  unit
+(** [on_start] fires after the preload, marking the measured window. *)
+
+(** {1 TxnStore (Figure 12)} *)
+
+val txn_replica : Engine.Sim.t -> Oskernel.Kernel.t -> port:int -> unit
+
+val txn_replica_udp : Engine.Sim.t -> Oskernel.Kernel.t -> port:int -> unit
+
+val txn_ycsb_client :
+  ?transport:[ `Tcp | `Udp ] ->
+  Engine.Sim.t ->
+  Oskernel.Kernel.t ->
+  replicas:Net.Addr.endpoint list ->
+  keys:int ->
+  value_size:int ->
+  txns:int ->
+  theta:float ->
+  seed:int ->
+  record:(int -> unit) ->
+  on_done:(unit -> unit) ->
+  unit

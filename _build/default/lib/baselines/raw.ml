@@ -1,0 +1,141 @@
+let charge sim ns = if ns > 0 then Engine.Fiber.sleep sim ns
+
+(* ---------- testpmd: raw DPDK L2 forwarding ---------- *)
+
+let eth_frame ~dst ~src payload =
+  let b = Bytes.create (Net.Eth.size + String.length payload) in
+  let off = Net.Eth.write b 0 { Net.Eth.dst; src; ethertype = 0x88B5 (* local exp. *) } in
+  Bytes.blit_string payload 0 b off (String.length payload);
+  Bytes.unsafe_to_string b
+
+let swap_macs frame =
+  let b = Bytes.of_string frame in
+  let dst = Net.Wire.get_u48 b 0 and src = Net.Wire.get_u48 b 6 in
+  Net.Wire.set_u48 b 0 src;
+  Net.Wire.set_u48 b 6 dst;
+  Bytes.unsafe_to_string b
+
+let testpmd_echo sim fabric ~server_index ~client_index ~msg_size ~count ~record ~on_done =
+  let cost = Net.Fabric.cost fabric in
+  let server_nic =
+    Net.Dpdk_sim.create fabric ~mac:(Net.Addr.Mac.of_index server_index)
+      ~ip:(Net.Addr.Ip.of_index server_index) ()
+  in
+  let client_nic =
+    Net.Dpdk_sim.create fabric ~mac:(Net.Addr.Mac.of_index client_index)
+      ~ip:(Net.Addr.Ip.of_index client_index) ()
+  in
+  Engine.Fiber.spawn sim ~name:"testpmd-server" (fun () ->
+      let rec loop () =
+        (match Net.Dpdk_sim.rx_burst server_nic ~max:32 with
+        | [] ->
+            ignore
+              (Engine.Condvar.wait_many sim [ Net.Dpdk_sim.rx_signal server_nic ] ~timeout:None)
+        | frames ->
+            List.iter
+              (fun frame ->
+                charge sim (cost.Net.Cost.dpdk_rx_ns + cost.Net.Cost.dpdk_tx_ns);
+                Net.Dpdk_sim.tx_burst server_nic [ swap_macs frame ])
+              frames);
+        loop ()
+      in
+      loop ());
+  Engine.Fiber.spawn sim ~name:"testpmd-client" (fun () ->
+      let payload = String.make (max 1 msg_size) 'x' in
+      let frame =
+        eth_frame ~dst:(Net.Dpdk_sim.mac server_nic) ~src:(Net.Dpdk_sim.mac client_nic) payload
+      in
+      let rec go n =
+        if n > 0 then begin
+          let start = Engine.Sim.now sim in
+          charge sim cost.Net.Cost.dpdk_tx_ns;
+          Net.Dpdk_sim.tx_burst client_nic [ frame ];
+          let rec await () =
+            match Net.Dpdk_sim.rx_burst client_nic ~max:1 with
+            | [] ->
+                ignore
+                  (Engine.Condvar.wait_many sim [ Net.Dpdk_sim.rx_signal client_nic ]
+                     ~timeout:None);
+                await ()
+            | _ -> charge sim cost.Net.Cost.dpdk_rx_ns
+          in
+          await ();
+          record (Engine.Sim.now sim - start);
+          go (n - 1)
+        end
+      in
+      go count;
+      on_done ())
+
+(* ---------- perftest: raw RDMA ping-pong ---------- *)
+
+let perftest_pingpong sim fabric ~server_index ~client_index ~msg_size ~count ~record ~on_done
+    =
+  let cost = Net.Fabric.cost fabric in
+  let server =
+    Net.Rdma_sim.create fabric ~mac:(Net.Addr.Mac.of_index server_index)
+      ~ip:(Net.Addr.Ip.of_index server_index) ()
+  in
+  let client =
+    Net.Rdma_sim.create fabric ~mac:(Net.Addr.Mac.of_index client_index)
+      ~ip:(Net.Addr.Ip.of_index client_index) ()
+  in
+  for _ = 1 to 128 do
+    Net.Rdma_sim.post_recv server;
+    Net.Rdma_sim.post_recv client
+  done;
+  Engine.Fiber.spawn sim ~name:"perftest-server" (fun () ->
+      let rec loop () =
+        (match Net.Rdma_sim.poll_cq server ~max:8 with
+        | [] ->
+            ignore
+              (Engine.Condvar.wait_many sim [ Net.Rdma_sim.cq_signal server ] ~timeout:None)
+        | completions ->
+            List.iter
+              (fun completion ->
+                charge sim cost.Net.Cost.rdma_poll_ns;
+                match completion with
+                | Net.Rdma_sim.Recv { src_mac; payload; _ } ->
+                    Net.Rdma_sim.post_recv server;
+                    charge sim cost.Net.Cost.rdma_post_ns;
+                    Net.Rdma_sim.post_send server ~dst:src_mac ~wr_id:0 ~imm:0 payload
+                | Net.Rdma_sim.Send_done _ | Net.Rdma_sim.Write_done _ -> ())
+              completions);
+        loop ()
+      in
+      loop ());
+  Engine.Fiber.spawn sim ~name:"perftest-client" (fun () ->
+      let payload = String.make (max 1 msg_size) 'p' in
+      let rec go n =
+        if n > 0 then begin
+          let start = Engine.Sim.now sim in
+          charge sim cost.Net.Cost.rdma_post_ns;
+          Net.Rdma_sim.post_send client ~dst:(Net.Rdma_sim.mac server) ~wr_id:1 ~imm:0 payload;
+          let got_reply = ref false in
+          let rec await () =
+            if not !got_reply then begin
+              (match Net.Rdma_sim.poll_cq client ~max:8 with
+              | [] ->
+                  ignore
+                    (Engine.Condvar.wait_many sim [ Net.Rdma_sim.cq_signal client ]
+                       ~timeout:None)
+              | completions ->
+                  List.iter
+                    (fun completion ->
+                      charge sim cost.Net.Cost.rdma_poll_ns;
+                      match completion with
+                      | Net.Rdma_sim.Recv _ ->
+                          Net.Rdma_sim.post_recv client;
+                          got_reply := true
+                      | Net.Rdma_sim.Send_done _ | Net.Rdma_sim.Write_done _ -> ())
+                    completions);
+              await ()
+            end
+          in
+          await ();
+          record (Engine.Sim.now sim - start);
+          go (n - 1)
+        end
+      in
+      go count;
+      on_done ())

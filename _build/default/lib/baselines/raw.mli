@@ -1,0 +1,29 @@
+(** The "native performance" baselines of §7.1: testpmd (an L2
+    forwarder that does no packet processing) and perftest (an RDMA
+    send/recv ping-pong). These bound what any datapath OS can achieve
+    on each device — Figure 5's rightmost bars. *)
+
+val testpmd_echo :
+  Engine.Sim.t ->
+  Net.Fabric.t ->
+  server_index:int ->
+  client_index:int ->
+  msg_size:int ->
+  count:int ->
+  record:(int -> unit) ->
+  on_done:(unit -> unit) ->
+  unit
+(** Raw DPDK echo: the server swaps MAC addresses and forwards; the
+    client measures RTT. Fibers start when the simulation runs. *)
+
+val perftest_pingpong :
+  Engine.Sim.t ->
+  Net.Fabric.t ->
+  server_index:int ->
+  client_index:int ->
+  msg_size:int ->
+  count:int ->
+  record:(int -> unit) ->
+  on_done:(unit -> unit) ->
+  unit
+(** Raw RDMA ping-pong over two-sided verbs. *)

@@ -1,0 +1,125 @@
+(* Per-operation CPU beyond the raw verbs: QP-per-connection cache
+   pressure and bookkeeping (the §6.2/§7.6 inefficiencies). *)
+let qp_overhead_ns = 500
+
+let charge sim ns = if ns > 0 then Engine.Fiber.sleep sim ns
+
+let copy_cost cost payload = Net.Cost.copy_cost_ns cost (String.length payload)
+
+let make_rnic fabric ~index =
+  let rnic =
+    Net.Rdma_sim.create fabric ~mac:(Net.Addr.Mac.of_index index)
+      ~ip:(Net.Addr.Ip.of_index index) ()
+  in
+  for _ = 1 to 256 do
+    Net.Rdma_sim.post_recv rnic
+  done;
+  rnic
+
+let replica sim fabric ~index =
+  let cost = Net.Fabric.cost fabric in
+  let rnic = make_rnic fabric ~index in
+  let store : (string, int * string) Hashtbl.t = Hashtbl.create 1024 in
+  Engine.Fiber.spawn sim ~name:"txn-rdma-replica" (fun () ->
+      let rec loop () =
+        (match Net.Rdma_sim.poll_cq rnic ~max:16 with
+        | [] ->
+            ignore (Engine.Condvar.wait_many sim [ Net.Rdma_sim.cq_signal rnic ] ~timeout:None)
+        | completions ->
+            List.iter
+              (fun completion ->
+                match completion with
+                | Net.Rdma_sim.Recv { src_mac; imm; payload } ->
+                    Net.Rdma_sim.post_recv rnic;
+                    (* Copy in, process, copy out. *)
+                    charge sim
+                      (cost.Net.Cost.rdma_poll_ns + qp_overhead_ns + copy_cost cost payload);
+                    let response = Apps.Txnstore.handle_request ~store payload in
+                    charge sim
+                      (cost.Net.Cost.rdma_post_ns + qp_overhead_ns + copy_cost cost response);
+                    Net.Rdma_sim.post_send rnic ~dst:src_mac ~wr_id:0 ~imm response
+                | Net.Rdma_sim.Send_done _ | Net.Rdma_sim.Write_done _ -> ())
+              completions);
+        loop ()
+      in
+      loop ())
+
+let ycsb_client sim fabric ~index ~replica_indexes ~keys ~value_size ~txns ~theta ~seed ~record
+    ~on_done =
+  let cost = Net.Fabric.cost fabric in
+  let rnic = make_rnic fabric ~index in
+  let replicas = Array.of_list (List.map Net.Addr.Mac.of_index replica_indexes) in
+  Engine.Fiber.spawn sim ~name:"txn-rdma-client" (fun () ->
+      let prng = Engine.Prng.create (Int64.of_int seed) in
+      let next_key = Apps.Workload.zipfian prng ~n:keys ~theta in
+      let value = String.make value_size 'w' in
+      let next_rpc = ref 1 in
+      (* Send one request per listed replica, then collect the matching
+         responses (request ids ride the imm field). *)
+      let rpc_many targets msg =
+        let ids =
+          List.map
+            (fun target ->
+              let id = !next_rpc in
+              next_rpc := !next_rpc + 1;
+              charge sim (cost.Net.Cost.rdma_post_ns + qp_overhead_ns + copy_cost cost msg);
+              Net.Rdma_sim.post_send rnic ~dst:replicas.(target) ~wr_id:0 ~imm:id msg;
+              id)
+            targets
+        in
+        let pending = ref ids in
+        let responses = ref [] in
+        let rec await () =
+          if !pending <> [] then begin
+            (match Net.Rdma_sim.poll_cq rnic ~max:16 with
+            | [] ->
+                ignore
+                  (Engine.Condvar.wait_many sim [ Net.Rdma_sim.cq_signal rnic ] ~timeout:None)
+            | completions ->
+                List.iter
+                  (fun completion ->
+                    match completion with
+                    | Net.Rdma_sim.Recv { imm; payload; _ } ->
+                        Net.Rdma_sim.post_recv rnic;
+                        charge sim
+                          (cost.Net.Cost.rdma_poll_ns + qp_overhead_ns
+                         + copy_cost cost payload);
+                        if List.mem imm !pending then begin
+                          pending := List.filter (fun i -> i <> imm) !pending;
+                          responses := payload :: !responses
+                        end
+                    | Net.Rdma_sim.Send_done _ | Net.Rdma_sim.Write_done _ -> ())
+                  completions);
+            await ()
+          end
+        in
+        await ();
+        !responses
+      in
+      let rr = ref 0 in
+      let all = List.init (Array.length replicas) Fun.id in
+      let get key =
+        let target = !rr mod Array.length replicas in
+        incr rr;
+        match rpc_many [ target ] (Apps.Txnstore.encode_get key) with
+        | [ resp ] -> Apps.Txnstore.parse_get_response resp
+        | _ -> None
+      in
+      let put key ~version v =
+        ignore (rpc_many all (Apps.Txnstore.encode_put key ~version v))
+      in
+      for i = 0 to keys - 1 do
+        put (Apps.Workload.key_name i) ~version:1 value
+      done;
+      let rec go n =
+        if n > 0 then begin
+          let key = Apps.Workload.key_name (next_key ()) in
+          let start = Engine.Sim.now sim in
+          let version = match get key with Some (v, _) -> v | None -> 0 in
+          put key ~version:(version + 1) value;
+          record (Engine.Sim.now sim - start);
+          go (n - 1)
+        end
+      in
+      go txns;
+      on_done ())

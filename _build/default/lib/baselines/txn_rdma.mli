@@ -1,0 +1,26 @@
+(** TxnStore's custom RDMA messaging stack (§7.6's "RDMA" bars).
+
+    The paper notes this hand-written stack uses one queue pair per
+    connection, copies on both sides (no zero-copy coordination), and
+    carries other inefficiencies — which is why Catmint beats it despite
+    being portable. We model it as RPC over the raw RDMA device with a
+    payload copy per send and per receive plus per-operation overhead
+    for its QP-per-connection design. *)
+
+val replica : Engine.Sim.t -> Net.Fabric.t -> index:int -> unit
+(** Spawns one replica; request/response bodies are the
+    {!Apps.Txnstore} codec. *)
+
+val ycsb_client :
+  Engine.Sim.t ->
+  Net.Fabric.t ->
+  index:int ->
+  replica_indexes:int list ->
+  keys:int ->
+  value_size:int ->
+  txns:int ->
+  theta:float ->
+  seed:int ->
+  record:(int -> unit) ->
+  on_done:(unit -> unit) ->
+  unit

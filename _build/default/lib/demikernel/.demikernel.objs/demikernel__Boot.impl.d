@@ -1,0 +1,1 @@
+lib/demikernel/boot.ml: Catmint Catnap Catnip Cattree Dsched Host Memory Net Oskernel Pdpix Printf Runtime

@@ -1,0 +1,1 @@
+lib/demikernel/boot.mli: Catnip Cattree Engine Host Net Oskernel Pdpix Runtime Tcp

@@ -1,0 +1,1 @@
+lib/demikernel/catmint.ml: Bytes Dsched Hashtbl Host List Memory Net Pdpix Printf Queue Runtime String

@@ -1,0 +1,1 @@
+lib/demikernel/catmint.mli: Net Pdpix Runtime

@@ -1,0 +1,1 @@
+lib/demikernel/catnap.ml: Bytes Dsched Hashtbl Host List Memory Net Oskernel Pdpix Printf Queue Runtime String

@@ -1,0 +1,1 @@
+lib/demikernel/catnap.mli: Oskernel Pdpix Runtime

@@ -1,0 +1,1 @@
+lib/demikernel/catnip.ml: Bytes Dsched Engine Hashtbl Host Lazy List Memory Net Pdpix Printf Queue Runtime String Tcp

@@ -1,0 +1,1 @@
+lib/demikernel/catnip.mli: Net Pdpix Runtime Tcp

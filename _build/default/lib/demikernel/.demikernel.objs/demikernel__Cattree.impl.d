@@ -1,0 +1,1 @@
+lib/demikernel/cattree.ml: Bytes Dsched Hashtbl Host List Memory Net Pdpix Printf Runtime String

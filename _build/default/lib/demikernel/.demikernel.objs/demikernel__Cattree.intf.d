@@ -1,0 +1,1 @@
+lib/demikernel/cattree.mli: Net Pdpix Runtime

@@ -1,0 +1,1 @@
+lib/demikernel/dsched.ml: Array Effect Engine Host Net Printf Queue Waker

@@ -1,0 +1,1 @@
+lib/demikernel/dsched.mli: Host

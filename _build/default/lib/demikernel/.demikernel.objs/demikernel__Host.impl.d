@@ -1,0 +1,1 @@
+lib/demikernel/host.ml: Engine Memory Net

@@ -1,0 +1,1 @@
+lib/demikernel/host.mli: Engine Memory Net

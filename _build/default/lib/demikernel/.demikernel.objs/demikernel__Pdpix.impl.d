@@ -1,0 +1,1 @@
+lib/demikernel/pdpix.ml: List Memory Net String

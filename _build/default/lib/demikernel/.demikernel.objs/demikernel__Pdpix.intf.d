@@ -1,0 +1,1 @@
+lib/demikernel/pdpix.mli: Memory Net

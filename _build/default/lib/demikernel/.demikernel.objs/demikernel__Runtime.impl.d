@@ -1,0 +1,1 @@
+lib/demikernel/runtime.ml: Array Dsched Engine Hashtbl Host List Memory Net Pdpix Printf Queue

@@ -1,0 +1,1 @@
+lib/demikernel/runtime.mli: Dsched Engine Host Net Pdpix

@@ -1,0 +1,1 @@
+lib/demikernel/waker.mli:

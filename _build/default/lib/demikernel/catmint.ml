@@ -1,0 +1,423 @@
+(* Control-message types carried in the imm field: (type << 28) | chan. *)
+let m_connect = 1
+let m_accept = 2
+let m_refuse = 3
+let m_data = 4
+let m_close = 5
+
+let imm_of ~msg ~chan = (msg lsl 28) lor (chan land 0x0FFF_FFFF)
+let msg_of imm = imm lsr 28
+let chan_of imm = imm land 0x0FFF_FFFF
+
+type chan = {
+  id : int;
+  chan_qd : Pdpix.qd;
+  peer_mac : Net.Addr.Mac.t;
+  cell : Bytes.t; (* peer one-sided-writes cumulative grants here *)
+  mutable peer_chan : int;
+  mutable peer_cell_rkey : int;
+  mutable sent : int;
+  mutable consumed : int;
+  mutable granted_to_peer : int;
+  pending_sends : (Pdpix.qtoken * string) Queue.t;
+  pop_waiters : Pdpix.qtoken Queue.t;
+  recv_q : Memory.Heap.buffer Queue.t;
+  mutable eof : bool;
+  mutable connect_token : Pdpix.qtoken option;
+  mutable failed : string option;
+  mutable flow : Dsched.handle option;
+}
+
+type listener = { accept_waiters : Pdpix.qtoken Queue.t; ready : chan Queue.t }
+
+type entry =
+  | Unbound of Pdpix.proto
+  | Bound_tcp of Net.Addr.endpoint
+  | Listening of listener
+  | Channel of chan
+
+type t = {
+  rt : Runtime.t;
+  rnic : Net.Rdma_sim.t;
+  window : int;
+  qds : (Pdpix.qd, entry) Hashtbl.t;
+  chans : (int, chan) Hashtbl.t;
+  listeners : (int, Pdpix.qd) Hashtbl.t; (* port -> qd *)
+  mutable next_chan : int;
+}
+
+let host t = Runtime.host t.rt
+let cost t = (host t).Host.cost
+let charge t ns = Host.charge (host t) ns
+
+let grant_available ch = Net.Wire.get_u32 ch.cell 0 - ch.sent
+
+(* ---------- message emission ---------- *)
+
+let u32s values tail =
+  let b = Bytes.create ((4 * List.length values) + String.length tail) in
+  List.iteri (fun i v -> Net.Wire.set_u32 b (4 * i) v) values;
+  Bytes.blit_string tail 0 b (4 * List.length values) (String.length tail);
+  Bytes.unsafe_to_string b
+
+let post_control t ~dst ~msg ~chan payload =
+  charge t (cost t).Net.Cost.rdma_post_ns;
+  Net.Rdma_sim.post_send t.rnic ~dst ~wr_id:0 ~imm:(imm_of ~msg ~chan) payload
+
+let send_data t ch qt payload =
+  charge t ((cost t).Net.Cost.rdma_post_ns + (2 * (cost t).Net.Cost.libos_sched_ns));
+  ch.sent <- ch.sent + 1;
+  Net.Rdma_sim.post_send t.rnic ~dst:ch.peer_mac ~wr_id:qt
+    ~imm:(imm_of ~msg:m_data ~chan:ch.peer_chan)
+    payload
+
+let flush_pending t ch =
+  let rec go () =
+    if (not (Queue.is_empty ch.pending_sends)) && grant_available ch > 0 && ch.peer_chan >= 0
+    then begin
+      let qt, payload = Queue.pop ch.pending_sends in
+      send_data t ch qt payload;
+      go ()
+    end
+  in
+  if ch.failed = None then go ()
+
+(* ---------- flow control (§6.2): a per-connection coroutine grants the
+   peer more send window by one-sided writes once the application has
+   consumed half a window, and replenishes device recv buffers. ---------- *)
+
+let flow_coroutine t ch () =
+  let sched = Runtime.sched t.rt in
+  let rec loop () =
+    Dsched.block sched;
+    if ch.failed = None && not ch.eof then begin
+      let outstanding = ch.granted_to_peer - ch.consumed in
+      if outstanding <= t.window / 2 && ch.peer_cell_rkey >= 0 then begin
+        let new_grant = ch.consumed + t.window in
+        let cell = Bytes.create 4 in
+        Net.Wire.set_u32 cell 0 new_grant;
+        charge t (cost t).Net.Cost.rdma_post_ns;
+        Net.Rdma_sim.post_write t.rnic ~dst:ch.peer_mac ~wr_id:0 ~rkey:ch.peer_cell_rkey
+          ~offset:0 (Bytes.to_string cell);
+        ch.granted_to_peer <- new_grant
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+(* ---------- channel bookkeeping ---------- *)
+
+let make_chan t ~qd ~peer_mac =
+  let id = t.next_chan in
+  t.next_chan <- t.next_chan + 1;
+  let ch =
+    {
+      id;
+      chan_qd = qd;
+      peer_mac;
+      cell = Bytes.make 4 '\000';
+      peer_chan = -1;
+      peer_cell_rkey = -1;
+      sent = 0;
+      consumed = 0;
+      granted_to_peer = t.window;
+      pending_sends = Queue.create ();
+      pop_waiters = Queue.create ();
+      recv_q = Queue.create ();
+      eof = false;
+      connect_token = None;
+      failed = None;
+      flow = None;
+    }
+  in
+  Hashtbl.replace t.chans id ch;
+  Hashtbl.replace t.qds qd (Channel ch);
+  ch.flow <-
+    Some
+      (Dsched.spawn (Runtime.sched t.rt) Dsched.Background
+         ~name:(Printf.sprintf "catmint-flow-%d" id)
+         (flow_coroutine t ch));
+  ch
+
+let cell_rkey t ch = Net.Rdma_sim.register_region t.rnic ch.cell
+
+let service_pops t ch =
+  let rec go () =
+    if not (Queue.is_empty ch.pop_waiters) then begin
+      match ch.failed with
+      | Some reason ->
+          Runtime.complete t.rt (Queue.pop ch.pop_waiters) (Pdpix.Failed reason);
+          go ()
+      | None ->
+          if not (Queue.is_empty ch.recv_q) then begin
+            let buf = Queue.pop ch.recv_q in
+            ch.consumed <- ch.consumed + 1;
+            (match ch.flow with
+            | Some h -> Dsched.wake (Runtime.sched t.rt) h
+            | None -> ());
+            Runtime.complete t.rt (Queue.pop ch.pop_waiters) (Pdpix.Popped [ buf ]);
+            go ()
+          end
+          else if ch.eof then begin
+            Runtime.complete t.rt (Queue.pop ch.pop_waiters) (Pdpix.Popped []);
+            go ()
+          end
+    end
+  in
+  go ()
+
+let fail_chan t ch reason =
+  ch.failed <- Some reason;
+  (match ch.connect_token with
+  | Some qt ->
+      ch.connect_token <- None;
+      Runtime.complete t.rt qt (Pdpix.Failed reason)
+  | None -> ());
+  Queue.iter (fun (qt, _) -> Runtime.complete t.rt qt (Pdpix.Failed reason)) ch.pending_sends;
+  Queue.clear ch.pending_sends;
+  service_pops t ch;
+  match ch.flow with Some h -> Dsched.wake (Runtime.sched t.rt) h | None -> ()
+
+(* ---------- completion handling ---------- *)
+
+let handle_connect t ~src_mac ~payload =
+  let b = Bytes.unsafe_of_string payload in
+  let port = Net.Wire.get_u32 b 0 in
+  let requester_chan = Net.Wire.get_u32 b 4 in
+  let requester_rkey = Net.Wire.get_u32 b 8 in
+  let grant = Net.Wire.get_u32 b 12 in
+  match Hashtbl.find_opt t.listeners port with
+  | None ->
+      post_control t ~dst:src_mac ~msg:m_refuse ~chan:requester_chan ""
+  | Some lqd -> (
+      match Hashtbl.find_opt t.qds lqd with
+      | Some (Listening l) ->
+          let qd = Runtime.fresh_qd t.rt in
+          let ch = make_chan t ~qd ~peer_mac:src_mac in
+          ch.peer_chan <- requester_chan;
+          ch.peer_cell_rkey <- requester_rkey;
+          Net.Wire.set_u32 ch.cell 0 grant;
+          post_control t ~dst:src_mac ~msg:m_accept ~chan:requester_chan
+            (u32s [ ch.id; cell_rkey t ch; t.window ] "");
+          (match Queue.take_opt l.accept_waiters with
+          | Some qt -> Runtime.complete t.rt qt (Pdpix.Accepted qd)
+          | None -> Queue.add ch l.ready)
+      | Some _ | None -> post_control t ~dst:src_mac ~msg:m_refuse ~chan:requester_chan "")
+
+let handle_recv t ~src_mac ~imm ~payload =
+  Net.Rdma_sim.post_recv t.rnic (* replenish the buffer we consumed *);
+  match msg_of imm with
+  | 1 (* connect *) -> handle_connect t ~src_mac ~payload
+  | 2 (* accept *) -> (
+      match Hashtbl.find_opt t.chans (chan_of imm) with
+      | Some ch ->
+          let b = Bytes.unsafe_of_string payload in
+          ch.peer_chan <- Net.Wire.get_u32 b 0;
+          ch.peer_cell_rkey <- Net.Wire.get_u32 b 4;
+          Net.Wire.set_u32 ch.cell 0 (Net.Wire.get_u32 b 8);
+          (match ch.connect_token with
+          | Some qt ->
+              ch.connect_token <- None;
+              Runtime.complete t.rt qt Pdpix.Connected
+          | None -> ());
+          flush_pending t ch
+      | None -> ())
+  | 3 (* refuse *) -> (
+      match Hashtbl.find_opt t.chans (chan_of imm) with
+      | Some ch -> fail_chan t ch "connection refused"
+      | None -> ())
+  | 4 (* data *) -> (
+      match Hashtbl.find_opt t.chans (chan_of imm) with
+      | Some ch ->
+          charge t (3 * (cost t).Net.Cost.libos_sched_ns);
+          (* The device DMAed the message into a posted buffer in the
+             DMA heap: allocate the application's buffer, no CPU copy. *)
+          let buf = Memory.Heap.alloc (host t).Host.heap (max 1 (String.length payload)) in
+          Memory.Heap.blit_string payload buf;
+          Queue.add buf ch.recv_q;
+          service_pops t ch
+      | None -> ())
+  | 5 (* close *) -> (
+      match Hashtbl.find_opt t.chans (chan_of imm) with
+      | Some ch ->
+          ch.eof <- true;
+          service_pops t ch
+      | None -> ())
+  | _ -> ()
+
+let handle_completion t completion =
+  charge t (cost t).Net.Cost.rdma_poll_ns;
+  match completion with
+  | Net.Rdma_sim.Send_done { wr_id } ->
+      if wr_id > 0 then Runtime.complete t.rt wr_id Pdpix.Pushed
+  | Net.Rdma_sim.Recv { src_mac; imm; payload } -> handle_recv t ~src_mac ~imm ~payload
+  | Net.Rdma_sim.Write_done _ -> ()
+
+let fast_path t slot () =
+  let sched = Runtime.sched t.rt in
+  let rec loop () =
+    (match Net.Rdma_sim.poll_cq t.rnic ~max:16 with
+    | [] ->
+        (* Grant updates land silently in credit cells; retry stalled
+           senders on every poll round. *)
+        Hashtbl.iter (fun _ ch -> flush_pending t ch) t.chans;
+        ignore (Runtime.maybe_park t.rt slot);
+        Dsched.yield sched
+    | completions ->
+        Runtime.fp_busy slot;
+        charge t (cost t).Net.Cost.libos_poll_ns;
+        List.iter (handle_completion t) completions;
+        Hashtbl.iter (fun _ ch -> flush_pending t ch) t.chans;
+        Dsched.yield sched);
+    loop ()
+  in
+  loop ()
+
+(* ---------- PDPIX operations ---------- *)
+
+let find t qd =
+  match Hashtbl.find_opt t.qds qd with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "catmint: unknown qd %d" qd)
+
+let op_socket t proto =
+  match proto with
+  | Pdpix.Tcp ->
+      let qd = Runtime.fresh_qd t.rt in
+      Hashtbl.replace t.qds qd (Unbound proto);
+      qd
+  | Pdpix.Udp -> Runtime.unsupported "catmint: datagram sockets (RDMA is message-based)"
+
+let op_bind t qd ep =
+  match find t qd with
+  | Unbound Pdpix.Tcp -> Hashtbl.replace t.qds qd (Bound_tcp ep)
+  | Unbound Pdpix.Udp | Bound_tcp _ | Listening _ | Channel _ ->
+      invalid_arg "catmint: bind on active qd"
+
+let op_listen t qd _backlog =
+  match find t qd with
+  | Bound_tcp ep ->
+      Hashtbl.replace t.qds qd
+        (Listening { accept_waiters = Queue.create (); ready = Queue.create () });
+      Hashtbl.replace t.listeners ep.Net.Addr.port qd
+  | Unbound _ | Listening _ | Channel _ -> invalid_arg "catmint: listen needs a bound qd"
+
+let op_accept t qd =
+  match find t qd with
+  | Listening l -> (
+      match Queue.take_opt l.ready with
+      | Some ch -> Runtime.completed_token t.rt (Pdpix.Accepted ch.chan_qd)
+      | None ->
+          let qt = Runtime.fresh_token t.rt in
+          Queue.add qt l.accept_waiters;
+          qt)
+  | Unbound _ | Bound_tcp _ | Channel _ -> invalid_arg "catmint: accept on non-listener"
+
+(* Endpoint IPs map to device MACs 1:1 in our fabric; resolve by index. *)
+let mac_of_endpoint (ep : Net.Addr.endpoint) =
+  Net.Addr.Mac.of_index ((ep.Net.Addr.ip land 0xffff) - 1)
+
+let op_connect t qd (dst : Net.Addr.endpoint) =
+  match find t qd with
+  | Unbound Pdpix.Tcp ->
+      let ch = make_chan t ~qd ~peer_mac:(mac_of_endpoint dst) in
+      let qt = Runtime.fresh_token t.rt in
+      ch.connect_token <- Some qt;
+      Net.Wire.set_u32 ch.cell 0 0 (* cannot send until ACCEPT grants *);
+      post_control t ~dst:ch.peer_mac ~msg:m_connect ~chan:0
+        (u32s [ dst.Net.Addr.port; ch.id; cell_rkey t ch; t.window ] "");
+      qt
+  | Unbound Pdpix.Udp | Bound_tcp _ | Listening _ | Channel _ ->
+      invalid_arg "catmint: connect needs an unbound qd"
+
+let op_close t qd =
+  (match find t qd with
+  | Channel ch ->
+      if ch.failed = None && ch.peer_chan >= 0 then
+        post_control t ~dst:ch.peer_mac ~msg:m_close ~chan:ch.peer_chan "";
+      fail_chan t ch "closed";
+      Hashtbl.remove t.chans ch.id
+  | Listening _ | Unbound _ | Bound_tcp _ -> ());
+  Hashtbl.remove t.qds qd
+
+let sga_payload t sga =
+  (* Zero-copy for DMA-eligible buffers (the device gathers directly
+     from registered memory, exercising get_rkey); small buffers are
+     copied into the command, per the 1 kB threshold (§5.3). *)
+  List.iter
+    (fun buf ->
+      if Memory.Heap.is_dma_capable buf then ignore (Memory.Heap.rkey buf)
+      else Host.charge_copy (host t) (Memory.Heap.length buf))
+    sga;
+  Pdpix.sga_to_string sga
+
+let op_push t qd sga =
+  match find t qd with
+  | Channel ch -> (
+      match ch.failed with
+      | Some reason -> Runtime.completed_token t.rt (Pdpix.Failed reason)
+      | None ->
+          let payload = sga_payload t sga in
+          if String.length payload > Net.Rdma_sim.max_message_size then
+            invalid_arg "catmint: message exceeds device limit";
+          let qt = Runtime.fresh_token t.rt in
+          if ch.peer_chan >= 0 && grant_available ch > 0 && Queue.is_empty ch.pending_sends
+          then send_data t ch qt payload
+          else Queue.add (qt, payload) ch.pending_sends;
+          qt)
+  | Unbound _ | Bound_tcp _ | Listening _ -> invalid_arg "catmint: push on non-channel"
+
+let op_pop t qd =
+  match find t qd with
+  | Channel ch ->
+      let qt = Runtime.fresh_token t.rt in
+      Queue.add qt ch.pop_waiters;
+      service_pops t ch;
+      qt
+  | Unbound _ | Bound_tcp _ | Listening _ -> invalid_arg "catmint: pop on non-channel"
+
+let create rt ~rnic ?(window = 64) () =
+  let t =
+    {
+      rt;
+      rnic;
+      window;
+      qds = Hashtbl.create 32;
+      chans = Hashtbl.create 32;
+      listeners = Hashtbl.create 8;
+      next_chan = 1;
+    }
+  in
+  (* Pre-post a pool of receive buffers; the fast path reposts one per
+     arrival, so the pool never drains under flow control. *)
+  for _ = 1 to 4 * window do
+    Net.Rdma_sim.post_recv rnic
+  done;
+  Runtime.register_io_signal rt (Net.Rdma_sim.cq_signal rnic);
+  ignore
+    (Dsched.spawn (Runtime.sched rt) Dsched.Fast_path ~name:"catmint-fast-path"
+       (fast_path t (Runtime.new_fp_slot rt)));
+  t
+
+let ops t =
+  {
+    Runtime.op_name = "catmint";
+    op_owns = (fun qd -> Hashtbl.mem t.qds qd);
+    op_socket = op_socket t;
+    op_bind = op_bind t;
+    op_listen = op_listen t;
+    op_accept = op_accept t;
+    op_connect = op_connect t;
+    op_close = op_close t;
+    op_push = op_push t;
+    op_pushto = (fun _ _ _ -> Runtime.unsupported "catmint: pushto");
+    op_pop = op_pop t;
+    op_open_log = (fun _ -> Runtime.unsupported "catmint: open_log (no storage device)");
+    op_seek = (fun _ _ -> Runtime.unsupported "catmint: seek");
+    op_truncate = (fun _ _ -> Runtime.unsupported "catmint: truncate");
+  }
+
+let api rt ~rnic ?window () =
+  let t = create rt ~rnic ?window () in
+  Runtime.make_api rt (ops t)

@@ -1,0 +1,278 @@
+type conn_entry = {
+  fd : Oskernel.Kernel.fd;
+  pop_waiters : Pdpix.qtoken Queue.t;
+  mutable connect_token : Pdpix.qtoken option;
+}
+
+type entry =
+  | Unbound of Pdpix.proto
+  | Bound_tcp of Net.Addr.endpoint
+  | Udp_sock of Oskernel.Kernel.fd * Pdpix.qtoken Queue.t
+  | Listener of Oskernel.Kernel.fd * Pdpix.qtoken Queue.t
+  | Connection of conn_entry
+  | Log_file of log_state
+
+and log_state = { mutable cursor : int; mutable tail : int }
+
+type t = {
+  rt : Runtime.t;
+  kernel : Oskernel.Kernel.t;
+  qds : (Pdpix.qd, entry) Hashtbl.t;
+}
+
+let host t = Runtime.host t.rt
+
+(* One service pass over every queue with outstanding tokens; returns
+   whether anything completed. Each attempt is a real (charged)
+   non-blocking syscall — the price of Catnap's polling design. *)
+let service t =
+  let progress = ref false in
+  let complete qt c =
+    progress := true;
+    Runtime.complete t.rt qt c
+  in
+  (* Snapshot the table: servicing an accept inserts new entries, and
+     mutating a Hashtbl during iteration is undefined. *)
+  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.qds [] in
+  List.iter
+    (fun entry ->
+      match entry with
+      | Udp_sock (fd, waiters) ->
+          let rec go () =
+            if not (Queue.is_empty waiters) then
+              match Oskernel.Kernel.recvfrom t.kernel fd ~block:false with
+              | Some (from, payload) ->
+                  let buf = Memory.Heap.alloc_of_string (host t).Host.heap payload in
+                  complete (Queue.pop waiters) (Pdpix.Popped_from (from, [ buf ]));
+                  go ()
+              | None -> ()
+          in
+          go ()
+      | Listener (fd, waiters) ->
+          let rec go () =
+            if not (Queue.is_empty waiters) then
+              match Oskernel.Kernel.try_accept t.kernel fd with
+              | Some conn_fd ->
+                  let conn_qd = Runtime.fresh_qd t.rt in
+                  Hashtbl.replace t.qds conn_qd
+                    (Connection
+                       { fd = conn_fd; pop_waiters = Queue.create (); connect_token = None });
+                  complete (Queue.pop waiters) (Pdpix.Accepted conn_qd);
+                  go ()
+              | None -> ()
+          in
+          go ()
+      | Connection ce ->
+          (match ce.connect_token with
+          | Some qt -> (
+              match Oskernel.Kernel.connect_status t.kernel ce.fd with
+              | `Ok ->
+                  ce.connect_token <- None;
+                  complete qt Pdpix.Connected
+              | `Refused ->
+                  ce.connect_token <- None;
+                  complete qt (Pdpix.Failed "connection refused")
+              | `Pending -> ())
+          | None -> ());
+          let rec go () =
+            if not (Queue.is_empty ce.pop_waiters) then
+              match Oskernel.Kernel.recv t.kernel ce.fd ~block:false with
+              | Some payload ->
+                  let buf = Memory.Heap.alloc_of_string (host t).Host.heap payload in
+                  complete (Queue.pop ce.pop_waiters) (Pdpix.Popped [ buf ]);
+                  go ()
+              | None ->
+                  if Oskernel.Kernel.at_eof t.kernel ce.fd then begin
+                    complete (Queue.pop ce.pop_waiters) (Pdpix.Popped []);
+                    go ()
+                  end
+          in
+          go ()
+      | Unbound _ | Bound_tcp _ | Log_file _ -> ())
+    entries;
+  !progress
+
+let fast_path t slot () =
+  let sched = Runtime.sched t.rt in
+  let rec loop () =
+    Oskernel.Kernel.poll t.kernel;
+    if service t then begin
+      Runtime.fp_busy slot;
+      Dsched.yield sched
+    end
+    else begin
+      ignore (Runtime.maybe_park t.rt slot);
+      Dsched.yield sched
+    end;
+    loop ()
+  in
+  loop ()
+
+(* ---------- PDPIX operations ---------- *)
+
+let find t qd =
+  match Hashtbl.find_opt t.qds qd with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "catnap: unknown qd %d" qd)
+
+let op_socket t proto =
+  let qd = Runtime.fresh_qd t.rt in
+  Hashtbl.replace t.qds qd (Unbound proto);
+  qd
+
+let op_bind t qd (ep : Net.Addr.endpoint) =
+  match find t qd with
+  | Unbound Pdpix.Udp ->
+      let fd = Oskernel.Kernel.udp_socket t.kernel ~port:ep.Net.Addr.port in
+      Hashtbl.replace t.qds qd (Udp_sock (fd, Queue.create ()))
+  | Unbound Pdpix.Tcp -> Hashtbl.replace t.qds qd (Bound_tcp ep)
+  | Bound_tcp _ | Udp_sock _ | Listener _ | Connection _ | Log_file _ ->
+      invalid_arg "catnap: bind on active qd"
+
+let op_listen t qd _backlog =
+  match find t qd with
+  | Bound_tcp ep ->
+      let fd = Oskernel.Kernel.tcp_listen t.kernel ~port:ep.Net.Addr.port in
+      Hashtbl.replace t.qds qd (Listener (fd, Queue.create ()))
+  | Unbound _ | Udp_sock _ | Listener _ | Connection _ | Log_file _ ->
+      invalid_arg "catnap: listen needs a bound TCP qd"
+
+let op_accept t qd =
+  match find t qd with
+  | Listener (_, waiters) ->
+      let qt = Runtime.fresh_token t.rt in
+      Queue.add qt waiters;
+      ignore (service t);
+      qt
+  | Unbound _ | Bound_tcp _ | Udp_sock _ | Connection _ | Log_file _ ->
+      invalid_arg "catnap: accept on non-listener"
+
+let op_connect t qd dst =
+  match find t qd with
+  | Unbound Pdpix.Tcp ->
+      let fd = Oskernel.Kernel.connect_start t.kernel ~dst in
+      let qt = Runtime.fresh_token t.rt in
+      Hashtbl.replace t.qds qd
+        (Connection { fd; pop_waiters = Queue.create (); connect_token = Some qt });
+      qt
+  | Unbound Pdpix.Udp | Bound_tcp _ | Udp_sock _ | Listener _ | Connection _ | Log_file _ ->
+      invalid_arg "catnap: connect needs an unbound TCP qd"
+
+let op_close t qd =
+  (match find t qd with
+  | Connection ce -> Oskernel.Kernel.close t.kernel ce.fd
+  | Udp_sock (fd, _) | Listener (fd, _) -> Oskernel.Kernel.close t.kernel fd
+  | Unbound _ | Bound_tcp _ | Log_file _ -> ());
+  Hashtbl.remove t.qds qd
+
+let op_push t qd sga =
+  match find t qd with
+  | Connection ce ->
+      (* POSIX write: completes once copied into the kernel. *)
+      Oskernel.Kernel.send t.kernel ce.fd (Pdpix.sga_to_string sga);
+      Runtime.completed_token t.rt Pdpix.Pushed
+  | Log_file ls ->
+      (* Synchronous durable append, length-framed so the log can be
+         read back after a crash; blocks the (single-threaded) process
+         exactly as write+fsync does. *)
+      let payload = Pdpix.sga_to_string sga in
+      let framed = Bytes.create (4 + String.length payload) in
+      Net.Wire.set_u32 framed 0 (String.length payload);
+      Bytes.blit_string payload 0 framed 4 (String.length payload);
+      Oskernel.Kernel.pwrite_sync t.kernel ~off:ls.tail (Bytes.unsafe_to_string framed);
+      ls.tail <- ls.tail + 4 + String.length payload;
+      Runtime.completed_token t.rt Pdpix.Pushed
+  | Unbound _ | Bound_tcp _ | Udp_sock _ | Listener _ ->
+      invalid_arg "catnap: push on non-connection"
+
+let op_pushto t qd dst sga =
+  match find t qd with
+  | Udp_sock (fd, _) ->
+      Oskernel.Kernel.sendto t.kernel fd ~dst (Pdpix.sga_to_string sga);
+      Runtime.completed_token t.rt Pdpix.Pushed
+  | Unbound _ | Bound_tcp _ | Listener _ | Connection _ | Log_file _ ->
+      invalid_arg "catnap: pushto on non-UDP qd"
+
+let op_pop t qd =
+  match find t qd with
+  | Connection ce ->
+      let qt = Runtime.fresh_token t.rt in
+      Queue.add qt ce.pop_waiters;
+      ignore (service t);
+      qt
+  | Udp_sock (_, waiters) ->
+      let qt = Runtime.fresh_token t.rt in
+      Queue.add qt waiters;
+      ignore (service t);
+      qt
+  | Log_file ls -> (
+      (* pread the next length-framed record. *)
+      let header = Oskernel.Kernel.read_log t.kernel ~off:ls.cursor ~len:4 in
+      if String.length header < 4 then
+        Runtime.completed_token t.rt (Pdpix.Failed "catnap: log read error")
+      else begin
+        let len = Net.Wire.get_u32 (Bytes.unsafe_of_string header) 0 in
+        if len = 0 then Runtime.completed_token t.rt (Pdpix.Failed "catnap: read at log tail")
+        else begin
+          let payload = Oskernel.Kernel.read_log t.kernel ~off:(ls.cursor + 4) ~len in
+          if String.length payload < len then
+            Runtime.completed_token t.rt (Pdpix.Failed "catnap: log read error")
+          else begin
+            ls.cursor <- ls.cursor + 4 + len;
+            let buf = Memory.Heap.alloc_of_string (host t).Host.heap payload in
+            Runtime.completed_token t.rt (Pdpix.Popped [ buf ])
+          end
+        end
+      end)
+  | Unbound _ | Bound_tcp _ | Listener _ -> invalid_arg "catnap: pop on non-I/O qd"
+
+let op_open_log t _path =
+  (* Discover the tail left by a previous boot by scanning the length
+     framing (the file is zero-filled past the last record). *)
+  let rec find_tail off =
+    let header = Oskernel.Kernel.read_log t.kernel ~off ~len:4 in
+    if String.length header < 4 then off
+    else
+      let len = Net.Wire.get_u32 (Bytes.unsafe_of_string header) 0 in
+      if len = 0 then off else find_tail (off + 4 + len)
+  in
+  let tail = find_tail 0 in
+  let qd = Runtime.fresh_qd t.rt in
+  Hashtbl.replace t.qds qd (Log_file { cursor = 0; tail });
+  qd
+
+let op_seek t qd off =
+  match find t qd with
+  | Log_file ls -> if off < 0 then invalid_arg "catnap: negative seek" else ls.cursor <- off
+  | Unbound _ | Bound_tcp _ | Udp_sock _ | Listener _ | Connection _ ->
+      invalid_arg "catnap: seek on non-log qd"
+
+let create rt ~kernel =
+  let t = { rt; kernel; qds = Hashtbl.create 32 } in
+  Runtime.register_io_signal rt (Oskernel.Kernel.rx_signal kernel);
+  Runtime.register_timer_source rt (fun () -> Oskernel.Kernel.next_timer kernel);
+  ignore (Dsched.spawn (Runtime.sched rt) Dsched.Fast_path ~name:"catnap-fast-path"
+       (fast_path t (Runtime.new_fp_slot rt)));
+  t
+
+let ops t =
+  {
+    Runtime.op_name = "catnap";
+    op_owns = (fun qd -> Hashtbl.mem t.qds qd);
+    op_socket = op_socket t;
+    op_bind = op_bind t;
+    op_listen = op_listen t;
+    op_accept = op_accept t;
+    op_connect = op_connect t;
+    op_close = op_close t;
+    op_push = op_push t;
+    op_pushto = op_pushto t;
+    op_pop = op_pop t;
+    op_open_log = op_open_log t;
+    op_seek = op_seek t;
+    op_truncate = (fun _ _ -> Runtime.unsupported "catnap: truncate (no ext4 head-trim)");
+  }
+
+let api rt ~kernel =
+  let t = create rt ~kernel in
+  Runtime.make_api rt (ops t)

@@ -1,0 +1,17 @@
+type t = {
+  sim : Engine.Sim.t;
+  name : string;
+  cost : Net.Cost.t;
+  heap : Memory.Heap.t;
+}
+
+let create sim ~name ~cost ~heap_mode =
+  { sim; name; cost; heap = Memory.Heap.create ~label:name ~mode:heap_mode () }
+
+let charge t ns = if ns > 0 then Engine.Fiber.sleep t.sim ns
+
+let charge_copy t n =
+  Memory.Heap.note_copy t.heap n;
+  charge t (Net.Cost.copy_cost_ns t.cost n)
+
+let now t = Engine.Sim.now t.sim

@@ -1,0 +1,25 @@
+(** One simulated machine: a single CPU (the enclosing engine fiber), a
+    cost profile and a DMA-capable heap. All host-CPU time is charged
+    through {!charge}, which advances virtual time on the host's fiber —
+    so CPU consumption and event interleaving fall out of the same
+    clock. *)
+
+type t = {
+  sim : Engine.Sim.t;
+  name : string;
+  cost : Net.Cost.t;
+  heap : Memory.Heap.t;
+}
+
+val create :
+  Engine.Sim.t -> name:string -> cost:Net.Cost.t -> heap_mode:Memory.Heap.mode -> t
+
+val charge : t -> int -> unit
+(** Spend [ns] of CPU time. Must be called from a fiber (or a Demikernel
+    coroutine) running on this host. *)
+
+val charge_copy : t -> int -> unit
+(** Spend the CPU cost of copying [n] bytes and record it against the
+    heap's copy accounting. *)
+
+val now : t -> int

@@ -1,0 +1,45 @@
+type qd = int
+type qtoken = int
+type sga = Memory.Heap.buffer list
+type proto = Tcp | Udp
+
+type completion =
+  | Accepted of qd
+  | Connected
+  | Pushed
+  | Popped of sga
+  | Popped_from of Net.Addr.endpoint * sga
+  | Failed of string
+
+exception Unsupported of string
+
+type api = {
+  socket : proto -> qd;
+  bind : qd -> Net.Addr.endpoint -> unit;
+  listen : qd -> backlog:int -> unit;
+  accept : qd -> qtoken;
+  connect : qd -> Net.Addr.endpoint -> qtoken;
+  close : qd -> unit;
+  queue : unit -> qd;
+  open_log : string -> qd;
+  seek : qd -> int -> unit;
+  truncate : qd -> int -> unit;
+  push : qd -> sga -> qtoken;
+  pushto : qd -> Net.Addr.endpoint -> sga -> qtoken;
+  pop : qd -> qtoken;
+  wait : qtoken -> completion;
+  wait_any : qtoken array -> int * completion;
+  wait_any_t : qtoken array -> timeout_ns:int -> (int * completion) option;
+  wait_all : qtoken array -> completion array;
+  yield : unit -> unit;
+  spin : int -> unit;
+  alloc : int -> Memory.Heap.buffer;
+  alloc_str : string -> Memory.Heap.buffer;
+  free : Memory.Heap.buffer -> unit;
+  clock : unit -> int;
+  libos_name : string;
+}
+
+let sga_length sga = List.fold_left (fun n b -> n + Memory.Heap.length b) 0 sga
+
+let sga_to_string sga = String.concat "" (List.map Memory.Heap.to_string sga)

@@ -1,0 +1,82 @@
+(** PDPIX: the portable datapath interface (§4.2).
+
+    Queue-oriented rather than file-oriented: I/O-producing calls return
+    a {e queue descriptor}; datapath operations ([push]/[pop]) are
+    complete I/O requests returning a {e queue token} that [wait_*]
+    redeems for the completion. Zero-copy ownership follows the paper's
+    rules — [push] grants buffer ownership to the datapath OS until the
+    token completes; [pop] hands the application ownership of buffers
+    allocated from the DMA heap.
+
+    Applications are written against the {!api} record and run
+    unmodified on every library OS — the portability claim of Table 1
+    (I1) made concrete. *)
+
+type qd = int
+(** Queue descriptor. *)
+
+type qtoken = int
+(** Queue token: the asynchronous result of a datapath operation. *)
+
+type sga = Memory.Heap.buffer list
+(** Scatter-gather array. *)
+
+type proto = Tcp | Udp
+
+type completion =
+  | Accepted of qd  (** new connection queue. *)
+  | Connected
+  | Pushed
+  | Popped of sga
+  | Popped_from of Net.Addr.endpoint * sga  (** datagram pop. *)
+  | Failed of string  (** connection reset, device error, ... *)
+
+exception Unsupported of string
+(** Raised by operations a given libOS cannot provide (e.g. [open_log]
+    on a network-only libOS). *)
+
+type api = {
+  (* --- queue creation and management (control-path-looking calls that
+     stay on the datapath, §4.2) --- *)
+  socket : proto -> qd;
+  bind : qd -> Net.Addr.endpoint -> unit;
+  listen : qd -> backlog:int -> unit;
+  accept : qd -> qtoken;
+  connect : qd -> Net.Addr.endpoint -> qtoken;
+  close : qd -> unit;
+  queue : unit -> qd;  (** lightweight in-memory queue (Go-channel-like). *)
+  open_log : string -> qd;  (** append-only log on the storage stack. *)
+  seek : qd -> int -> unit;
+      (** move a log queue's read cursor to a byte offset (§6.4). *)
+  truncate : qd -> int -> unit;
+      (** garbage-collect log records below a byte offset (§6.4). *)
+  (* --- datapath --- *)
+  push : qd -> sga -> qtoken;
+  pushto : qd -> Net.Addr.endpoint -> sga -> qtoken;
+  pop : qd -> qtoken;
+  (* --- scheduling --- *)
+  wait : qtoken -> completion;
+  wait_any : qtoken array -> int * completion;
+  wait_any_t : qtoken array -> timeout_ns:int -> (int * completion) option;  (** [wait_any] with the timeout the paper's API carries; [None] on
+      timeout — tokens stay redeemable. *)
+
+  wait_all : qtoken array -> completion array;
+  yield : unit -> unit;
+  spin : int -> unit;  (** Busy-wait for a span of ns — how µs-scale load generators pace
+      open-loop request streams (the CPU is burned, not yielded). *)
+
+  (* --- memory (DMA-capable heap) --- *)
+  alloc : int -> Memory.Heap.buffer;
+  alloc_str : string -> Memory.Heap.buffer;
+  free : Memory.Heap.buffer -> unit;
+  (* --- introspection --- *)
+  clock : unit -> int;
+  libos_name : string;
+}
+
+val sga_length : sga -> int
+(** Total payload bytes. *)
+
+val sga_to_string : sga -> string
+(** Concatenated payload (copies; for tests and app logic, not charged
+    as a datapath copy). *)

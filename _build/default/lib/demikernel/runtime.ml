@@ -1,0 +1,322 @@
+type token_state = {
+  mutable result : Pdpix.completion option;
+  mutable waiter : Dsched.handle option;
+}
+
+type memq = { items : Memory.Heap.buffer list Queue.t; pop_waiters : Pdpix.qtoken Queue.t }
+
+type fp_slot = { mutable idle : bool }
+
+type t = {
+  host : Host.t;
+  sched : Dsched.t;
+  tokens : (Pdpix.qtoken, token_state) Hashtbl.t;
+  memqs : (Pdpix.qd, memq) Hashtbl.t;
+  mutable next_token : int;
+  mutable next_qd : int;
+  mutable fp_slots : fp_slot list;
+  mutable io_signals : Engine.Condvar.t list;
+  mutable timer_sources : (unit -> int option) list;
+  kick : Engine.Condvar.t;
+      (* Wakes a parked host fiber for non-device events (coroutine
+         timeouts). Always part of [io_signals]. *)
+}
+
+let create host =
+  let kick = Engine.Condvar.create host.Host.sim in
+  {
+    host;
+    sched = Dsched.create host;
+    tokens = Hashtbl.create 64;
+    memqs = Hashtbl.create 8;
+    next_token = 1;
+    next_qd = 1;
+    fp_slots = [];
+    io_signals = [ kick ];
+    timer_sources = [];
+    kick;
+  }
+
+let host t = t.host
+let sched t = t.sched
+
+let fresh_token t =
+  let qt = t.next_token in
+  t.next_token <- t.next_token + 1;
+  Hashtbl.replace t.tokens qt { result = None; waiter = None };
+  qt
+
+let find_token t qt =
+  match Hashtbl.find_opt t.tokens qt with
+  | Some ts -> ts
+  | None -> invalid_arg (Printf.sprintf "unknown or already-redeemed qtoken %d" qt)
+
+let complete t qt result =
+  let ts = find_token t qt in
+  assert (match ts.result with None -> true | Some _ -> false);
+  ts.result <- Some result;
+  match ts.waiter with Some h -> Dsched.wake t.sched h | None -> ()
+
+let completed_token t result =
+  let qt = fresh_token t in
+  complete t qt result;
+  qt
+
+let fresh_qd t =
+  let qd = t.next_qd in
+  t.next_qd <- t.next_qd + 1;
+  qd
+
+(* --- wait family: the epoll replacement (§4.2). Each application
+   worker blocks on its own coroutine readiness bit, so one completion
+   wakes exactly one worker — no thundering herd. --- *)
+
+let wait t qt =
+  let ts = find_token t qt in
+  let rec loop () =
+    match ts.result with
+    | Some r ->
+        Hashtbl.remove t.tokens qt;
+        r
+    | None ->
+        ts.waiter <- Some (Dsched.self t.sched);
+        Dsched.block t.sched;
+        ts.waiter <- None;
+        loop ()
+  in
+  loop ()
+
+let wait_any t qts =
+  if Array.length qts = 0 then invalid_arg "wait_any: empty token set";
+  let states = Array.map (find_token t) qts in
+  let rec scan i =
+    if i >= Array.length qts then None
+    else
+      match states.(i).result with
+      | Some r ->
+          Hashtbl.remove t.tokens qts.(i);
+          Some (i, r)
+      | None -> scan (i + 1)
+  in
+  let me = Dsched.self t.sched in
+  let rec loop () =
+    match scan 0 with
+    | Some hit ->
+        Array.iter
+          (fun ts ->
+            match ts.waiter with Some h when h == me -> ts.waiter <- None | Some _ | None -> ())
+          states;
+        hit
+    | None ->
+        Array.iter (fun ts -> ts.waiter <- Some me) states;
+        Dsched.block t.sched;
+        loop ()
+  in
+  loop ()
+
+let wait_any_timeout t qts ~timeout_ns =
+  if Array.length qts = 0 then invalid_arg "wait_any_timeout: empty token set";
+  let states = Array.map (find_token t) qts in
+  let deadline = Host.now t.host + timeout_ns in
+  let me = Dsched.self t.sched in
+  (* A timer event wakes us if nothing completes first; spurious wakes
+     are harmless because we re-scan. *)
+  let cancelled = ref false in
+  Engine.Sim.schedule t.host.Host.sim ~delay:timeout_ns (fun () ->
+      if not !cancelled then begin
+        Dsched.wake t.sched me;
+        (* The host fiber may be parked on device signals; kick it so the
+           scheduler loop observes the readiness bit. *)
+        Engine.Condvar.broadcast t.kick
+      end);
+  let cleanup () =
+    cancelled := true;
+    Array.iter
+      (fun ts -> match ts.waiter with Some h when h == me -> ts.waiter <- None | _ -> ())
+      states
+  in
+  let rec scan i =
+    if i >= Array.length qts then None
+    else
+      match states.(i).result with
+      | Some r ->
+          Hashtbl.remove t.tokens qts.(i);
+          Some (i, r)
+      | None -> scan (i + 1)
+  in
+  let rec loop () =
+    match scan 0 with
+    | Some hit ->
+        cleanup ();
+        Some hit
+    | None ->
+        if Host.now t.host >= deadline then begin
+          cleanup ();
+          None
+        end
+        else begin
+          Array.iter (fun ts -> ts.waiter <- Some me) states;
+          Dsched.block t.sched;
+          loop ()
+        end
+  in
+  loop ()
+
+let wait_all t qts = Array.map (wait t) qts
+
+(* --- in-memory queues --- *)
+
+let memq_pop t q =
+  match Queue.take_opt q.items with
+  | Some sga -> completed_token t (Pdpix.Popped sga)
+  | None ->
+      let qt = fresh_token t in
+      Queue.add qt q.pop_waiters;
+      qt
+
+let memq_push t q sga =
+  (match Queue.take_opt q.pop_waiters with
+  | Some waiting -> complete t waiting (Pdpix.Popped sga)
+  | None -> Queue.add sga q.items);
+  completed_token t Pdpix.Pushed
+
+(* --- assembly --- *)
+
+type ops = {
+  op_name : string;
+  op_owns : Pdpix.qd -> bool;
+  op_socket : Pdpix.proto -> Pdpix.qd;
+  op_bind : Pdpix.qd -> Net.Addr.endpoint -> unit;
+  op_listen : Pdpix.qd -> int -> unit;
+  op_accept : Pdpix.qd -> Pdpix.qtoken;
+  op_connect : Pdpix.qd -> Net.Addr.endpoint -> Pdpix.qtoken;
+  op_close : Pdpix.qd -> unit;
+  op_push : Pdpix.qd -> Pdpix.sga -> Pdpix.qtoken;
+  op_pushto : Pdpix.qd -> Net.Addr.endpoint -> Pdpix.sga -> Pdpix.qtoken;
+  op_pop : Pdpix.qd -> Pdpix.qtoken;
+  op_open_log : string -> Pdpix.qd;
+  op_seek : Pdpix.qd -> int -> unit;
+  op_truncate : Pdpix.qd -> int -> unit;
+}
+
+let unsupported what = raise (Pdpix.Unsupported what)
+
+let combine ~net ~storage =
+  let pick qd = if storage.op_owns qd then storage else net in
+  {
+    op_name = net.op_name ^ "x" ^ storage.op_name;
+    op_owns = (fun qd -> net.op_owns qd || storage.op_owns qd);
+    op_socket = net.op_socket;
+    op_bind = net.op_bind;
+    op_listen = net.op_listen;
+    op_accept = net.op_accept;
+    op_connect = net.op_connect;
+    op_close = (fun qd -> (pick qd).op_close qd);
+    op_push = (fun qd sga -> (pick qd).op_push qd sga);
+    op_pushto = net.op_pushto;
+    op_pop = (fun qd -> (pick qd).op_pop qd);
+    op_open_log = storage.op_open_log;
+    op_seek = (fun qd off -> (pick qd).op_seek qd off);
+    op_truncate = (fun qd off -> (pick qd).op_truncate qd off);
+  }
+
+let make_api t ops =
+  let libcall () = Host.charge t.host t.host.Host.cost.Net.Cost.libos_sched_ns in
+  let with_memq qd ~memq ~other =
+    match Hashtbl.find_opt t.memqs qd with Some q -> memq q | None -> other qd
+  in
+  {
+    Pdpix.socket =
+      (fun proto ->
+        libcall ();
+        ops.op_socket proto);
+    bind = (fun qd ep -> libcall (); ops.op_bind qd ep);
+    listen = (fun qd ~backlog -> libcall (); ops.op_listen qd backlog);
+    accept = (fun qd -> libcall (); ops.op_accept qd);
+    connect = (fun qd ep -> libcall (); ops.op_connect qd ep);
+    close =
+      (fun qd ->
+        libcall ();
+        with_memq qd ~memq:(fun _ -> Hashtbl.remove t.memqs qd) ~other:ops.op_close);
+    queue =
+      (fun () ->
+        libcall ();
+        let qd = fresh_qd t in
+        Hashtbl.replace t.memqs qd { items = Queue.create (); pop_waiters = Queue.create () };
+        qd);
+    open_log = (fun path -> libcall (); ops.op_open_log path);
+    seek = (fun qd off -> libcall (); ops.op_seek qd off);
+    truncate = (fun qd off -> libcall (); ops.op_truncate qd off);
+    push =
+      (fun qd sga ->
+        libcall ();
+        with_memq qd ~memq:(fun q -> memq_push t q sga) ~other:(fun qd -> ops.op_push qd sga));
+    pushto = (fun qd ep sga -> libcall (); ops.op_pushto qd ep sga);
+    pop =
+      (fun qd ->
+        libcall ();
+        with_memq qd ~memq:(fun q -> memq_pop t q) ~other:ops.op_pop);
+    wait = (fun qt -> libcall (); wait t qt);
+    wait_any = (fun qts -> libcall (); wait_any t qts);
+    wait_any_t = (fun qts ~timeout_ns -> libcall (); wait_any_timeout t qts ~timeout_ns);
+    wait_all = (fun qts -> libcall (); wait_all t qts);
+    yield = (fun () -> Dsched.yield t.sched);
+    spin = (fun ns -> Host.charge t.host ns);
+    alloc =
+      (fun size ->
+        Host.charge t.host t.host.Host.cost.Net.Cost.alloc_ns;
+        Memory.Heap.alloc t.host.Host.heap size);
+    alloc_str =
+      (fun s ->
+        Host.charge t.host t.host.Host.cost.Net.Cost.alloc_ns;
+        Memory.Heap.alloc_of_string t.host.Host.heap s);
+    free = Memory.Heap.free;
+    clock = (fun () -> Host.now t.host);
+    libos_name = ops.op_name;
+  }
+
+let new_fp_slot t =
+  let slot = { idle = false } in
+  t.fp_slots <- slot :: t.fp_slots;
+  slot
+
+let fp_busy slot = slot.idle <- false
+
+let register_io_signal t cv = t.io_signals <- cv :: t.io_signals
+
+let register_timer_source t fn = t.timer_sources <- fn :: t.timer_sources
+
+let next_deadline t =
+  List.fold_left
+    (fun acc fn ->
+      match (fn (), acc) with
+      | Some d, Some a -> Some (min d a)
+      | (Some _ as d), None -> d
+      | None, acc -> acc)
+    None t.timer_sources
+
+let maybe_park t slot =
+  slot.idle <- true;
+  if Dsched.runnable_apps t.sched || Dsched.has_pending_wakes t.sched then false
+  else if List.exists (fun s -> not s.idle) t.fp_slots then false
+  else begin
+    let timeout =
+      match next_deadline t with
+      | Some deadline -> Some (max 0 (deadline - Host.now t.host))
+      | None -> None
+    in
+    let _ = Engine.Condvar.wait_many t.host.Host.sim t.io_signals ~timeout in
+    Host.charge t.host t.host.Host.cost.Net.Cost.libos_poll_ns;
+    (* We don't know which device signalled: force one poll round of
+       every fast path before anyone may park again, otherwise this
+       coroutine could re-park ahead of the one whose completion just
+       arrived. *)
+    List.iter (fun s -> s.idle <- false) t.fp_slots;
+    true
+  end
+
+let spawn_app t ?(name = "app") main api =
+  ignore (Dsched.spawn t.sched Dsched.App ~name (fun () -> main api))
+
+let start t =
+  Engine.Fiber.spawn t.host.Host.sim ~name:t.host.Host.name (fun () -> Dsched.run t.sched)

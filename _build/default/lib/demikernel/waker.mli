@@ -1,0 +1,29 @@
+(** Waker blocks: per-coroutine readiness bits packed into word-sized
+    blocks (§5.4).
+
+    The scheduler must find runnable coroutines among hundreds of
+    blocked ones in nanoseconds, so readiness is one bit per coroutine
+    and the ready-scan iterates set bits with the isolate-lowest-bit
+    trick (Lemire's tzcnt loop). Our blocks hold 63 bits — the width of
+    a native OCaml int — instead of the paper's 64. *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> int
+(** Allocate a readiness bit; returns its slot id. *)
+
+val set : t -> int -> unit
+(** Mark a slot ready. Idempotent. *)
+
+val clear : t -> int -> unit
+
+val is_set : t -> int -> bool
+
+val drain : t -> (int -> unit) -> unit
+(** Invoke the callback for every set slot in increasing order, clearing
+    each bit. New bits set by the callback are picked up by subsequent
+    drains, not this one. *)
+
+val any_set : t -> bool

@@ -1,0 +1,1 @@
+lib/engine/condvar.ml: Fiber List Sim

@@ -1,0 +1,1 @@
+lib/engine/condvar.mli: Clock Sim

@@ -1,0 +1,1 @@
+lib/engine/fiber.ml: Effect Printexc Printf Sim

@@ -1,0 +1,1 @@
+lib/engine/fiber.mli: Clock Sim

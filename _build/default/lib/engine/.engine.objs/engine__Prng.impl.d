@@ -1,0 +1,1 @@
+lib/engine/prng.ml: Int64

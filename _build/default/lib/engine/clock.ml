@@ -1,0 +1,16 @@
+type t = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let s n = n * 1_000_000_000
+let to_float_us t = float_of_int t /. 1e3
+let to_float_ms t = float_of_int t /. 1e6
+
+let pp fmt t =
+  let ft = float_of_int t in
+  if t < 1_000 then Format.fprintf fmt "%dns" t
+  else if t < 1_000_000 then Format.fprintf fmt "%.2fus" (ft /. 1e3)
+  else if t < 1_000_000_000 then Format.fprintf fmt "%.2fms" (ft /. 1e6)
+  else Format.fprintf fmt "%.3fs" (ft /. 1e9)

@@ -1,0 +1,38 @@
+type t = { sim : Sim.t; mutable queue : (unit -> unit) list }
+
+let create sim = { sim; queue = [] }
+
+let wait t = Fiber.suspend (fun resume -> t.queue <- resume :: t.queue)
+
+let wait_timeout t span =
+  Fiber.suspend (fun resume ->
+      let fired = ref false in
+      let fire outcome =
+        if not !fired then begin
+          fired := true;
+          resume outcome
+        end
+      in
+      t.queue <- (fun () -> fire `Signaled) :: t.queue;
+      Sim.schedule t.sim ~delay:span (fun () -> fire `Timeout))
+
+let broadcast t =
+  let waiters = List.rev t.queue in
+  t.queue <- [];
+  List.iter (fun resume -> Sim.schedule t.sim ~delay:0 resume) waiters
+
+let wait_many sim cvs ~timeout =
+  Fiber.suspend (fun resume ->
+      let fired = ref false in
+      let fire outcome =
+        if not !fired then begin
+          fired := true;
+          resume outcome
+        end
+      in
+      List.iter (fun cv -> cv.queue <- (fun () -> fire `Signaled) :: cv.queue) cvs;
+      match timeout with
+      | Some span -> Sim.schedule sim ~delay:(max 0 span) (fun () -> fire `Timeout)
+      | None -> ())
+
+let waiters t = List.length t.queue

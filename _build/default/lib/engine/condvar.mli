@@ -1,0 +1,30 @@
+(** Broadcast condition variables for fibers.
+
+    Used wherever a simulated component needs to park until "something
+    arrived": a NIC rx ring signals its host, a completion queue signals
+    a poller. As with pthread condition variables, a waiter must re-check
+    its predicate after waking — wakeups are permission to look, not a
+    value. *)
+
+type t
+
+val create : Sim.t -> t
+
+val wait : t -> unit
+(** Park the calling fiber until the next {!broadcast}. *)
+
+val wait_timeout : t -> Clock.t -> [ `Signaled | `Timeout ]
+(** Park until a broadcast or until the span elapses, whichever comes
+    first. *)
+
+val broadcast : t -> unit
+(** Wake every currently-parked waiter (in FIFO order, at the current
+    virtual time). Waiters arriving after this call are not woken. *)
+
+val wait_many : Sim.t -> t list -> timeout:Clock.t option -> [ `Signaled | `Timeout ]
+(** Park until any of the condition variables broadcasts, or until the
+    (absolute-span) timeout elapses. With an empty list and no timeout
+    the caller sleeps forever. *)
+
+val waiters : t -> int
+(** Number of currently-parked fibers (for tests and introspection). *)

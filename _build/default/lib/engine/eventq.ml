@@ -1,0 +1,69 @@
+type entry = { time : Clock.t; seq : int; fn : unit -> unit }
+
+type t = {
+  mutable heap : entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0; seq = 0; fn = (fun () -> ()) }
+
+let create () = { heap = Array.make 256 dummy; len = 0; next_seq = 0 }
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 heap 0 t.len;
+  t.heap <- heap
+
+let add t ~time fn =
+  if t.len = Array.length t.heap then grow t;
+  let e = { time; seq = t.next_seq; fn } in
+  t.next_seq <- t.next_seq + 1;
+  (* Sift up. *)
+  let rec up i =
+    if i = 0 then t.heap.(0) <- e
+    else
+      let parent = (i - 1) / 2 in
+      if earlier e t.heap.(parent) then begin
+        t.heap.(i) <- t.heap.(parent);
+        up parent
+      end
+      else t.heap.(i) <- e
+  in
+  up t.len;
+  t.len <- t.len + 1
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    let last = t.heap.(t.len) in
+    t.heap.(t.len) <- dummy;
+    if t.len > 0 then begin
+      (* Sift [last] down from the root. *)
+      let rec down i =
+        let l = (2 * i) + 1 in
+        if l >= t.len then t.heap.(i) <- last
+        else begin
+          let c =
+            if l + 1 < t.len && earlier t.heap.(l + 1) t.heap.(l) then l + 1
+            else l
+          in
+          if earlier t.heap.(c) last then begin
+            t.heap.(i) <- t.heap.(c);
+            down c
+          end
+          else t.heap.(i) <- last
+        end
+      in
+      down 0
+    end;
+    Some (top.time, top.fn)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
+let is_empty t = t.len = 0
+let size t = t.len

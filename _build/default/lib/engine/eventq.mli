@@ -1,0 +1,20 @@
+(** Pending-event set for the simulator: a binary min-heap keyed on
+    (time, insertion sequence). The sequence number makes simultaneous
+    events fire in insertion order, which keeps runs deterministic. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> time:Clock.t -> (unit -> unit) -> unit
+(** Schedule a callback at an absolute virtual time. *)
+
+val pop : t -> (Clock.t * (unit -> unit)) option
+(** Remove and return the earliest event, or [None] if empty. *)
+
+val peek_time : t -> Clock.t option
+(** Earliest pending time without removing it. *)
+
+val is_empty : t -> bool
+
+val size : t -> int

@@ -1,0 +1,35 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+
+(* SplitMix64 (Steele, Lea, Flood 2014): passes BigCrush, trivially
+   splittable, and fast enough to sit on the simulator fast path. *)
+let next_state s = Int64.add s 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 t =
+  t.state <- next_state t.state;
+  mix t.state
+
+let split t = create (int64 t)
+
+let int t bound =
+  assert (bound > 0);
+  (* Drop two bits so the result fits in OCaml's 63-bit int without
+     touching its sign bit. *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod bound
+
+let float t =
+  let v = Int64.shift_right_logical (int64 t) 11 in
+  Int64.to_float v *. 0x1.0p-53
+
+let bool t p = float t < p
+
+let exponential t mean =
+  let u = float t in
+  -.mean *. log1p (-.u)

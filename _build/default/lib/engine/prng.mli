@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Every source of randomness in the simulator draws from one of these
+    generators so that a run is exactly reproducible from its seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. Used to
+    hand each host/device its own stream without cross-coupling. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from Exp with the given mean. Used for
+    open-loop arrival processes. *)

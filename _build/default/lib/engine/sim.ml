@@ -1,0 +1,70 @@
+type t = {
+  mutable now : Clock.t;
+  q : Eventq.t;
+  prng : Prng.t;
+  mutable stopped : bool;
+  mutable processed : int;
+  mutable tracer : Trace.t option;
+}
+
+let create ?(seed = 1L) () =
+  {
+    now = 0;
+    q = Eventq.create ();
+    prng = Prng.create seed;
+    stopped = false;
+    processed = 0;
+    tracer = None;
+  }
+
+let now t = t.now
+let prng t = t.prng
+
+let at t ~time fn =
+  assert (time >= t.now);
+  Eventq.add t.q ~time fn
+
+let schedule t ~delay fn =
+  assert (delay >= 0);
+  Eventq.add t.q ~time:(t.now + delay) fn
+
+let stop t = t.stopped <- true
+
+let run ?until t =
+  t.stopped <- false;
+  let horizon_reached time =
+    match until with Some u -> time > u | None -> false
+  in
+  let rec loop () =
+    if not t.stopped then
+      match Eventq.peek_time t.q with
+      | None -> ()
+      | Some time when horizon_reached time -> (
+          match until with Some u -> t.now <- u | None -> ())
+      | Some _ -> (
+          match Eventq.pop t.q with
+          | None -> ()
+          | Some (time, fn) ->
+              t.now <- time;
+              t.processed <- t.processed + 1;
+              fn ();
+              loop ())
+  in
+  loop ()
+
+let events_processed t = t.processed
+
+let enable_trace ?capacity t =
+  match t.tracer with
+  | Some tr -> tr
+  | None ->
+      let tr = Trace.create ?capacity () in
+      t.tracer <- Some tr;
+      tr
+
+let trace t = t.tracer
+
+let trace_event t ~category msg =
+  match t.tracer with
+  | Some tr -> Trace.record tr ~now:t.now ~category (msg ())
+  | None -> ()

@@ -1,0 +1,44 @@
+(** The discrete-event simulation driver.
+
+    A [Sim.t] owns the virtual clock and the pending-event set. All
+    hosts, devices and the network fabric of one experiment hang off a
+    single [Sim.t]; running it to completion executes the experiment. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh world at time zero. [seed] (default 1) roots all randomness. *)
+
+val now : t -> Clock.t
+(** Current virtual time. *)
+
+val prng : t -> Prng.t
+(** The root generator. Components should [Prng.split] their own. *)
+
+val schedule : t -> delay:Clock.t -> (unit -> unit) -> unit
+(** Run a callback [delay] ns from now. [delay] must be >= 0. *)
+
+val at : t -> time:Clock.t -> (unit -> unit) -> unit
+(** Run a callback at an absolute time (>= [now]). *)
+
+val stop : t -> unit
+(** Make [run] return after the current event. *)
+
+val run : ?until:Clock.t -> t -> unit
+(** Execute events in time order until the set is empty, [stop] is
+    called, or the next event lies beyond [until] (in which case the
+    clock is advanced to [until] and the event is left pending). *)
+
+val events_processed : t -> int
+(** Total events executed, for sanity checks and reporting. *)
+
+(** {1 Tracing} *)
+
+val enable_trace : ?capacity:int -> t -> Trace.t
+(** Attach (or return the existing) event trace. *)
+
+val trace : t -> Trace.t option
+
+val trace_event : t -> category:string -> (unit -> string) -> unit
+(** Record a trace event; the thunk is forced only when tracing is
+    enabled, so call sites cost one branch otherwise. *)

@@ -1,0 +1,42 @@
+type t = {
+  ring : (Clock.t * string * string) array;
+  capacity : int;
+  mutable next : int;
+  mutable count : int; (* total recorded, including dropped *)
+}
+
+let create ?(capacity = 65_536) () =
+  { ring = Array.make capacity (0, "", ""); capacity; next = 0; count = 0 }
+
+let record t ~now ~category msg =
+  t.ring.(t.next) <- (now, category, msg);
+  t.next <- (t.next + 1) mod t.capacity;
+  t.count <- t.count + 1
+
+let events t =
+  let kept = min t.count t.capacity in
+  List.init kept (fun i ->
+      let idx = (t.next - kept + i + (2 * t.capacity)) mod t.capacity in
+      t.ring.(idx))
+
+let dropped t = max 0 (t.count - t.capacity)
+
+let dump ?categories ?last fmt t =
+  let evs = events t in
+  let evs =
+    match categories with
+    | Some cats -> List.filter (fun (_, c, _) -> List.mem c cats) evs
+    | None -> evs
+  in
+  let evs =
+    match last with
+    | Some n ->
+        let len = List.length evs in
+        List.filteri (fun i _ -> i >= len - n) evs
+    | None -> evs
+  in
+  if dropped t > 0 then Format.fprintf fmt "... %d earlier events dropped ...@." (dropped t);
+  List.iter
+    (fun (time, category, msg) ->
+      Format.fprintf fmt "%12s  %-7s %s@." (Format.asprintf "%a" Clock.pp time) category msg)
+    evs

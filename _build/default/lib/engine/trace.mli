@@ -1,0 +1,24 @@
+(** Structured event tracing for simulations.
+
+    A bounded ring of (virtual time, category, message) records, cheap
+    enough to leave compiled in: producers call {!Sim.trace_event} with
+    a thunk, which is forced only when tracing is enabled. Used by the
+    CLI's [--trace] flag to print a timeline of what the fabric,
+    devices and schedulers did. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring capacity defaults to 65536 events; older events are dropped
+    (and counted). *)
+
+val record : t -> now:Clock.t -> category:string -> string -> unit
+
+val events : t -> (Clock.t * string * string) list
+(** Oldest first. *)
+
+val dropped : t -> int
+
+val dump : ?categories:string list -> ?last:int -> Format.formatter -> t -> unit
+(** Print the timeline, optionally filtered to [categories] and/or the
+    [last] n events. *)

@@ -1,0 +1,1 @@
+lib/harness/common.ml: Apps Baselines Demikernel Engine Metrics Net

@@ -1,0 +1,1 @@
+lib/harness/common.mli: Baselines Demikernel Engine Metrics Net

@@ -1,0 +1,1 @@
+lib/harness/fig_apps.ml: Apps Baselines Common Demikernel Engine List Metrics Net Oskernel

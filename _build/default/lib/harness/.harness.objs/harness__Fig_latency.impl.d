@@ -1,0 +1,1 @@
+lib/harness/fig_latency.ml: Baselines Common Demikernel List Metrics Net Printf String

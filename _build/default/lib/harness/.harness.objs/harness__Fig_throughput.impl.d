@@ -1,0 +1,1 @@
+lib/harness/fig_throughput.ml: Apps Baselines Buffer Bytes Common Demikernel Engine List Metrics Net Pdpix String

@@ -1,0 +1,1 @@
+lib/harness/fig_throughput.mli: Baselines Common Demikernel Net

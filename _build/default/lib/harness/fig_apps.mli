@@ -1,0 +1,35 @@
+(** The application experiments: Figure 10 (UDP relay), Figure 11 (KV
+    store throughput) and Figure 12 (TxnStore YCSB-F latency). *)
+
+type relay_row = { system : string; avg_ns : int; p99_ns : int }
+
+val relay_count : int ref
+(** Default packet count for Figure 10 (settable by the CLI). *)
+
+val fig10 : ?count:int -> unit -> relay_row list
+(** Relay latency seen by a common kernel-path traffic generator against
+    Linux, io_uring and Catnip relay servers. *)
+
+val print_fig10 : relay_row list -> unit
+
+type kv_row = {
+  system : string;
+  op : [ `Get | `Set ];
+  persist : bool;
+  kops : float;
+}
+
+val fig11 : ?ops_per_client:int -> ?clients:int -> unit -> kv_row list
+(** KV-store throughput (closed loop, [clients] concurrent connections),
+    GET and SET, in-memory and with fsync-per-SET persistence, for
+    Linux, Catnap, Catmint and Catnip. *)
+
+val print_fig11 : kv_row list -> unit
+
+type txn_row = { system : string; avg_ns : int; p99_ns : int }
+
+val fig12 : ?txns:int -> ?keys:int -> unit -> txn_row list
+(** YCSB-F transaction latency over 3 replicas: Linux TCP, Linux UDP,
+    custom RDMA, Catnap, Catmint, Catnip TCP. *)
+
+val print_fig12 : txn_row list -> unit

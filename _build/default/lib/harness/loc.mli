@@ -1,0 +1,17 @@
+(** Lines-of-code inventories (Tables 2 and 3) computed over this
+    repository's own sources at run time, so the tables never go stale. *)
+
+type row = { component : string; files : string list; lines : int }
+
+val table2 : unit -> row list
+(** LibOS sizes: the datapath OS components of this reproduction,
+    mirroring the paper's Table 2 (per-libOS LoC). *)
+
+val table3 : unit -> row list
+(** Application sizes, POSIX (kernel-path baseline) vs Demikernel
+    version, mirroring Table 3. *)
+
+val print : title:string -> row list -> unit
+
+val repo_root : unit -> string option
+(** Nearest ancestor directory containing [dune-project]. *)

@@ -1,0 +1,1 @@
+lib/memory/heap.ml: Array Bytes Hashtbl List Sizeclass String

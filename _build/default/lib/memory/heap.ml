@@ -1,0 +1,235 @@
+type mode = Pool_backed | Register_on_demand | Not_dma
+
+exception Double_free
+exception Bad_refcount
+
+let objects_per_superblock = 64
+
+type superblock = {
+  class_index : int;
+  object_size : int; (* payload capacity + headroom *)
+  store : Bytes.t;
+  next : int array; (* LIFO free list links; -1 terminates *)
+  mutable free_head : int;
+  mutable free_count : int;
+  app_bits : bool array;
+  os_bits : bool array;
+  os_overflow : (int, int) Hashtbl.t; (* slot -> extra libOS refs beyond the bit *)
+  mutable rkey : int option;
+  mutable in_partial : bool;
+  heap : t;
+}
+
+and t = {
+  label : string;
+  mode : mode;
+  headroom : int;
+  partial : superblock list array; (* per class, superblocks with free slots *)
+  mutable next_rkey : int;
+  mutable superblock_count : int;
+  mutable registered : int;
+  mutable allocations : int;
+  mutable frees : int;
+  mutable live : int;
+  mutable uaf_protected : int;
+  mutable bytes_copied : int;
+}
+
+type buffer = {
+  sb : superblock;
+  slot : int;
+  mutable off : int;
+  mutable len : int;
+}
+
+type stats = {
+  allocations : int;
+  frees : int;
+  live : int;
+  superblocks : int;
+  registered_superblocks : int;
+  uaf_protected : int;
+  bytes_copied : int;
+}
+
+let create ?(label = "heap") ?(headroom = 128) ~mode () =
+  {
+    label;
+    mode;
+    headroom;
+    partial = Array.make Sizeclass.class_count [];
+    next_rkey = 1;
+    superblock_count = 0;
+    registered = 0;
+    allocations = 0;
+    frees = 0;
+    live = 0;
+    uaf_protected = 0;
+    bytes_copied = 0;
+  }
+
+let mode t = t.mode
+let label t = t.label
+
+let register_superblock sb =
+  match sb.rkey with
+  | Some _ -> ()
+  | None ->
+      let heap = sb.heap in
+      sb.rkey <- Some heap.next_rkey;
+      heap.next_rkey <- heap.next_rkey + 1;
+      heap.registered <- heap.registered + 1
+
+let new_superblock t class_index =
+  let object_size = Sizeclass.size_of_index class_index + t.headroom in
+  let next = Array.init objects_per_superblock (fun i -> i - 1) in
+  (* LIFO list: head is the last slot, each slot links to the previous. *)
+  let sb =
+    {
+      class_index;
+      object_size;
+      store = Bytes.create (object_size * objects_per_superblock);
+      next;
+      free_head = objects_per_superblock - 1;
+      free_count = objects_per_superblock;
+      app_bits = Array.make objects_per_superblock false;
+      os_bits = Array.make objects_per_superblock false;
+      os_overflow = Hashtbl.create 4;
+      rkey = None;
+      in_partial = true;
+      heap = t;
+    }
+  in
+  t.superblock_count <- t.superblock_count + 1;
+  (match t.mode with
+  | Pool_backed -> register_superblock sb
+  | Register_on_demand | Not_dma -> ());
+  sb
+
+let alloc t size =
+  let class_index = Sizeclass.index_of_size size in
+  let sb =
+    match t.partial.(class_index) with
+    | sb :: _ -> sb
+    | [] ->
+        let sb = new_superblock t class_index in
+        t.partial.(class_index) <- [ sb ];
+        sb
+  in
+  let slot = sb.free_head in
+  assert (slot >= 0);
+  sb.free_head <- sb.next.(slot);
+  sb.free_count <- sb.free_count - 1;
+  if sb.free_count = 0 then begin
+    sb.in_partial <- false;
+    t.partial.(class_index) <- List.tl t.partial.(class_index)
+  end;
+  sb.app_bits.(slot) <- true;
+  t.allocations <- t.allocations + 1;
+  t.live <- t.live + 1;
+  { sb; slot; off = t.headroom; len = size }
+
+let data b = b.sb.store
+let base b = b.slot * b.sb.object_size
+let offset b = base b + b.off
+let rel_offset b = b.off
+let length b = b.len
+let capacity b = b.sb.object_size
+
+let set_bounds b ~offset ~length =
+  if offset < 0 || length < 0 || offset + length > b.sb.object_size then
+    invalid_arg "Heap.set_bounds: window outside object";
+  b.off <- offset;
+  b.len <- length
+
+let set_length b length =
+  if length < 0 || b.off + length > b.sb.object_size then
+    invalid_arg "Heap.set_length: length outside object";
+  b.len <- length
+
+let to_string b = Bytes.sub_string b.sb.store (offset b) b.len
+
+let blit_string s b =
+  let n = String.length s in
+  if b.off + n > b.sb.object_size then invalid_arg "Heap.blit_string: too long";
+  Bytes.blit_string s 0 b.sb.store (offset b) n;
+  b.len <- n
+
+let alloc_of_string t s =
+  let b = alloc t (max 1 (String.length s)) in
+  blit_string s b;
+  b
+
+let release sb slot =
+  let t = sb.heap in
+  sb.next.(slot) <- sb.free_head;
+  sb.free_head <- slot;
+  sb.free_count <- sb.free_count + 1;
+  t.frees <- t.frees + 1;
+  t.live <- t.live - 1;
+  if not sb.in_partial then begin
+    sb.in_partial <- true;
+    t.partial.(sb.class_index) <- sb :: t.partial.(sb.class_index)
+  end
+
+let os_ref_count sb slot =
+  (if sb.os_bits.(slot) then 1 else 0)
+  + (match Hashtbl.find_opt sb.os_overflow slot with Some n -> n | None -> 0)
+
+let free b =
+  let sb = b.sb in
+  if not sb.app_bits.(b.slot) then raise Double_free;
+  sb.app_bits.(b.slot) <- false;
+  if os_ref_count sb b.slot = 0 then release sb b.slot
+  else sb.heap.uaf_protected <- sb.heap.uaf_protected + 1
+
+let os_incref b =
+  let sb = b.sb in
+  if (not sb.app_bits.(b.slot)) && os_ref_count sb b.slot = 0 then raise Bad_refcount;
+  if sb.os_bits.(b.slot) then begin
+    let extra = match Hashtbl.find_opt sb.os_overflow b.slot with Some n -> n | None -> 0 in
+    Hashtbl.replace sb.os_overflow b.slot (extra + 1)
+  end
+  else sb.os_bits.(b.slot) <- true
+
+let os_decref b =
+  let sb = b.sb in
+  match Hashtbl.find_opt sb.os_overflow b.slot with
+  | Some n when n > 0 ->
+      if n = 1 then Hashtbl.remove sb.os_overflow b.slot
+      else Hashtbl.replace sb.os_overflow b.slot (n - 1)
+  | Some _ | None ->
+      if not sb.os_bits.(b.slot) then raise Bad_refcount;
+      sb.os_bits.(b.slot) <- false;
+      if not sb.app_bits.(b.slot) then release sb b.slot
+
+let app_live b = b.sb.app_bits.(b.slot)
+let os_refs b = os_ref_count b.sb b.slot
+let is_slot_live b = b.sb.app_bits.(b.slot) || os_ref_count b.sb b.slot > 0
+
+let rkey b =
+  let sb = b.sb in
+  match sb.heap.mode with
+  | Not_dma -> failwith "Heap.rkey: heap is not DMA-capable"
+  | Pool_backed | Register_on_demand -> (
+      register_superblock sb;
+      match sb.rkey with Some k -> k | None -> assert false)
+
+let is_dma_capable b =
+  (match b.sb.heap.mode with Not_dma -> false | Pool_backed | Register_on_demand -> true)
+  && Sizeclass.zero_copy_eligible (Sizeclass.size_of_index b.sb.class_index)
+
+let note_copy (t : t) n = t.bytes_copied <- t.bytes_copied + n
+
+let stats (t : t) : stats =
+  {
+    allocations = t.allocations;
+    frees = t.frees;
+    live = t.live;
+    superblocks = t.superblock_count;
+    registered_superblocks = t.registered;
+    uaf_protected = t.uaf_protected;
+    bytes_copied = t.bytes_copied;
+  }
+
+let live_objects (t : t) = t.live

@@ -1,0 +1,28 @@
+(** Hoard-style size classes.
+
+    Allocation requests are rounded up to a fixed set of power-of-two
+    classes; each superblock serves exactly one class. The paper limits
+    zero-copy machinery (refcount bitmaps, DMA registration) to classes
+    above 1 kB (§5.3) — below that, copying is cheaper than coordination. *)
+
+val min_class : int
+(** Smallest object size (64 B). *)
+
+val max_class : int
+(** Largest object size served from superblocks (1 MB). Larger requests
+    are rejected — µs-scale datapaths don't allocate them per-I/O. *)
+
+val class_count : int
+
+val index_of_size : int -> int
+(** Class index for a request. Raises [Invalid_argument] if the request
+    is zero, negative or beyond [max_class]. *)
+
+val size_of_index : int -> int
+(** Object size of a class. *)
+
+val zero_copy_threshold : int
+(** 1024, per §5.3: zero-copy I/O pays off only above 1 kB. *)
+
+val zero_copy_eligible : int -> bool
+(** Whether a buffer of the given size takes the zero-copy path. *)

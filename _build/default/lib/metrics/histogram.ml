@@ -1,0 +1,90 @@
+(* Log-linear buckets: 32 linear sub-buckets per power of two. For a
+   value v with highest bit h >= 5, the bucket index is
+   32 * (h - 4) + (top 5 bits below the leading bit); values < 32 get
+   their own buckets 0..31. Relative error is bounded by 1/32. *)
+
+let sub_bits = 5
+let sub_count = 1 lsl sub_bits (* 32 *)
+let max_exp = 62
+let bucket_count = sub_count * (max_exp - sub_bits + 2)
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { buckets = Array.make bucket_count 0; count = 0; sum = 0.; min_v = max_int; max_v = 0 }
+
+let highest_bit v =
+  (* Position of the most significant set bit; v > 0. *)
+  let rec go v acc = if v = 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let index_of v =
+  if v < sub_count then v
+  else
+    let h = highest_bit v in
+    let sub = (v lsr (h - sub_bits)) land (sub_count - 1) in
+    (sub_count * (h - sub_bits + 1)) + sub
+
+let upper_bound_of idx =
+  if idx < sub_count then idx
+  else
+    let group = (idx / sub_count) - 1 in
+    let sub = idx mod sub_count in
+    let h = group + sub_bits in
+    (* Highest value mapping to this bucket; plain addition because
+       sub + 1 = 32 carries into the leading bit. *)
+    (1 lsl h) + ((sub + 1) lsl (h - sub_bits)) - 1
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  let idx = index_of v in
+  t.buckets.(idx) <- t.buckets.(idx) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. float_of_int v;
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let min t = if t.count = 0 then 0 else t.min_v
+let max t = t.max_v
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+
+let quantile t q =
+  if t.count = 0 then 0
+  else begin
+    let target = Stdlib.max 1 (int_of_float (ceil (q *. float_of_int t.count))) in
+    let rec scan idx seen =
+      if idx >= bucket_count then t.max_v
+      else
+        let seen = seen + t.buckets.(idx) in
+        if seen >= target then Stdlib.min (upper_bound_of idx) t.max_v
+        else scan (idx + 1) seen
+    in
+    scan 0 0
+  end
+
+let p50 t = quantile t 0.50
+let p99 t = quantile t 0.99
+let p999 t = quantile t 0.999
+
+let merge dst src =
+  Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) src.buckets;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum +. src.sum;
+  if src.count > 0 then begin
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v
+  end
+
+let clear t =
+  Array.fill t.buckets 0 bucket_count 0;
+  t.count <- 0;
+  t.sum <- 0.;
+  t.min_v <- max_int;
+  t.max_v <- 0

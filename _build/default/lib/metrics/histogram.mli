@@ -1,0 +1,33 @@
+(** Latency histograms with HDR-style log-linear buckets.
+
+    Values are non-negative integers (we use virtual nanoseconds).
+    Buckets keep a fixed relative precision (~1/32) across the full
+    range, so tail quantiles are meaningful from ns to seconds without
+    per-sample storage. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Record one sample. Negative samples are clamped to zero. *)
+
+val count : t -> int
+val min : t -> int
+val max : t -> int
+
+val mean : t -> float
+(** Arithmetic mean of recorded samples (0 if empty). *)
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [0,1]: smallest bucket upper bound such
+    that at least [q] of the samples fall at or below it. 0 if empty. *)
+
+val p50 : t -> int
+val p99 : t -> int
+val p999 : t -> int
+
+val merge : t -> t -> unit
+(** [merge dst src] folds [src]'s samples into [dst]. *)
+
+val clear : t -> unit

@@ -1,0 +1,41 @@
+type t = { title : string; columns : string list; mutable rows : string list list }
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  assert (List.length row = List.length t.columns);
+  t.rows <- row :: t.rows
+
+let print t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let total = Array.fold_left ( + ) 0 widths + (2 * (ncols - 1)) in
+  let rule = String.make (max total (String.length t.title)) '-' in
+  let render row =
+    row
+    |> List.mapi (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell)
+    |> String.concat "  "
+    |> print_endline
+  in
+  print_endline "";
+  print_endline t.title;
+  print_endline rule;
+  render t.columns;
+  print_endline rule;
+  List.iter render rows;
+  print_endline rule
+
+let cell_ns v =
+  if v < 1_000 then Printf.sprintf "%dns" v
+  else if v < 1_000_000 then Printf.sprintf "%.2fus" (float_of_int v /. 1e3)
+  else if v < 1_000_000_000 then Printf.sprintf "%.2fms" (float_of_int v /. 1e6)
+  else Printf.sprintf "%.3fs" (float_of_int v /. 1e9)
+
+let cell_f ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let cell_i v = string_of_int v

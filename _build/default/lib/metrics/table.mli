@@ -1,0 +1,19 @@
+(** Fixed-width text tables for experiment output, so every benchmark
+    prints the same shape of rows the paper's figures report. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** Cells are rendered verbatim; the row must match the column count. *)
+
+val print : t -> unit
+(** Render to stdout with a title rule and aligned columns. *)
+
+val cell_ns : int -> string
+(** Render a nanosecond latency with an adaptive unit. *)
+
+val cell_f : ?decimals:int -> float -> string
+
+val cell_i : int -> string

@@ -1,0 +1,1 @@
+lib/net/arp.ml: Addr Eth Wire

@@ -1,0 +1,1 @@
+lib/net/cost.ml: Format

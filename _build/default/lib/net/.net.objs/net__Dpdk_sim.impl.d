@@ -1,0 +1,1 @@
+lib/net/dpdk_sim.ml: Addr Cost Engine Fabric List Queue

@@ -1,0 +1,1 @@
+lib/net/dpdk_sim.mli: Addr Engine Fabric

@@ -1,0 +1,1 @@
+lib/net/fabric.ml: Addr Bytes Char Cost Engine Eth Format Hashtbl List Printf String Wire

@@ -1,0 +1,1 @@
+lib/net/rdma_sim.ml: Addr Bytes Cost Engine Eth Fabric Hashtbl List Queue String Wire

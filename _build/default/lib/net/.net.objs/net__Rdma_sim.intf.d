@@ -1,0 +1,1 @@
+lib/net/rdma_sim.mli: Addr Bytes Engine Fabric

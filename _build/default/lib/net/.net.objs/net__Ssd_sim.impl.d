@@ -1,0 +1,1 @@
+lib/net/ssd_sim.ml: Bytes Cost Engine List Printf Queue String

@@ -1,0 +1,1 @@
+lib/net/ssd_sim.mli: Cost Engine

@@ -1,0 +1,1 @@
+lib/net/tcp_wire.ml: Ipv4 List Wire

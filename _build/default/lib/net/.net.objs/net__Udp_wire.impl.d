@@ -1,0 +1,1 @@
+lib/net/udp_wire.ml: Ipv4 Wire

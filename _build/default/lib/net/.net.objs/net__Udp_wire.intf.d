@@ -1,0 +1,1 @@
+lib/net/udp_wire.mli: Addr Bytes

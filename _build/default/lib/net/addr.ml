@@ -1,0 +1,28 @@
+module Mac = struct
+  type t = int
+
+  let broadcast = 0xFFFF_FFFF_FFFF
+  let of_index i = 0x0200_0000_0000 lor (i + 1)
+  let is_broadcast t = t = broadcast
+
+  let pp fmt t =
+    Format.fprintf fmt "%02x:%02x:%02x:%02x:%02x:%02x" ((t lsr 40) land 0xff)
+      ((t lsr 32) land 0xff) ((t lsr 24) land 0xff) ((t lsr 16) land 0xff)
+      ((t lsr 8) land 0xff) (t land 0xff)
+end
+
+module Ip = struct
+  type t = int
+
+  let of_octets a b c d = (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+  let of_index i = of_octets 10 0 ((i + 1) lsr 8) ((i + 1) land 0xff)
+
+  let pp fmt t =
+    Format.fprintf fmt "%d.%d.%d.%d" ((t lsr 24) land 0xff) ((t lsr 16) land 0xff)
+      ((t lsr 8) land 0xff) (t land 0xff)
+end
+
+type endpoint = { ip : Ip.t; port : int }
+
+let endpoint ip port = { ip; port }
+let pp_endpoint fmt { ip; port } = Format.fprintf fmt "%a:%d" Ip.pp ip port

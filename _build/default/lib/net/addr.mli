@@ -1,0 +1,34 @@
+(** Link- and network-layer addresses.
+
+    MAC addresses and IPv4 addresses are small integers in the
+    simulator; the wire formats still carry them at their real widths
+    (48 and 32 bits) so header layouts match the RFCs. *)
+
+module Mac : sig
+  type t = int
+  (** 48-bit address in the low bits of an int. *)
+
+  val broadcast : t
+  val of_index : int -> t
+  (** Deterministic unicast address for host [i] (locally administered). *)
+
+  val is_broadcast : t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Ip : sig
+  type t = int
+  (** 32-bit IPv4 address. *)
+
+  val of_index : int -> t
+  (** 10.0.0.[i+1] style address for host [i]. *)
+
+  val of_octets : int -> int -> int -> int -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+type endpoint = { ip : Ip.t; port : int }
+(** A transport endpoint (IPv4 address, UDP/TCP port). *)
+
+val endpoint : Ip.t -> int -> endpoint
+val pp_endpoint : Format.formatter -> endpoint -> unit

@@ -1,0 +1,117 @@
+type t = {
+  profile_name : string;
+  switch_ns : int;
+  propagation_ns : int;
+  ns_per_byte : float;
+  nic_hw_ns : int;
+  dpdk_tx_ns : int;
+  dpdk_rx_ns : int;
+  rdma_post_ns : int;
+  rdma_poll_ns : int;
+  rdma_hw_ns : int;
+  ssd_submit_ns : int;
+  ssd_write_ns : int;
+  ssd_read_ns : int;
+  ssd_ns_per_byte : float;
+  syscall_ns : int;
+  kernel_net_ns : int;
+  kernel_wakeup_ns : int;
+  kernel_file_ns : int;
+  copy_ns_per_byte : float;
+  copy_base_ns : int;
+  libos_poll_ns : int;
+  coroutine_switch_ns : int;
+  libos_sched_ns : int;
+  tcp_rx_ns : int;
+  tcp_tx_ns : int;
+  tcp_push_ns : int;
+  udp_rx_ns : int;
+  udp_tx_ns : int;
+  alloc_ns : int;
+  vnet_ns : int;
+}
+
+(* Calibrated so the component sums land on the raw numbers §7.3
+   reports: raw RDMA echo ~3.4us, raw DPDK ~4.8us, kernel UDP ~30us,
+   Catnap ~17us. *)
+let bare_metal =
+  {
+    profile_name = "linux-bare-metal";
+    switch_ns = 450;
+    propagation_ns = 100;
+    ns_per_byte = 0.08 (* 100 Gbps *);
+    nic_hw_ns = 800;
+    dpdk_tx_ns = 100;
+    dpdk_rx_ns = 90;
+    rdma_post_ns = 150;
+    rdma_poll_ns = 140;
+    rdma_hw_ns = 450;
+    ssd_submit_ns = 300;
+    ssd_write_ns = 12_000;
+    ssd_read_ns = 10_000;
+    ssd_ns_per_byte = 0.4 (* ~2.5 GB/s *);
+    syscall_ns = 600;
+    kernel_net_ns = 3_200;
+    kernel_wakeup_ns = 5_200;
+    kernel_file_ns = 30_000;
+    copy_ns_per_byte = 0.05 (* ~20 GB/s *);
+    copy_base_ns = 30;
+    libos_poll_ns = 35;
+    coroutine_switch_ns = 5 (* ~12 cycles *);
+    libos_sched_ns = 45;
+    tcp_rx_ns = 53 (* §6.3 *);
+    tcp_tx_ns = 180;
+    tcp_push_ns = 300;
+    udp_rx_ns = 90;
+    udp_tx_ns = 160;
+    alloc_ns = 20;
+    vnet_ns = 0;
+  }
+
+let windows =
+  {
+    bare_metal with
+    profile_name = "windows-wsl";
+    (* CX-4 56 Gbps + Infiniband switch (200 ns minimum). *)
+    switch_ns = 200;
+    ns_per_byte = 0.143;
+    (* WSL translates POSIX calls; crossings and wakeups are far more
+       expensive than native Linux (§7.3: Catpaw cuts latency 27x). *)
+    syscall_ns = 4_000;
+    kernel_net_ns = 14_000;
+    kernel_wakeup_ns = 22_000;
+    kernel_file_ns = 60_000;
+  }
+
+let azure_vm =
+  {
+    bare_metal with
+    profile_name = "azure-vm";
+    (* DPDK frames traverse the SmartNIC vnet translation layer; RDMA
+       VMs are bare-metal Infiniband so rdma costs stay unchanged. *)
+    vnet_ns = 2_600;
+    (* Virtualized interrupts make the kernel path worse. *)
+    kernel_wakeup_ns = 9_000;
+    kernel_net_ns = 3_800;
+    switch_ns = 450;
+  }
+
+let serialization_ns t n = int_of_float (ceil (float_of_int n *. t.ns_per_byte))
+
+let copy_cost_ns t n = t.copy_base_ns + int_of_float (ceil (float_of_int n *. t.copy_ns_per_byte))
+
+let ssd_op_ns t ~write n =
+  let base = if write then t.ssd_write_ns else t.ssd_read_ns in
+  base + int_of_float (ceil (float_of_int n *. t.ssd_ns_per_byte))
+
+let pp fmt t =
+  Format.fprintf fmt
+    "profile=%s switch=%dns prop=%dns wire=%.3fns/B nic_hw=%dns dpdk_tx=%dns dpdk_rx=%dns \
+     rdma_post=%dns rdma_poll=%dns rdma_hw=%dns ssd_submit=%dns ssd_write=%dns ssd_read=%dns \
+     syscall=%dns knet=%dns kwake=%dns kfile=%dns copy=%.3fns/B+%dns poll=%dns coswitch=%dns \
+     sched=%dns tcp_rx=%dns tcp_tx=%dns+%dns/push udp_rx=%dns udp_tx=%dns alloc=%dns vnet=%dns"
+    t.profile_name t.switch_ns t.propagation_ns t.ns_per_byte t.nic_hw_ns t.dpdk_tx_ns
+    t.dpdk_rx_ns t.rdma_post_ns t.rdma_poll_ns t.rdma_hw_ns t.ssd_submit_ns t.ssd_write_ns
+    t.ssd_read_ns t.syscall_ns t.kernel_net_ns t.kernel_wakeup_ns t.kernel_file_ns
+    t.copy_ns_per_byte t.copy_base_ns t.libos_poll_ns t.coroutine_switch_ns t.libos_sched_ns
+    t.tcp_rx_ns t.tcp_tx_ns t.tcp_push_ns t.udp_rx_ns t.udp_tx_ns t.alloc_ns t.vnet_ns

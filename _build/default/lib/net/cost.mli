@@ -1,0 +1,78 @@
+(** The cost model: every nanosecond the simulator charges comes from
+    this record, so experiments can print exactly what they assumed and
+    ablations can vary one term at a time.
+
+    Host-CPU terms are charged by the software layers (libOSes, the
+    legacy-kernel path) as virtual-time sleeps on the host's fiber;
+    device and wire terms are event latencies inside the device and
+    fabric models. Values are calibrated against the component costs the
+    paper reports (e.g. raw RDMA echo ≈ 3.4 µs RTT, raw DPDK ≈ 4.8 µs,
+    kernel UDP ≈ 30 µs, §7.3). *)
+
+type t = {
+  profile_name : string;
+  (* --- wire and switch --- *)
+  switch_ns : int;  (** per-hop switching latency (Arista: 450 ns). *)
+  propagation_ns : int;  (** cable + PHY, one way. *)
+  ns_per_byte : float;  (** serialization at link rate (100 Gbps = 0.08). *)
+  (* --- DPDK-style NIC --- *)
+  nic_hw_ns : int;  (** NIC hardware pipeline, per packet, each way. *)
+  dpdk_tx_ns : int;  (** CPU cost of rte_tx_burst per packet. *)
+  dpdk_rx_ns : int;  (** CPU cost of an rte_rx_burst poll. *)
+  (* --- RDMA-style NIC --- *)
+  rdma_post_ns : int;  (** CPU cost of posting a work request. *)
+  rdma_poll_ns : int;  (** CPU cost of polling the completion queue. *)
+  rdma_hw_ns : int;
+      (** device-side transport processing (ordering, reliability,
+          congestion control), per message, each way. *)
+  (* --- SPDK-style SSD --- *)
+  ssd_submit_ns : int;  (** CPU cost of queueing an NVMe command. *)
+  ssd_write_ns : int;  (** device latency for a write, base. *)
+  ssd_read_ns : int;  (** device latency for a read, base. *)
+  ssd_ns_per_byte : float;  (** device transfer time. *)
+  (* --- legacy kernel path --- *)
+  syscall_ns : int;  (** one user/kernel crossing, each way. *)
+  kernel_net_ns : int;  (** kernel network stack, per packet, each way. *)
+  kernel_wakeup_ns : int;
+      (** interrupt + scheduler wakeup latency for a blocked reader
+          (epoll/read); polling paths (Catnap) never pay it. *)
+  kernel_file_ns : int;  (** VFS + file system, per write/fsync pair. *)
+  copy_ns_per_byte : float;  (** CPU copy cost (memcpy at ~20 GB/s). *)
+  copy_base_ns : int;  (** fixed cost per copy call. *)
+  (* --- Demikernel datapath --- *)
+  libos_poll_ns : int;  (** fast-path coroutine poll iteration. *)
+  coroutine_switch_ns : int;  (** scheduler context switch (§5.4: ~12 cycles ≈ 5 ns). *)
+  libos_sched_ns : int;  (** waker-block scan + queue bookkeeping per dispatch. *)
+  tcp_rx_ns : int;  (** Catnip software TCP receive processing (§6.3: ≈53 ns). *)
+  tcp_tx_ns : int;  (** Catnip TCP transmit processing, per segment. *)
+  tcp_push_ns : int;  (** fixed per-push TCP cost (socket lookup, qtoken). *)
+  udp_rx_ns : int;
+  udp_tx_ns : int;
+  alloc_ns : int;  (** DMA-heap allocation fast path. *)
+  (* --- virtualization (Azure profile) --- *)
+  vnet_ns : int;  (** SmartNIC vnet translation per packet (0 on bare metal). *)
+}
+
+val bare_metal : t
+(** The Linux testbed of §7.1: CX-5 100 Gbps NICs, Arista switch,
+    Optane SSDs. *)
+
+val windows : t
+(** The Windows/WSL cluster of §7.1: CX-4 56 Gbps, Infiniband switch
+    (200 ns), much slower WSL syscalls. *)
+
+val azure_vm : t
+(** Azure VM profile: DPDK pays SmartNIC vnet translation; RDMA runs
+    bare metal over Infiniband; kernel path pays virtualization too. *)
+
+val serialization_ns : t -> int -> int
+(** Wire serialization time for a frame of [n] bytes. *)
+
+val copy_cost_ns : t -> int -> int
+(** CPU cost of copying [n] bytes. *)
+
+val ssd_op_ns : t -> write:bool -> int -> int
+(** Device latency for an [n]-byte read or write. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line-per-field dump so experiments can record their profile. *)

@@ -1,0 +1,51 @@
+type t = {
+  fabric : Fabric.t;
+  port : Fabric.port;
+  mac : Addr.Mac.t;
+  ip : Addr.Ip.t;
+  rx_ring : string Queue.t;
+  rx_signal : Engine.Condvar.t;
+  rx_dropped : int ref;
+}
+
+let create fabric ~mac ~ip ?(rx_ring_size = 1024) () =
+  let sim = Fabric.sim fabric in
+  let cost = Fabric.cost fabric in
+  let rx_ring = Queue.create () in
+  let rx_signal = Engine.Condvar.create sim in
+  let rx_dropped = ref 0 in
+  let rx frame =
+    (* The NIC hardware pipeline runs before the frame is visible to
+       software; virtualized profiles add vnet translation. *)
+    Engine.Sim.schedule sim ~delay:(cost.Cost.nic_hw_ns + cost.Cost.vnet_ns) (fun () ->
+        if Queue.length rx_ring >= rx_ring_size then incr rx_dropped
+        else begin
+          Queue.add frame rx_ring;
+          Engine.Condvar.broadcast rx_signal
+        end)
+  in
+  let port = Fabric.attach fabric ~mac ~rx in
+  { fabric; port; mac; ip; rx_ring; rx_signal; rx_dropped }
+
+let mac t = t.mac
+let ip t = t.ip
+
+let tx_burst t frames =
+  let cost = Fabric.cost t.fabric in
+  let delay = cost.Cost.nic_hw_ns + cost.Cost.vnet_ns in
+  List.iter
+    (fun frame ->
+      Engine.Sim.schedule (Fabric.sim t.fabric) ~delay (fun () ->
+          Fabric.send t.fabric t.port frame))
+    frames
+
+let rx_burst t ~max =
+  let rec take n acc =
+    if n = 0 || Queue.is_empty t.rx_ring then List.rev acc
+    else take (n - 1) (Queue.pop t.rx_ring :: acc)
+  in
+  take max []
+
+let rx_pending t = Queue.length t.rx_ring
+let rx_signal t = t.rx_signal
+let rx_dropped t = !(t.rx_dropped)

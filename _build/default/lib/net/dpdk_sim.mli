@@ -1,0 +1,36 @@
+(** The DPDK-class kernel-bypass NIC: a raw Ethernet device with
+    user-level tx/rx rings and nothing else — every protocol above L2 is
+    the software stack's problem, exactly the offload split Catnip
+    builds on (§2.1).
+
+    CPU costs of driving the device ([Cost.dpdk_tx_ns], [dpdk_rx_ns])
+    are charged by the calling software; this module charges only the
+    NIC hardware pipeline and, on virtualized profiles, the SmartNIC
+    vnet translation. *)
+
+type t
+
+val create :
+  Fabric.t -> mac:Addr.Mac.t -> ip:Addr.Ip.t -> ?rx_ring_size:int -> unit -> t
+(** Attach a NIC to the fabric. [rx_ring_size] (default 1024) bounds the
+    receive ring; frames arriving at a full ring are dropped, which is
+    how overload shows up at µs scale. *)
+
+val mac : t -> Addr.Mac.t
+val ip : t -> Addr.Ip.t
+
+val tx_burst : t -> string list -> unit
+(** Hand frames to the NIC for transmission (rte_tx_burst). *)
+
+val rx_burst : t -> max:int -> string list
+(** Pull up to [max] frames from the receive ring (rte_rx_burst);
+    empty list when the ring is empty. *)
+
+val rx_pending : t -> int
+
+val rx_signal : t -> Engine.Condvar.t
+(** Broadcast whenever a frame lands in the rx ring. Pollers park here
+    instead of spinning through idle virtual time. *)
+
+val rx_dropped : t -> int
+(** Frames dropped at a full rx ring. *)

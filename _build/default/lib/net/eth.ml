@@ -1,0 +1,19 @@
+type header = { dst : Addr.Mac.t; src : Addr.Mac.t; ethertype : int }
+
+let size = 14
+let ethertype_ipv4 = 0x0800
+let ethertype_arp = 0x0806
+
+let write b off h =
+  Wire.need b off size;
+  Wire.set_u48 b off h.dst;
+  Wire.set_u48 b (off + 6) h.src;
+  Wire.set_u16 b (off + 12) h.ethertype;
+  off + size
+
+let read b off =
+  Wire.need b off size;
+  let dst = Wire.get_u48 b off in
+  let src = Wire.get_u48 b (off + 6) in
+  let ethertype = Wire.get_u16 b (off + 12) in
+  ({ dst; src; ethertype }, off + size)

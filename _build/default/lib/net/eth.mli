@@ -1,0 +1,16 @@
+(** Ethernet II framing. *)
+
+type header = { dst : Addr.Mac.t; src : Addr.Mac.t; ethertype : int }
+
+val size : int
+(** 14 bytes. *)
+
+val ethertype_ipv4 : int
+val ethertype_arp : int
+
+val write : Bytes.t -> int -> header -> int
+(** Serialize at an offset; returns the offset past the header. *)
+
+val read : Bytes.t -> int -> header * int
+(** Parse at an offset; returns the header and the payload offset.
+    Raises {!Wire.Malformed} when truncated. *)

@@ -1,0 +1,105 @@
+type port = {
+  mac : Addr.Mac.t;
+  rx : string -> unit;
+  mutable tx_free : Engine.Clock.t; (* when this port's uplink is next idle *)
+  mutable rx_free : Engine.Clock.t; (* when this port's downlink is next idle *)
+}
+
+type stats = {
+  frames_delivered : int;
+  frames_dropped : int;
+  bytes_carried : int;
+}
+
+type t = {
+  sim : Engine.Sim.t;
+  cost : Cost.t;
+  mutable loss : float;
+  corrupt : float;
+  prng : Engine.Prng.t;
+  mutable ports : port list;
+  by_mac : (Addr.Mac.t, port) Hashtbl.t;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable bytes : int;
+}
+
+let create sim ~cost ?(loss = 0.) ?(corrupt = 0.) () =
+  {
+    sim;
+    cost;
+    loss;
+    corrupt;
+    prng = Engine.Prng.split (Engine.Sim.prng sim);
+    ports = [];
+    by_mac = Hashtbl.create 16;
+    delivered = 0;
+    dropped = 0;
+    bytes = 0;
+  }
+
+let sim t = t.sim
+let cost t = t.cost
+
+let attach t ~mac ~rx =
+  let port = { mac; rx; tx_free = 0; rx_free = 0 } in
+  t.ports <- port :: t.ports;
+  Hashtbl.replace t.by_mac mac port;
+  port
+
+let set_loss t loss = t.loss <- loss
+
+let deliver t frame dst =
+  t.delivered <- t.delivered + 1;
+  t.bytes <- t.bytes + String.length frame;
+  Engine.Sim.trace_event t.sim ~category:"fabric" (fun () ->
+      Format.asprintf "deliver %dB -> %a" (String.length frame) Addr.Mac.pp dst.mac);
+  dst.rx frame
+
+let send t src ?(lossless = false) frame =
+  let now = Engine.Sim.now t.sim in
+  let len = String.length frame in
+  let depart = max now src.tx_free + Cost.serialization_ns t.cost len in
+  src.tx_free <- depart;
+  let at_switch = depart + t.cost.Cost.propagation_ns + t.cost.Cost.switch_ns in
+  (* Store-and-forward: the frame serializes again onto the destination
+     link, queueing behind whatever that link is already carrying —
+     this is where incast contention lives. *)
+  let to_port p =
+    let start = max at_switch p.rx_free in
+    let arrival = start + Cost.serialization_ns t.cost len in
+    p.rx_free <- arrival;
+    arrival - now
+  in
+  if (not lossless) && t.loss > 0. && Engine.Prng.bool t.prng t.loss then begin
+    t.dropped <- t.dropped + 1;
+    Engine.Sim.trace_event t.sim ~category:"fabric" (fun () ->
+        Printf.sprintf "drop %dB (injected loss)" len)
+  end
+  else begin
+    let frame =
+      (* Bit rot in flight: flip one byte past the Ethernet header. *)
+      if (not lossless) && t.corrupt > 0. && Engine.Prng.bool t.prng t.corrupt
+         && String.length frame > Eth.size + 1
+      then begin
+        let b = Bytes.of_string frame in
+        let i = Eth.size + Engine.Prng.int t.prng (Bytes.length b - Eth.size) in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x55));
+        Bytes.unsafe_to_string b
+      end
+      else frame
+    in
+    let dst_mac = Wire.get_u48 (Bytes.unsafe_of_string frame) 0 in
+    if Addr.Mac.is_broadcast dst_mac then
+      List.iter
+        (fun p ->
+          if p != src then
+            Engine.Sim.schedule t.sim ~delay:(to_port p) (fun () -> deliver t frame p))
+        t.ports
+    else
+      match Hashtbl.find_opt t.by_mac dst_mac with
+      | Some p -> Engine.Sim.schedule t.sim ~delay:(to_port p) (fun () -> deliver t frame p)
+      | None -> t.dropped <- t.dropped + 1
+  end
+
+let stats t = { frames_delivered = t.delivered; frames_dropped = t.dropped; bytes_carried = t.bytes }

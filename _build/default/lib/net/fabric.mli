@@ -1,0 +1,41 @@
+(** The datacenter network fabric: every host NIC attaches to one
+    switch. The fabric charges wire serialization (per-port transmit
+    queueing at link rate), propagation and switching latency, and can
+    drop or corrupt frames deterministically for fault-injection tests.
+
+    Frames are the serialized bytes produced by the wire codecs; the
+    destination is taken from the Ethernet header, so the fabric behaves
+    like a learning switch with a full table. *)
+
+type t
+
+type port
+
+type stats = {
+  frames_delivered : int;
+  frames_dropped : int;
+  bytes_carried : int;
+}
+
+val create : Engine.Sim.t -> cost:Cost.t -> ?loss:float -> ?corrupt:float -> unit -> t
+(** [loss] is an i.i.d. frame-drop probability (default 0) applied to
+    lossy traffic only (RDMA traffic rides a lossless class, as PFC
+    provides in the paper's RoCE deployments). [corrupt] flips one
+    random payload byte with the given probability — checksums must
+    turn corruption into loss. *)
+
+val sim : t -> Engine.Sim.t
+val cost : t -> Cost.t
+
+val attach : t -> mac:Addr.Mac.t -> rx:(string -> unit) -> port
+(** Attach a NIC. [rx] fires (as a simulation event) when a frame
+    arrives at this port. *)
+
+val send : t -> port -> ?lossless:bool -> string -> unit
+(** Transmit a frame out of a port. Unicast frames go to the port owning
+    the destination MAC; broadcast frames go to every other port. *)
+
+val set_loss : t -> float -> unit
+(** Change the drop probability mid-run (fault injection). *)
+
+val stats : t -> stats

@@ -1,0 +1,76 @@
+type header = {
+  total_length : int;
+  identification : int;
+  ttl : int;
+  protocol : int;
+  src : Addr.Ip.t;
+  dst : Addr.Ip.t;
+  more_fragments : bool;
+  fragment_offset : int;
+}
+
+let whole ~total_length ~protocol ~src ~dst ~identification =
+  {
+    total_length;
+    identification;
+    ttl = 64;
+    protocol;
+    src;
+    dst;
+    more_fragments = false;
+    fragment_offset = 0;
+  }
+
+let fragment_of ~total_length ~protocol ~src ~dst ~identification ~more_fragments
+    ~fragment_offset =
+  {
+    total_length;
+    identification;
+    ttl = 64;
+    protocol;
+    src;
+    dst;
+    more_fragments;
+    fragment_offset;
+  }
+
+let size = 20
+let protocol_udp = 17
+let protocol_tcp = 6
+
+let write b off h =
+  Wire.need b off size;
+  Wire.set_u8 b off 0x45 (* v4, ihl 5 *);
+  Wire.set_u8 b (off + 1) 0 (* dscp/ecn *);
+  Wire.set_u16 b (off + 2) h.total_length;
+  Wire.set_u16 b (off + 4) h.identification;
+  assert (h.fragment_offset mod 8 = 0);
+  Wire.set_u16 b (off + 6)
+    ((if h.more_fragments then 0x2000 else 0) lor (h.fragment_offset / 8));
+  Wire.set_u8 b (off + 8) h.ttl;
+  Wire.set_u8 b (off + 9) h.protocol;
+  Wire.set_u16 b (off + 10) 0;
+  Wire.set_u32 b (off + 12) h.src;
+  Wire.set_u32 b (off + 16) h.dst;
+  let csum = Wire.checksum b off size in
+  Wire.set_u16 b (off + 10) csum;
+  off + size
+
+let read b off =
+  Wire.need b off size;
+  let vi = Wire.get_u8 b off in
+  if vi <> 0x45 then Wire.fail "ipv4: bad version/ihl";
+  if Wire.checksum b off size <> 0 then Wire.fail "ipv4: bad checksum";
+  let total_length = Wire.get_u16 b (off + 2) in
+  if total_length < size then Wire.fail "ipv4: bad total length";
+  let identification = Wire.get_u16 b (off + 4) in
+  let frag = Wire.get_u16 b (off + 6) in
+  let more_fragments = frag land 0x2000 <> 0 in
+  let fragment_offset = (frag land 0x1fff) * 8 in
+  let ttl = Wire.get_u8 b (off + 8) in
+  if ttl = 0 then Wire.fail "ipv4: ttl expired";
+  let protocol = Wire.get_u8 b (off + 9) in
+  let src = Wire.get_u32 b (off + 12) in
+  let dst = Wire.get_u32 b (off + 16) in
+  ( { total_length; identification; ttl; protocol; src; dst; more_fragments; fragment_offset },
+    off + size )

@@ -1,0 +1,153 @@
+type completion =
+  | Send_done of { wr_id : int }
+  | Recv of { src_mac : Addr.Mac.t; imm : int; payload : string }
+  | Write_done of { wr_id : int; ok : bool }
+
+type t = {
+  fabric : Fabric.t;
+  port : Fabric.port;
+  mac : Addr.Mac.t;
+  ip : Addr.Ip.t;
+  cq : completion Queue.t;
+  cq_signal : Engine.Condvar.t;
+  mutable recv_credits : int;
+  mutable rnr_drops : int;
+  regions : (int, Bytes.t) Hashtbl.t;
+  mutable next_rkey : int;
+}
+
+let max_message_size = 1 lsl 20
+let ethertype_roce = 0x8915
+
+(* Message types on the wire. *)
+let t_send = 0
+let t_write = 1
+let t_write_ack = 2
+
+let complete t c =
+  Queue.add c t.cq;
+  Engine.Condvar.broadcast t.cq_signal
+
+let sim t = Fabric.sim t.fabric
+let hw_ns t = (Fabric.cost t.fabric).Cost.rdma_hw_ns
+
+let frame_of t ~dst ~msgtype body =
+  let b = Bytes.create (Eth.size + 1 + String.length body) in
+  let off = Eth.write b 0 { Eth.dst; src = t.mac; ethertype = ethertype_roce } in
+  Wire.set_u8 b off msgtype;
+  Bytes.blit_string body 0 b (off + 1) (String.length body);
+  Bytes.unsafe_to_string b
+
+let u32_string values tail =
+  let b = Bytes.create ((4 * List.length values) + String.length tail) in
+  List.iteri (fun i v -> Wire.set_u32 b (4 * i) v) values;
+  Bytes.blit_string tail 0 b (4 * List.length values) (String.length tail);
+  Bytes.unsafe_to_string b
+
+let post_send t ~dst ~wr_id ~imm payload =
+  if String.length payload > max_message_size then
+    invalid_arg "Rdma_sim.post_send: message too large";
+  let frame = frame_of t ~dst ~msgtype:t_send (u32_string [ imm ] payload) in
+  (* Device-side transport processing, then the wire; the send
+     completion fires once the message has left the device. *)
+  Engine.Sim.schedule (sim t) ~delay:(hw_ns t) (fun () ->
+      Fabric.send t.fabric t.port ~lossless:true frame;
+      complete t (Send_done { wr_id }))
+
+let post_recv t = t.recv_credits <- t.recv_credits + 1
+let recv_credits t = t.recv_credits
+
+let register_region t bytes =
+  let rkey = t.next_rkey in
+  t.next_rkey <- t.next_rkey + 1;
+  Hashtbl.replace t.regions rkey bytes;
+  rkey
+
+let post_write t ~dst ~wr_id ~rkey ~offset payload =
+  if String.length payload > max_message_size then
+    invalid_arg "Rdma_sim.post_write: message too large";
+  let frame =
+    frame_of t ~dst ~msgtype:t_write (u32_string [ rkey; offset; wr_id ] payload)
+  in
+  Engine.Sim.schedule (sim t) ~delay:(hw_ns t) (fun () ->
+      Fabric.send t.fabric t.port ~lossless:true frame)
+
+let handle_frame t frame =
+  let b = Bytes.unsafe_of_string frame in
+  let eth, off = Eth.read b 0 in
+  let msgtype = Wire.get_u8 b off in
+  let off = off + 1 in
+  if msgtype = t_send then begin
+    let imm = Wire.get_u32 b off in
+    let payload = Bytes.sub_string b (off + 4) (Bytes.length b - off - 4) in
+    if t.recv_credits = 0 then t.rnr_drops <- t.rnr_drops + 1
+    else begin
+      t.recv_credits <- t.recv_credits - 1;
+      complete t (Recv { src_mac = eth.Eth.src; imm; payload })
+    end
+  end
+  else if msgtype = t_write then begin
+    let rkey = Wire.get_u32 b off in
+    let offset = Wire.get_u32 b (off + 4) in
+    let wr_id = Wire.get_u32 b (off + 8) in
+    let payload = Bytes.sub_string b (off + 12) (Bytes.length b - off - 12) in
+    let ok =
+      match Hashtbl.find_opt t.regions rkey with
+      | Some region when offset + String.length payload <= Bytes.length region ->
+          Bytes.blit_string payload 0 region offset (String.length payload);
+          true
+      | Some _ | None -> false
+    in
+    let ack = frame_of t ~dst:eth.Eth.src ~msgtype:t_write_ack
+        (u32_string [ wr_id; (if ok then 1 else 0) ] "")
+    in
+    Fabric.send t.fabric t.port ~lossless:true ack;
+    (* Doorbell for software polling loops that park instead of
+       spinning: memory changed under them. *)
+    Engine.Condvar.broadcast t.cq_signal
+  end
+  else if msgtype = t_write_ack then begin
+    let wr_id = Wire.get_u32 b off in
+    let ok = Wire.get_u32 b (off + 4) = 1 in
+    complete t (Write_done { wr_id; ok })
+  end
+  else ()
+
+let create fabric ~mac ~ip () =
+  let sim = Fabric.sim fabric in
+  let cost = Fabric.cost fabric in
+  let t_ref = ref None in
+  let rx frame =
+    Engine.Sim.schedule sim ~delay:cost.Cost.rdma_hw_ns (fun () ->
+        match !t_ref with Some t -> handle_frame t frame | None -> ())
+  in
+  let port = Fabric.attach fabric ~mac ~rx in
+  let t =
+    {
+      fabric;
+      port;
+      mac;
+      ip;
+      cq = Queue.create ();
+      cq_signal = Engine.Condvar.create sim;
+      recv_credits = 0;
+      rnr_drops = 0;
+      regions = Hashtbl.create 8;
+      next_rkey = 1;
+    }
+  in
+  t_ref := Some t;
+  t
+
+let mac t = t.mac
+let ip t = t.ip
+
+let poll_cq t ~max =
+  let rec take n acc =
+    if n = 0 || Queue.is_empty t.cq then List.rev acc else take (n - 1) (Queue.pop t.cq :: acc)
+  in
+  take max []
+
+let cq_pending t = Queue.length t.cq
+let cq_signal t = t.cq_signal
+let rnr_drops t = t.rnr_drops

@@ -1,0 +1,176 @@
+type options = {
+  mss : int option;
+  window_scale : int option;
+  timestamp : (int * int) option;
+  sack_permitted : bool;
+  sack_blocks : (int * int) list;
+}
+
+let no_options =
+  { mss = None; window_scale = None; timestamp = None; sack_permitted = false; sack_blocks = [] }
+
+type header = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack : int;
+  syn : bool;
+  ack_flag : bool;
+  fin : bool;
+  rst : bool;
+  psh : bool;
+  window : int;
+  options : options;
+}
+
+let options_size o =
+  let raw =
+    (match o.mss with Some _ -> 4 | None -> 0)
+    + (match o.window_scale with Some _ -> 3 | None -> 0)
+    + (match o.timestamp with Some _ -> 10 | None -> 0)
+    + (if o.sack_permitted then 2 else 0)
+    + (match o.sack_blocks with [] -> 0 | blocks -> 2 + (8 * List.length blocks))
+  in
+  (* Pad to a 32-bit boundary with NOPs. *)
+  (raw + 3) land lnot 3
+
+let header_size h = 20 + options_size h.options
+
+let flags_byte h =
+  (if h.fin then 0x01 else 0)
+  lor (if h.syn then 0x02 else 0)
+  lor (if h.rst then 0x04 else 0)
+  lor (if h.psh then 0x08 else 0)
+  lor if h.ack_flag then 0x10 else 0
+
+let write_options b off o =
+  let pos = ref off in
+  (match o.mss with
+  | Some mss ->
+      Wire.set_u8 b !pos 2;
+      Wire.set_u8 b (!pos + 1) 4;
+      Wire.set_u16 b (!pos + 2) mss;
+      pos := !pos + 4
+  | None -> ());
+  (match o.window_scale with
+  | Some shift ->
+      Wire.set_u8 b !pos 3;
+      Wire.set_u8 b (!pos + 1) 3;
+      Wire.set_u8 b (!pos + 2) shift;
+      pos := !pos + 3
+  | None -> ());
+  (match o.timestamp with
+  | Some (tsval, tsecr) ->
+      Wire.set_u8 b !pos 8;
+      Wire.set_u8 b (!pos + 1) 10;
+      Wire.set_u32 b (!pos + 2) tsval;
+      Wire.set_u32 b (!pos + 6) tsecr;
+      pos := !pos + 10
+  | None -> ());
+  if o.sack_permitted then begin
+    Wire.set_u8 b !pos 4;
+    Wire.set_u8 b (!pos + 1) 2;
+    pos := !pos + 2
+  end;
+  (match o.sack_blocks with
+  | [] -> ()
+  | blocks ->
+      Wire.set_u8 b !pos 5;
+      Wire.set_u8 b (!pos + 1) (2 + (8 * List.length blocks));
+      pos := !pos + 2;
+      List.iter
+        (fun (left, right) ->
+          Wire.set_u32 b !pos left;
+          Wire.set_u32 b (!pos + 4) right;
+          pos := !pos + 8)
+        blocks);
+  let target = off + options_size o in
+  while !pos < target do
+    Wire.set_u8 b !pos 1 (* NOP *);
+    incr pos
+  done;
+  !pos
+
+let write b off h ~payload_len ~src_ip ~dst_ip =
+  let hsize = header_size h in
+  (* The 4-bit data-offset field caps TCP headers at 60 bytes; callers
+     must not combine options beyond that (RFC 2018 limits SACK to 3
+     blocks alongside timestamps for exactly this reason). *)
+  if hsize > 60 then invalid_arg "Tcp_wire.write: options exceed the 60-byte header limit";
+  let seg_len = hsize + payload_len in
+  Wire.need b off seg_len;
+  Wire.set_u16 b off h.src_port;
+  Wire.set_u16 b (off + 2) h.dst_port;
+  Wire.set_u32 b (off + 4) h.seq;
+  Wire.set_u32 b (off + 8) h.ack;
+  Wire.set_u8 b (off + 12) ((hsize / 4) lsl 4);
+  Wire.set_u8 b (off + 13) (flags_byte h);
+  Wire.set_u16 b (off + 14) h.window;
+  Wire.set_u16 b (off + 16) 0 (* checksum *);
+  Wire.set_u16 b (off + 18) 0 (* urgent *);
+  let opt_end = write_options b (off + 20) h.options in
+  assert (opt_end = off + hsize);
+  let init = Wire.pseudo_sum ~src:src_ip ~dst:dst_ip ~proto:Ipv4.protocol_tcp ~len:seg_len in
+  let csum = Wire.checksum ~init b off seg_len in
+  Wire.set_u16 b (off + 16) csum;
+  off + hsize
+
+let read_options b off limit =
+  let rec go pos acc =
+    if pos >= limit then acc
+    else
+      match Wire.get_u8 b pos with
+      | 0 (* end of options *) -> acc
+      | 1 (* NOP *) -> go (pos + 1) acc
+      | kind ->
+          if pos + 1 >= limit then Wire.fail "tcp: truncated option";
+          let len = Wire.get_u8 b (pos + 1) in
+          if len < 2 || pos + len > limit then Wire.fail "tcp: bad option length";
+          let acc =
+            match kind with
+            | 2 when len = 4 -> { acc with mss = Some (Wire.get_u16 b (pos + 2)) }
+            | 3 when len = 3 -> { acc with window_scale = Some (Wire.get_u8 b (pos + 2)) }
+            | 4 when len = 2 -> { acc with sack_permitted = true }
+            | 5 when len >= 10 && (len - 2) mod 8 = 0 ->
+                let nblocks = (len - 2) / 8 in
+                let blocks =
+                  List.init nblocks (fun i ->
+                      (Wire.get_u32 b (pos + 2 + (8 * i)), Wire.get_u32 b (pos + 6 + (8 * i))))
+                in
+                { acc with sack_blocks = blocks }
+            | 8 when len = 10 ->
+                { acc with timestamp = Some (Wire.get_u32 b (pos + 2), Wire.get_u32 b (pos + 6)) }
+            | _ -> acc (* unknown options are skipped *)
+          in
+          go (pos + len) acc
+  in
+  go off no_options
+
+let read b off ~seg_len ~src_ip ~dst_ip =
+  if seg_len < 20 then Wire.fail "tcp: segment too short";
+  Wire.need b off seg_len;
+  let init = Wire.pseudo_sum ~src:src_ip ~dst:dst_ip ~proto:Ipv4.protocol_tcp ~len:seg_len in
+  if Wire.checksum ~init b off seg_len <> 0 then Wire.fail "tcp: bad checksum";
+  let src_port = Wire.get_u16 b off in
+  let dst_port = Wire.get_u16 b (off + 2) in
+  let seq = Wire.get_u32 b (off + 4) in
+  let ack = Wire.get_u32 b (off + 8) in
+  let data_off = (Wire.get_u8 b (off + 12) lsr 4) * 4 in
+  if data_off < 20 || data_off > seg_len then Wire.fail "tcp: bad data offset";
+  let flags = Wire.get_u8 b (off + 13) in
+  let window = Wire.get_u16 b (off + 14) in
+  let options = read_options b (off + 20) (off + data_off) in
+  ( {
+      src_port;
+      dst_port;
+      seq;
+      ack;
+      fin = flags land 0x01 <> 0;
+      syn = flags land 0x02 <> 0;
+      rst = flags land 0x04 <> 0;
+      psh = flags land 0x08 <> 0;
+      ack_flag = flags land 0x10 <> 0;
+      window;
+      options;
+    },
+    off + data_off )

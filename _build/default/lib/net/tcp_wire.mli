@@ -1,0 +1,44 @@
+(** TCP segment headers (RFC 793) with the options a µs-scale stack
+    needs: MSS, window scaling, timestamps (RFC 7323) and selective
+    acknowledgments (RFC 2018). Sequence
+    numbers are 32-bit values carried as non-negative ints; modular
+    arithmetic lives in the TCP library's [Seqnum]. *)
+
+type options = {
+  mss : int option;  (** SYN only. *)
+  window_scale : int option;  (** SYN only. *)
+  timestamp : (int * int) option;  (** (TSval, TSecr). *)
+  sack_permitted : bool;  (** SYN only (RFC 2018). *)
+  sack_blocks : (int * int) list;
+      (** selective-ack edges [left, right) — at most 3 with
+          timestamps. *)
+}
+
+val no_options : options
+
+type header = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack : int;
+  syn : bool;
+  ack_flag : bool;
+  fin : bool;
+  rst : bool;
+  psh : bool;
+  window : int;  (** raw 16-bit window field (unscaled). *)
+  options : options;
+}
+
+val header_size : header -> int
+(** 20 bytes plus padded options. *)
+
+val write : Bytes.t -> int -> header -> payload_len:int -> src_ip:Addr.Ip.t -> dst_ip:Addr.Ip.t -> int
+(** Serialize at an offset; the payload must already sit after the
+    header (at [off + header_size h]) for checksumming. Returns the
+    payload offset. *)
+
+val read : Bytes.t -> int -> seg_len:int -> src_ip:Addr.Ip.t -> dst_ip:Addr.Ip.t -> header * int
+(** Parse a segment occupying [seg_len] bytes at [off] (header +
+    payload, from the IP total length); verifies the checksum and
+    returns the header and payload offset. *)

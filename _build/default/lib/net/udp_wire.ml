@@ -1,0 +1,29 @@
+type header = { src_port : int; dst_port : int; length : int }
+
+let size = 8
+
+let write b off h ~src_ip ~dst_ip =
+  Wire.need b off h.length;
+  Wire.set_u16 b off h.src_port;
+  Wire.set_u16 b (off + 2) h.dst_port;
+  Wire.set_u16 b (off + 4) h.length;
+  Wire.set_u16 b (off + 6) 0;
+  let init =
+    Wire.pseudo_sum ~src:src_ip ~dst:dst_ip ~proto:Ipv4.protocol_udp ~len:h.length
+  in
+  let csum = Wire.checksum ~init b off h.length in
+  (* RFC 768: an all-zero checksum means "none"; transmit 0xffff. *)
+  Wire.set_u16 b (off + 6) (if csum = 0 then 0xffff else csum);
+  off + size
+
+let read b off ~src_ip ~dst_ip =
+  Wire.need b off size;
+  let src_port = Wire.get_u16 b off in
+  let dst_port = Wire.get_u16 b (off + 2) in
+  let length = Wire.get_u16 b (off + 4) in
+  if length < size then Wire.fail "udp: bad length";
+  Wire.need b off length;
+  let init = Wire.pseudo_sum ~src:src_ip ~dst:dst_ip ~proto:Ipv4.protocol_udp ~len:length in
+  if Wire.get_u16 b (off + 6) <> 0 && Wire.checksum ~init b off length <> 0 then
+    Wire.fail "udp: bad checksum";
+  ({ src_port; dst_port; length }, off + size)

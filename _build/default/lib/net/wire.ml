@@ -1,0 +1,49 @@
+exception Malformed of string
+
+let fail msg = raise (Malformed msg)
+
+let need b off n =
+  if off < 0 || off + n > Bytes.length b then fail "truncated"
+
+let get_u8 b off = Char.code (Bytes.get b off)
+let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+
+let get_u16 b off = (get_u8 b off lsl 8) lor get_u8 b (off + 1)
+
+let set_u16 b off v =
+  set_u8 b off (v lsr 8);
+  set_u8 b (off + 1) v
+
+let get_u32 b off = (get_u16 b off lsl 16) lor get_u16 b (off + 2)
+
+let set_u32 b off v =
+  set_u16 b off ((v lsr 16) land 0xffff);
+  set_u16 b (off + 2) (v land 0xffff)
+
+let get_u48 b off = (get_u16 b off lsl 32) lor get_u32 b (off + 2)
+
+let set_u48 b off v =
+  set_u16 b off ((v lsr 32) land 0xffff);
+  set_u32 b (off + 2) (v land 0xffff_ffff)
+
+let fold_ones_complement sum =
+  let rec fold s = if s > 0xffff then fold ((s land 0xffff) + (s lsr 16)) else s in
+  fold sum
+
+let checksum ?(init = 0) b off len =
+  let sum = ref init in
+  let last = off + len in
+  let i = ref off in
+  while !i + 1 < last do
+    sum := !sum + get_u16 b !i;
+    i := !i + 2
+  done;
+  if !i < last then sum := !sum + (get_u8 b !i lsl 8);
+  lnot (fold_ones_complement !sum) land 0xffff
+
+let pseudo_sum ~src ~dst ~proto ~len =
+  ((src lsr 16) land 0xffff)
+  + (src land 0xffff)
+  + ((dst lsr 16) land 0xffff)
+  + (dst land 0xffff)
+  + proto + len

@@ -1,0 +1,30 @@
+(** Big-endian byte-level accessors shared by all header codecs, plus
+    the RFC 1071 Internet checksum. *)
+
+exception Malformed of string
+(** Raised by header readers on truncated or inconsistent input. *)
+
+val fail : string -> 'a
+(** Raise {!Malformed}. *)
+
+val get_u8 : Bytes.t -> int -> int
+val set_u8 : Bytes.t -> int -> int -> unit
+val get_u16 : Bytes.t -> int -> int
+val set_u16 : Bytes.t -> int -> int -> unit
+val get_u32 : Bytes.t -> int -> int
+(** 32-bit big-endian value as a non-negative int. *)
+
+val set_u32 : Bytes.t -> int -> int -> unit
+val get_u48 : Bytes.t -> int -> int
+val set_u48 : Bytes.t -> int -> int -> unit
+
+val need : Bytes.t -> int -> int -> unit
+(** [need b off n] checks [n] bytes are available at [off]. *)
+
+val checksum : ?init:int -> Bytes.t -> int -> int -> int
+(** [checksum b off len] is the one's-complement Internet checksum of
+    the range. [init] folds in a pseudo-header sum computed with
+    {!pseudo_sum}. *)
+
+val pseudo_sum : src:int -> dst:int -> proto:int -> len:int -> int
+(** Partial sum of the IPv4 pseudo-header used by UDP and TCP. *)

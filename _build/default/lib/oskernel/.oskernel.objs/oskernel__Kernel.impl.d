@@ -1,0 +1,1 @@
+lib/oskernel/kernel.ml: Engine Hashtbl List Memory Net Printf String Tcp

@@ -1,0 +1,1 @@
+lib/tcp/iface.ml: Bytes Hashtbl List Net Queue String

@@ -1,0 +1,1 @@
+lib/tcp/iface.mli: Bytes Net

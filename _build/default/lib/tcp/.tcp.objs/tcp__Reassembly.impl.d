@@ -1,0 +1,1 @@
+lib/tcp/reassembly.ml: List Seqnum String

@@ -1,0 +1,1 @@
+lib/tcp/stack.ml: Bytes Cc Engine Hashtbl Iface Int64 List Memory Net Queue Reassembly Rto Seqnum String

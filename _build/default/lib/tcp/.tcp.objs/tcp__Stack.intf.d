@@ -1,0 +1,1 @@
+lib/tcp/stack.mli: Cc Engine Iface Memory Net

@@ -1,0 +1,112 @@
+type algorithm = Cubic | Newreno | None_cc
+
+(* Cubic per RFC 8312: W(t) = C*(t-K)^3 + Wmax, with the TCP-friendly
+   region and fast convergence. Windows are tracked in bytes; the cubic
+   polynomial works in units of MSS like the RFC. *)
+type cubic_state = {
+  mutable w_max : float; (* segments *)
+  mutable k : float; (* seconds *)
+  mutable epoch_start : int option; (* ns *)
+  mutable w_est : float; (* TCP-friendly estimate, segments *)
+  mutable acked_in_epoch : float;
+}
+
+type t = {
+  algorithm : algorithm;
+  mss : int;
+  mutable cwnd : int; (* bytes *)
+  mutable ssthresh : int; (* bytes *)
+  cubic : cubic_state;
+}
+
+let initial_window mss = 10 * mss (* RFC 6928 IW10 *)
+
+let create algorithm ~mss ~now:_ =
+  {
+    algorithm;
+    mss;
+    cwnd = initial_window mss;
+    ssthresh = max_int;
+    cubic = { w_max = 0.; k = 0.; epoch_start = None; w_est = 0.; acked_in_epoch = 0. };
+  }
+
+let cwnd t = match t.algorithm with None_cc -> max_int / 2 | Cubic | Newreno -> t.cwnd
+
+let in_slow_start t = t.cwnd < t.ssthresh
+
+let cubic_c = 0.4
+let cubic_beta = 0.7
+
+let cubic_on_ack t ~acked ~now =
+  if in_slow_start t then t.cwnd <- t.cwnd + acked
+  else begin
+    let cs = t.cubic in
+    let mss_f = float_of_int t.mss in
+    (match cs.epoch_start with
+    | Some _ -> ()
+    | None ->
+        cs.epoch_start <- Some now;
+        let w0 = float_of_int t.cwnd /. mss_f in
+        if w0 < cs.w_max then cs.k <- Float.cbrt ((cs.w_max -. w0) /. cubic_c)
+        else begin
+          cs.k <- 0.;
+          cs.w_max <- w0
+        end;
+        cs.w_est <- w0;
+        cs.acked_in_epoch <- 0.);
+    let epoch_start = match cs.epoch_start with Some e -> e | None -> now in
+    let t_sec = float_of_int (now - epoch_start) /. 1e9 in
+    let w_cubic = (cubic_c *. ((t_sec -. cs.k) ** 3.)) +. cs.w_max in
+    (* TCP-friendly region (RFC 8312 §4.2): an AIMD flow would grow
+       about one MSS per RTT, i.e. acked/w per ack. *)
+    cs.acked_in_epoch <- cs.acked_in_epoch +. (float_of_int acked /. mss_f);
+    let w_now = float_of_int t.cwnd /. mss_f in
+    cs.w_est <- cs.w_est +. (float_of_int acked /. mss_f /. w_now);
+    let target = Float.max w_cubic cs.w_est in
+    if target > w_now then begin
+      (* Approach the cubic target gradually: (target - w)/w per ack. *)
+      let increment = (target -. w_now) /. w_now *. float_of_int acked in
+      t.cwnd <- t.cwnd + max 0 (int_of_float increment)
+    end
+  end
+
+let newreno_on_ack t ~acked ~now:_ =
+  if in_slow_start t then t.cwnd <- t.cwnd + acked
+  else
+    (* Congestion avoidance: ~1 MSS per RTT. *)
+    t.cwnd <- t.cwnd + max 1 (t.mss * acked / t.cwnd)
+
+let on_ack t ~acked ~now =
+  match t.algorithm with
+  | None_cc -> ()
+  | Cubic -> cubic_on_ack t ~acked ~now
+  | Newreno -> newreno_on_ack t ~acked ~now
+
+let floor_window t v = max (2 * t.mss) v
+
+let on_fast_retransmit t ~now:_ =
+  match t.algorithm with
+  | None_cc -> ()
+  | Newreno ->
+      t.ssthresh <- floor_window t (t.cwnd / 2);
+      t.cwnd <- t.ssthresh
+  | Cubic ->
+      let cs = t.cubic in
+      let mss_f = float_of_int t.mss in
+      let w = float_of_int t.cwnd /. mss_f in
+      (* Fast convergence (RFC 8312 §4.6). *)
+      if w < cs.w_max then cs.w_max <- w *. (1. +. cubic_beta) /. 2. else cs.w_max <- w;
+      cs.epoch_start <- None;
+      t.ssthresh <- floor_window t (int_of_float (float_of_int t.cwnd *. cubic_beta));
+      t.cwnd <- t.ssthresh
+
+let on_timeout t ~now =
+  match t.algorithm with
+  | None_cc -> ()
+  | Newreno | Cubic ->
+      on_fast_retransmit t ~now;
+      (* RFC 6298 5.5 / RFC 5681: collapse to a minimal window. *)
+      t.cwnd <- t.mss;
+      t.cubic.epoch_start <- None
+
+let name t = match t.algorithm with Cubic -> "cubic" | Newreno -> "newreno" | None_cc -> "none"

@@ -1,0 +1,25 @@
+(** Congestion-control interface shared by {!Cubic} and {!Newreno}.
+
+    The connection drives the controller with ack/loss events; the
+    controller answers one question: how many bytes may be in flight. *)
+
+type algorithm = Cubic | Newreno | None_cc
+
+type t
+
+val create : algorithm -> mss:int -> now:int -> t
+
+val cwnd : t -> int
+(** Current congestion window in bytes. Unbounded for [None_cc]. *)
+
+val on_ack : t -> acked:int -> now:int -> unit
+(** New data acknowledged. *)
+
+val on_fast_retransmit : t -> now:int -> unit
+(** Triple-duplicate-ack loss signal (multiplicative decrease). *)
+
+val on_timeout : t -> now:int -> unit
+(** RTO loss signal (collapse to one segment, re-enter slow start). *)
+
+val in_slow_start : t -> bool
+val name : t -> string

@@ -1,0 +1,234 @@
+type t = {
+  mac : Net.Addr.Mac.t;
+  ip : Net.Addr.Ip.t;
+  clock : unit -> int;
+  tx_frame : string -> unit;
+  mtu : int;
+  arp_table : (Net.Addr.Ip.t, Net.Addr.Mac.t) Hashtbl.t;
+  parked : (Net.Addr.Ip.t, parked_entry) Hashtbl.t;
+  arp_retry_ns : int;
+  mutable ip_id : int;
+  (* Reassembly of fragmented datagrams, keyed by (src, id, proto). *)
+  fragments : (Net.Addr.Ip.t * int * int, frag_entry) Hashtbl.t;
+}
+
+and parked_entry = {
+  waiting : (Net.Addr.Mac.t -> unit) Queue.t;
+  mutable last_request : int;
+}
+
+and frag_entry = {
+  mutable pieces : (int * string) list; (* payload offset, bytes *)
+  mutable total : int option; (* payload length, known from the last fragment *)
+  born : int;
+}
+
+let max_frag_entries = 64
+
+let create ?(arp_retry_ns = 1_000_000) ?(mtu = 1500) ~mac ~ip ~clock ~tx_frame () =
+  {
+    mac;
+    ip;
+    clock;
+    tx_frame;
+    mtu;
+    arp_table = Hashtbl.create 16;
+    parked = Hashtbl.create 4;
+    arp_retry_ns;
+    ip_id = 1;
+    fragments = Hashtbl.create 8;
+  }
+
+let mac t = t.mac
+let ip t = t.ip
+let clock t = t.clock ()
+
+let send_arp t operation ~target_mac ~target_ip ~dst =
+  let b = Bytes.create (Net.Eth.size + Net.Arp.size) in
+  let off = Net.Eth.write b 0 { Net.Eth.dst; src = t.mac; ethertype = Net.Eth.ethertype_arp } in
+  let _ =
+    Net.Arp.write b off
+      { Net.Arp.operation; sender_mac = t.mac; sender_ip = t.ip; target_mac; target_ip }
+  in
+  t.tx_frame (Bytes.unsafe_to_string b)
+
+let emit_frame t ~dst_mac header payload payload_off payload_len =
+  let b = Bytes.create (Net.Eth.size + Net.Ipv4.size + payload_len) in
+  let off =
+    Net.Eth.write b 0 { Net.Eth.dst = dst_mac; src = t.mac; ethertype = Net.Eth.ethertype_ipv4 }
+  in
+  let off = Net.Ipv4.write b off header in
+  Bytes.blit payload payload_off b off payload_len;
+  t.tx_frame (Bytes.unsafe_to_string b)
+
+let emit_ipv4 t ~dst_mac ~dst_ip ~protocol ~len ~write =
+  let identification = t.ip_id land 0xffff in
+  t.ip_id <- t.ip_id + 1;
+  let payload_budget = t.mtu - Net.Ipv4.size in
+  if len <= payload_budget then begin
+    (* Common case: one frame, transport written in place. *)
+    let b = Bytes.create (Net.Eth.size + Net.Ipv4.size + len) in
+    let off =
+      Net.Eth.write b 0
+        { Net.Eth.dst = dst_mac; src = t.mac; ethertype = Net.Eth.ethertype_ipv4 }
+    in
+    let header =
+      Net.Ipv4.whole ~total_length:(Net.Ipv4.size + len) ~protocol ~src:t.ip ~dst:dst_ip
+        ~identification
+    in
+    let off = Net.Ipv4.write b off header in
+    write b off;
+    t.tx_frame (Bytes.unsafe_to_string b)
+  end
+  else begin
+    (* Fragment: build the whole transport payload once, slice it into
+       8-byte-aligned MTU-sized pieces (RFC 791). *)
+    let payload = Bytes.create len in
+    write payload 0;
+    let chunk = payload_budget land lnot 7 in
+    let rec slice off =
+      if off < len then begin
+        let this = min chunk (len - off) in
+        let more = off + this < len in
+        let header =
+          Net.Ipv4.fragment_of ~total_length:(Net.Ipv4.size + this) ~protocol ~src:t.ip
+            ~dst:dst_ip ~identification ~more_fragments:more ~fragment_offset:off
+        in
+        emit_frame t ~dst_mac header payload off this;
+        slice (off + this)
+      end
+    in
+    slice 0
+  end
+
+let output t ~dst_ip ~protocol ~len ~write =
+  match Hashtbl.find_opt t.arp_table dst_ip with
+  | Some dst_mac -> emit_ipv4 t ~dst_mac ~dst_ip ~protocol ~len ~write
+  | None ->
+      let entry =
+        match Hashtbl.find_opt t.parked dst_ip with
+        | Some entry ->
+            (* Retry the request if the last one may have been lost. *)
+            if t.clock () - entry.last_request >= t.arp_retry_ns then begin
+              entry.last_request <- t.clock ();
+              send_arp t Net.Arp.Request ~target_mac:0 ~target_ip:dst_ip
+                ~dst:Net.Addr.Mac.broadcast
+            end;
+            entry
+        | None ->
+            let entry = { waiting = Queue.create (); last_request = t.clock () } in
+            Hashtbl.replace t.parked dst_ip entry;
+            send_arp t Net.Arp.Request ~target_mac:0 ~target_ip:dst_ip
+              ~dst:Net.Addr.Mac.broadcast;
+            entry
+      in
+      Queue.add (fun dst_mac -> emit_ipv4 t ~dst_mac ~dst_ip ~protocol ~len ~write) entry.waiting
+
+let learn t ~sender_ip ~sender_mac =
+  Hashtbl.replace t.arp_table sender_ip sender_mac;
+  match Hashtbl.find_opt t.parked sender_ip with
+  | None -> ()
+  | Some entry ->
+      Hashtbl.remove t.parked sender_ip;
+      Queue.iter (fun send -> send sender_mac) entry.waiting
+
+type input = Packet of Net.Ipv4.header * Bytes.t * int | Consumed
+
+(* Stash a fragment; return the reassembled transport payload once the
+   datagram is complete. Partial datagrams are evicted LRU-ish when the
+   table is full (the sender retries at a higher layer). *)
+let offer_fragment t (header : Net.Ipv4.header) b off =
+  let key = (header.Net.Ipv4.src, header.Net.Ipv4.identification, header.Net.Ipv4.protocol) in
+  let entry =
+    match Hashtbl.find_opt t.fragments key with
+    | Some e -> e
+    | None ->
+        if Hashtbl.length t.fragments >= max_frag_entries then begin
+          (* Evict the oldest partial datagram. *)
+          let oldest =
+            Hashtbl.fold
+              (fun k e acc ->
+                match acc with
+                | Some (_, age) when age <= e.born -> acc
+                | _ -> Some (k, e.born))
+              t.fragments None
+          in
+          match oldest with Some (k, _) -> Hashtbl.remove t.fragments k | None -> ()
+        end;
+        let e = { pieces = []; total = None; born = t.clock () } in
+        Hashtbl.replace t.fragments key e;
+        e
+  in
+  let this_len = header.Net.Ipv4.total_length - Net.Ipv4.size in
+  let piece = Bytes.sub_string b off this_len in
+  entry.pieces <- (header.Net.Ipv4.fragment_offset, piece) :: entry.pieces;
+  if not header.Net.Ipv4.more_fragments then
+    entry.total <- Some (header.Net.Ipv4.fragment_offset + this_len);
+  match entry.total with
+  | None -> None
+  | Some total ->
+      let have =
+        List.fold_left (fun n (_, p) -> n + String.length p) 0 entry.pieces
+      in
+      if have < total then None
+      else begin
+        let out = Bytes.create total in
+        List.iter
+          (fun (o, p) -> Bytes.blit_string p 0 out o (String.length p))
+          entry.pieces;
+        Hashtbl.remove t.fragments key;
+        Some out
+      end
+
+let handle_arp t b off =
+  match Net.Arp.read b off with
+  | exception Net.Wire.Malformed _ -> ()
+  | p, _ -> (
+      match p.Net.Arp.operation with
+      | Net.Arp.Request ->
+          (* Learn the asker opportunistically, answer if it wants us. *)
+          learn t ~sender_ip:p.Net.Arp.sender_ip ~sender_mac:p.Net.Arp.sender_mac;
+          if p.Net.Arp.target_ip = t.ip then
+            send_arp t Net.Arp.Reply ~target_mac:p.Net.Arp.sender_mac
+              ~target_ip:p.Net.Arp.sender_ip ~dst:p.Net.Arp.sender_mac
+      | Net.Arp.Reply -> learn t ~sender_ip:p.Net.Arp.sender_ip ~sender_mac:p.Net.Arp.sender_mac)
+
+let input t frame =
+  let b = Bytes.unsafe_of_string frame in
+  match Net.Eth.read b 0 with
+  | exception Net.Wire.Malformed _ -> Consumed
+  | eth, off ->
+      if eth.Net.Eth.dst <> t.mac && not (Net.Addr.Mac.is_broadcast eth.Net.Eth.dst) then Consumed
+      else if eth.Net.Eth.ethertype = Net.Eth.ethertype_arp then begin
+        handle_arp t b off;
+        Consumed
+      end
+      else if eth.Net.Eth.ethertype = Net.Eth.ethertype_ipv4 then begin
+        match Net.Ipv4.read b off with
+        | exception Net.Wire.Malformed _ -> Consumed
+        | header, transport_off ->
+            if header.Net.Ipv4.dst <> t.ip then Consumed
+            else begin
+              (* Remember the sender's L2 address; saves a reverse ARP. *)
+              Hashtbl.replace t.arp_table header.Net.Ipv4.src eth.Net.Eth.src;
+              if header.Net.Ipv4.more_fragments || header.Net.Ipv4.fragment_offset > 0 then begin
+                match offer_fragment t header b transport_off with
+                | None -> Consumed
+                | Some payload ->
+                    (* Present the reassembled datagram as one packet. *)
+                    let synthetic =
+                      Net.Ipv4.whole
+                        ~total_length:(Net.Ipv4.size + Bytes.length payload)
+                        ~protocol:header.Net.Ipv4.protocol ~src:header.Net.Ipv4.src
+                        ~dst:header.Net.Ipv4.dst
+                        ~identification:header.Net.Ipv4.identification
+                    in
+                    Packet (synthetic, payload, 0)
+              end
+              else Packet (header, b, transport_off)
+            end
+      end
+      else Consumed
+
+let arp_resolved t ip = Hashtbl.mem t.arp_table ip
+let pending_arp t = Hashtbl.fold (fun _ e n -> n + Queue.length e.waiting) t.parked 0

@@ -1,0 +1,47 @@
+(** One host's network interface as seen by the software stacks: frame
+    serialization, IPv4 encapsulation and ARP resolution.
+
+    The interface is parameterized on a [clock] and a [tx_frame] sink,
+    never on the simulator — this is what makes the stack deterministic
+    and trace-drivable (§6.3): feed [input] a recorded frame sequence
+    and every output is a pure function of inputs and clock readings. *)
+
+type t
+
+val create :
+  ?arp_retry_ns:int ->
+  ?mtu:int ->
+  mac:Net.Addr.Mac.t ->
+  ip:Net.Addr.Ip.t ->
+  clock:(unit -> int) ->
+  tx_frame:(string -> unit) ->
+  unit ->
+  t
+(** [arp_retry_ns] (default 1 ms) bounds how often an unanswered ARP
+    request is re-sent while packets are parked. [mtu] (default 1500)
+    triggers RFC 791 fragmentation for larger datagrams; fragments are
+    reassembled on input and presented as one packet. *)
+
+val mac : t -> Net.Addr.Mac.t
+val ip : t -> Net.Addr.Ip.t
+val clock : t -> int
+
+val output :
+  t -> dst_ip:Net.Addr.Ip.t -> protocol:int -> len:int -> write:(Bytes.t -> int -> unit) -> unit
+(** Emit an IPv4 packet carrying [len] bytes of transport data; [write]
+    fills the transport header and payload at the given offset. If the
+    destination MAC is unknown the packet is parked and an ARP request
+    goes out; resolution flushes parked packets in order. *)
+
+type input = Packet of Net.Ipv4.header * Bytes.t * int  (** transport offset *) | Consumed
+
+val input : t -> string -> input
+(** Classify one received frame. ARP is handled internally (requests
+    answered, replies learned); frames not addressed to this interface
+    and malformed frames are dropped as [Consumed]. *)
+
+val arp_resolved : t -> Net.Addr.Ip.t -> bool
+(** Test hook: whether the ARP cache has an entry. *)
+
+val pending_arp : t -> int
+(** Packets parked awaiting ARP resolution. *)

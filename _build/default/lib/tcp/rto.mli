@@ -1,0 +1,27 @@
+(** Retransmission timeout estimation (RFC 6298).
+
+    SRTT/RTTVAR are kept in nanoseconds. The classic 1-second minimum is
+    far too conservative for a µs-scale datacenter stack, so the floor
+    is a parameter (Catnip-style stacks run single-digit-ms floors). *)
+
+type t
+
+val create : ?min_rto:int -> ?max_rto:int -> unit -> t
+(** Defaults: floor 1 ms, ceiling 4 s. Initial RTO is the greater of the
+    floor and 4 ms, pending the first sample. *)
+
+val observe : t -> int -> unit
+(** Feed one RTT sample (ns). Per Karn's algorithm the caller must only
+    feed samples from segments that were not retransmitted. *)
+
+val rto : t -> int
+(** Current timeout, including any backoff. *)
+
+val backoff : t -> unit
+(** Double the timeout after a retransmission (capped at the ceiling). *)
+
+val reset_backoff : t -> unit
+(** New ack progress clears exponential backoff. *)
+
+val srtt : t -> int option
+(** Smoothed RTT, once at least one sample has arrived. *)

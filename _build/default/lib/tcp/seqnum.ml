@@ -1,0 +1,14 @@
+type t = int
+
+let mask = 0xFFFF_FFFF
+
+let add a n = (a + n) land mask
+
+let sub a b =
+  let d = (a - b) land mask in
+  if d >= 0x8000_0000 then d - 0x1_0000_0000 else d
+
+let lt a b = sub a b < 0
+let le a b = sub a b <= 0
+let max a b = if lt a b then b else a
+let in_window s ~base ~size = sub s base >= 0 && sub s base < size

@@ -1,0 +1,20 @@
+(** 32-bit TCP sequence-number arithmetic (RFC 793 §3.3).
+
+    Sequence numbers live on a mod-2^32 circle; comparisons are only
+    meaningful between numbers less than half the space apart, which
+    window clamping guarantees. *)
+
+type t = int
+(** Always in [0, 2^32). *)
+
+val add : t -> int -> t
+val sub : t -> t -> int
+(** [sub a b] is the signed circular distance from [b] to [a]
+    (positive when [a] is ahead of [b]). *)
+
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val max : t -> t -> t
+
+val in_window : t -> base:t -> size:int -> bool
+(** Whether a sequence number falls in [base, base+size). *)

@@ -1,0 +1,951 @@
+type config = {
+  mss : int;
+  rwnd_capacity : int;
+  window_scale : int;
+  use_timestamps : bool;
+  use_sack : bool;
+  cc : Cc.algorithm;
+  min_rto_ns : int;
+  max_rto_ns : int;
+  syn_rto_ns : int;
+  time_wait_ns : int;
+  max_syn_retries : int;
+}
+
+let default_config =
+  {
+    mss = 1460;
+    rwnd_capacity = 256 * 1024;
+    window_scale = 7;
+    use_timestamps = true;
+    use_sack = true;
+    cc = Cc.Cubic;
+    min_rto_ns = 1_000_000;
+    max_rto_ns = 4_000_000_000;
+    syn_rto_ns = 2_000_000;
+    time_wait_ns = 20_000_000;
+    max_syn_retries = 8;
+  }
+
+type tcp_state =
+  | Syn_sent
+  | Syn_received
+  | Established_st
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+  | Closed_st
+
+(* One MSS-or-smaller slice of an application buffer queued for
+   transmission. The stack holds a heap reference per segment (taken in
+   [tcp_send], dropped on cumulative ack) because retransmission re-reads
+   the buffer — this is the UAF-protection contract of §5.3. *)
+type tx_seg = {
+  seg_seq : Seqnum.t;
+  seg_len : int;
+  seg_buf : Memory.Heap.buffer;
+  seg_buf_off : int;
+  seg_push_id : int;
+  mutable first_tx : int; (* -1 until first transmission *)
+  mutable retransmitted : bool;
+  mutable sacked : bool; (* covered by a peer SACK block (RFC 2018) *)
+}
+
+type conn = {
+  stack : t;
+  uid : int;
+  local : Net.Addr.endpoint;
+  remote : Net.Addr.endpoint;
+  mutable state : tcp_state;
+  (* --- send side --- *)
+  iss : Seqnum.t;
+  mutable snd_una : Seqnum.t;
+  mutable snd_nxt : Seqnum.t;
+  mutable snd_wnd : int;
+  mutable peer_wscale : int;
+  mutable peer_mss : int;
+  unacked : tx_seg Queue.t;
+  unsent : tx_seg Queue.t;
+  mutable fin_pending : bool;
+  mutable fin_seq : Seqnum.t option;
+  cc : Cc.t;
+  rto : Rto.t;
+  mutable rto_deadline : int option;
+  mutable dupacks : int;
+  mutable retransmit_count : int;
+  mutable syn_retries : int;
+  (* --- receive side --- *)
+  mutable reasm : Reassembly.t option; (* None until sequence space known *)
+  recv_q : Memory.Heap.buffer Queue.t;
+  mutable recv_q_bytes : int;
+  mutable eof_delivered_to_q : bool;
+  mutable use_ts : bool;
+  mutable use_sack : bool; (* negotiated on both SYNs *)
+  mutable ts_recent : int;
+  mutable ack_pending : bool;
+  mutable time_wait_deadline : int option;
+  (* --- push completion tracking --- *)
+  push_remaining : (int, int) Hashtbl.t;
+  (* --- passive-open bookkeeping --- *)
+  parent_listener : listener option;
+}
+
+and listener = {
+  l_stack : t;
+  l_port : int;
+  backlog : int;
+  accept_q : conn Queue.t;
+  mutable syn_pending : int; (* connections in SYN_RCVD for this listener *)
+}
+
+and udp_socket = {
+  u_port : int;
+  udp_q : (Net.Addr.endpoint * Memory.Heap.buffer) Queue.t;
+}
+
+and event =
+  | Udp_readable of udp_socket
+  | Accept_ready of listener
+  | Established of conn
+  | Readable of conn
+  | Push_completed of conn * int
+  | Closed of conn
+  | Reset of conn
+
+and t = {
+  config : config;
+  iface : Iface.t;
+  heap : Memory.Heap.t;
+  prng : Engine.Prng.t;
+  events : event -> unit;
+  conns : (int * Net.Addr.Ip.t * int, conn) Hashtbl.t; (* local port, remote ip, remote port *)
+  listeners : (int, listener) Hashtbl.t;
+  udp_socks : (int, udp_socket) Hashtbl.t;
+  mutable next_ephemeral : int;
+  mutable next_conn_uid : int;
+  mutable retransmit_total : int;
+}
+
+let create ?(config = default_config) ~iface ~heap ~prng ~events () =
+  {
+    config;
+    iface;
+    heap;
+    prng;
+    events;
+    conns = Hashtbl.create 64;
+    listeners = Hashtbl.create 8;
+    udp_socks = Hashtbl.create 8;
+    next_ephemeral = 49152;
+    next_conn_uid = 1;
+    retransmit_total = 0;
+  }
+
+let now t = Iface.clock t.iface
+let stack_iface t = t.iface
+let live_connections t = Hashtbl.length t.conns
+let total_retransmits t = t.retransmit_total
+
+(* 32-bit millisecond timestamp for the RFC 7323 option. *)
+let ts_now t = now t / 1_000_000 land 0xFFFF_FFFF
+
+(* ---------- UDP ---------- *)
+
+let udp_bind t ~port =
+  if Hashtbl.mem t.udp_socks port then invalid_arg "Stack.udp_bind: port in use";
+  let sock = { u_port = port; udp_q = Queue.create () } in
+  Hashtbl.replace t.udp_socks port sock;
+  sock
+
+let udp_socket_port sock = sock.u_port
+
+let udp_sendto t sock ~dst buf =
+  let payload_len = Memory.Heap.length buf in
+  if payload_len > 65507 then invalid_arg "Stack.udp_sendto: datagram exceeds UDP limit";
+  let len = Net.Udp_wire.size + payload_len in
+  Iface.output t.iface ~dst_ip:dst.Net.Addr.ip ~protocol:Net.Ipv4.protocol_udp ~len
+    ~write:(fun b off ->
+      Bytes.blit (Memory.Heap.data buf) (Memory.Heap.offset buf) b (off + Net.Udp_wire.size)
+        payload_len;
+      ignore
+        (Net.Udp_wire.write b off
+           { Net.Udp_wire.src_port = sock.u_port; dst_port = dst.Net.Addr.port; length = len }
+           ~src_ip:(Iface.ip t.iface) ~dst_ip:dst.Net.Addr.ip))
+
+let udp_recv sock = if Queue.is_empty sock.udp_q then None else Some (Queue.pop sock.udp_q)
+let udp_pending sock = Queue.length sock.udp_q
+
+let handle_udp t header b off =
+  let src_ip = header.Net.Ipv4.src and dst_ip = header.Net.Ipv4.dst in
+  match Net.Udp_wire.read b off ~src_ip ~dst_ip with
+  | exception Net.Wire.Malformed _ -> ()
+  | uh, payload_off -> (
+      match Hashtbl.find_opt t.udp_socks uh.Net.Udp_wire.dst_port with
+      | None -> () (* no ICMP in this datacenter *)
+      | Some sock ->
+          let payload_len = uh.Net.Udp_wire.length - Net.Udp_wire.size in
+          let buf = Memory.Heap.alloc t.heap (max 1 payload_len) in
+          Bytes.blit b payload_off (Memory.Heap.data buf) (Memory.Heap.offset buf) payload_len;
+          Memory.Heap.set_length buf payload_len;
+          Queue.add (Net.Addr.endpoint src_ip uh.Net.Udp_wire.src_port, buf) sock.udp_q;
+          t.events (Udp_readable sock))
+
+(* ---------- TCP segment emission ---------- *)
+
+let my_wscale t = t.config.window_scale
+
+let advertised_window conn =
+  let t = conn.stack in
+  let buffered =
+    conn.recv_q_bytes + match conn.reasm with Some r -> Reassembly.buffered_bytes r | None -> 0
+  in
+  max 0 (t.config.rwnd_capacity - buffered)
+
+let window_field conn ~syn =
+  let w = advertised_window conn in
+  if syn then min w 0xffff else min 0xffff (w lsr my_wscale conn.stack)
+
+let rcv_nxt conn =
+  match conn.reasm with Some r -> Reassembly.rcv_nxt r | None -> 0
+
+let emit_segment conn ~seq ~syn ~ack_flag ~fin ~rst ~payload =
+  let t = conn.stack in
+  let options =
+    if syn then
+      {
+        Net.Tcp_wire.no_options with
+        Net.Tcp_wire.mss = Some t.config.mss;
+        window_scale = Some (my_wscale t);
+        timestamp = (if t.config.use_timestamps then Some (ts_now t, conn.ts_recent) else None);
+        sack_permitted = t.config.use_sack;
+      }
+    else begin
+      let sack_blocks =
+        (* Up to 3 blocks of buffered out-of-order data on acks. *)
+        if conn.use_sack && ack_flag then
+          match conn.reasm with
+          | Some reasm -> (
+              match Reassembly.ranges reasm with
+              | a :: b :: c :: _ -> [ a; b; c ]
+              | blocks -> blocks)
+          | None -> []
+        else []
+      in
+      {
+        Net.Tcp_wire.no_options with
+        Net.Tcp_wire.timestamp =
+          (if conn.use_ts then Some (ts_now t, conn.ts_recent) else None);
+        sack_blocks;
+      }
+    end
+  in
+  let header =
+    {
+      Net.Tcp_wire.src_port = conn.local.Net.Addr.port;
+      dst_port = conn.remote.Net.Addr.port;
+      seq;
+      ack = (if ack_flag then rcv_nxt conn else 0);
+      syn;
+      ack_flag;
+      fin;
+      rst;
+      psh = (match payload with Some _ -> true | None -> false);
+      window = window_field conn ~syn;
+      options;
+    }
+  in
+  let hsize = Net.Tcp_wire.header_size header in
+  let payload_len = match payload with Some (_, _, len) -> len | None -> 0 in
+  Iface.output t.iface ~dst_ip:conn.remote.Net.Addr.ip ~protocol:Net.Ipv4.protocol_tcp
+    ~len:(hsize + payload_len) ~write:(fun b off ->
+      (match payload with
+      | Some (src, src_off, len) -> Bytes.blit src src_off b (off + hsize) len
+      | None -> ());
+      ignore
+        (Net.Tcp_wire.write b off header ~payload_len ~src_ip:(Iface.ip t.iface)
+           ~dst_ip:conn.remote.Net.Addr.ip))
+
+let send_ack conn =
+  conn.ack_pending <- false;
+  emit_segment conn ~seq:conn.snd_nxt ~syn:false ~ack_flag:true ~fin:false ~rst:false
+    ~payload:None
+
+let send_data_segment conn seg =
+  let t = conn.stack in
+  if seg.first_tx < 0 then seg.first_tx <- now t;
+  emit_segment conn ~seq:seg.seg_seq ~syn:false ~ack_flag:true ~fin:false ~rst:false
+    ~payload:
+      (Some
+         ( Memory.Heap.data seg.seg_buf,
+           Memory.Heap.offset seg.seg_buf + seg.seg_buf_off,
+           seg.seg_len ))
+
+(* A raw RST for segments that match no connection (RFC 793 p.36). *)
+let send_rst_for t ~src_ip ~th ~seg_len =
+  let seq, ack, ack_flag =
+    if th.Net.Tcp_wire.ack_flag then (th.Net.Tcp_wire.ack, 0, false)
+    else
+      ( 0,
+        Seqnum.add th.Net.Tcp_wire.seq
+          (seg_len + (if th.Net.Tcp_wire.syn then 1 else 0) + if th.Net.Tcp_wire.fin then 1 else 0),
+        true )
+  in
+  let header =
+    {
+      Net.Tcp_wire.src_port = th.Net.Tcp_wire.dst_port;
+      dst_port = th.Net.Tcp_wire.src_port;
+      seq;
+      ack;
+      syn = false;
+      ack_flag;
+      fin = false;
+      rst = true;
+      psh = false;
+      window = 0;
+      options = Net.Tcp_wire.no_options;
+    }
+  in
+  let hsize = Net.Tcp_wire.header_size header in
+  Iface.output t.iface ~dst_ip:src_ip ~protocol:Net.Ipv4.protocol_tcp ~len:hsize
+    ~write:(fun b off ->
+      ignore
+        (Net.Tcp_wire.write b off header ~payload_len:0 ~src_ip:(Iface.ip t.iface) ~dst_ip:src_ip))
+
+(* ---------- timers ---------- *)
+
+let arm_rto conn =
+  let t = conn.stack in
+  let need =
+    match conn.state with
+    | Syn_sent | Syn_received -> true
+    | Closed_st | Time_wait -> false
+    | Established_st | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack ->
+        (not (Queue.is_empty conn.unacked))
+        || (match conn.fin_seq with
+           | Some fs -> Seqnum.lt conn.snd_una (Seqnum.add fs 1)
+           | None -> false)
+        || ((not (Queue.is_empty conn.unsent)) && conn.snd_wnd = 0)
+  in
+  conn.rto_deadline <- (if need then Some (now t + Rto.rto conn.rto) else None)
+
+(* ---------- transmission ---------- *)
+
+let bytes_in_flight conn = Seqnum.sub conn.snd_nxt conn.snd_una
+
+let note_push_progress conn push_id =
+  match Hashtbl.find_opt conn.push_remaining push_id with
+  | None -> ()
+  | Some n ->
+      if n <= 1 then begin
+        Hashtbl.remove conn.push_remaining push_id;
+        conn.stack.events (Push_completed (conn, push_id))
+      end
+      else Hashtbl.replace conn.push_remaining push_id (n - 1)
+
+let may_send_fin conn =
+  conn.fin_pending && Queue.is_empty conn.unsent
+  && (match conn.state with
+     | Fin_wait_1 | Last_ack | Closing -> true
+     | Syn_sent | Syn_received | Established_st | Fin_wait_2 | Close_wait | Time_wait | Closed_st
+       -> false)
+  && conn.fin_seq = None
+
+let try_transmit conn =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    if not (Queue.is_empty conn.unsent) then begin
+      let seg = Queue.peek conn.unsent in
+      let wnd = min (Cc.cwnd conn.cc) conn.snd_wnd in
+      let in_flight = bytes_in_flight conn in
+      (* Always allow at least one segment when nothing is in flight,
+         so a window smaller than MSS cannot deadlock the connection. *)
+      if in_flight + seg.seg_len <= wnd || (in_flight = 0 && wnd > 0) then begin
+        let seg = Queue.pop conn.unsent in
+        send_data_segment conn seg;
+        conn.snd_nxt <- Seqnum.add conn.snd_nxt seg.seg_len;
+        Queue.add seg conn.unacked;
+        note_push_progress conn seg.seg_push_id;
+        progress := true
+      end
+    end
+  done;
+  if may_send_fin conn then begin
+    conn.fin_seq <- Some conn.snd_nxt;
+    emit_segment conn ~seq:conn.snd_nxt ~syn:false ~ack_flag:true ~fin:true ~rst:false
+      ~payload:None;
+    conn.snd_nxt <- Seqnum.add conn.snd_nxt 1
+  end;
+  arm_rto conn
+
+(* ---------- connection lifecycle ---------- *)
+
+let fresh_iss t = Int64.to_int (Engine.Prng.int64 t.prng) land 0xFFFF_FFFF
+
+let conn_key conn = (conn.local.Net.Addr.port, conn.remote.Net.Addr.ip, conn.remote.Net.Addr.port)
+
+let make_conn t ~local ~remote ~state ~parent_listener =
+  let iss = fresh_iss t in
+  let uid = t.next_conn_uid in
+  t.next_conn_uid <- t.next_conn_uid + 1;
+  {
+    stack = t;
+    uid;
+    local;
+    remote;
+    state;
+    iss;
+    snd_una = iss;
+    snd_nxt = iss;
+    snd_wnd = t.config.mss;
+    peer_wscale = 0;
+    peer_mss = t.config.mss;
+    unacked = Queue.create ();
+    unsent = Queue.create ();
+    fin_pending = false;
+    fin_seq = None;
+    cc = Cc.create t.config.cc ~mss:t.config.mss ~now:(now t);
+    rto = Rto.create ~min_rto:t.config.min_rto_ns ~max_rto:t.config.max_rto_ns ();
+    rto_deadline = None;
+    dupacks = 0;
+    retransmit_count = 0;
+    syn_retries = 0;
+    reasm = None;
+    recv_q = Queue.create ();
+    recv_q_bytes = 0;
+    eof_delivered_to_q = false;
+    use_ts = false;
+    use_sack = false;
+    ts_recent = 0;
+    ack_pending = false;
+    time_wait_deadline = None;
+    push_remaining = Hashtbl.create 4;
+    parent_listener;
+  }
+
+let release_tx_resources conn =
+  let release seg = Memory.Heap.os_decref seg.seg_buf in
+  Queue.iter release conn.unacked;
+  Queue.iter release conn.unsent;
+  Queue.clear conn.unacked;
+  Queue.clear conn.unsent
+
+let destroy conn =
+  release_tx_resources conn;
+  conn.rto_deadline <- None;
+  conn.time_wait_deadline <- None;
+  Hashtbl.remove conn.stack.conns (conn_key conn)
+
+let to_closed conn ~reset =
+  let was_closed = conn.state = Closed_st in
+  (if conn.state = Syn_received then
+     match conn.parent_listener with
+     | Some l -> l.syn_pending <- max 0 (l.syn_pending - 1)
+     | None -> ());
+  conn.state <- Closed_st;
+  destroy conn;
+  if not was_closed then
+    if reset then conn.stack.events (Reset conn) else conn.stack.events (Closed conn)
+
+let enter_time_wait conn =
+  conn.state <- Time_wait;
+  conn.rto_deadline <- None;
+  conn.time_wait_deadline <- Some (now conn.stack + conn.stack.config.time_wait_ns)
+
+let tcp_listen ?(backlog = 128) t ~port =
+  if Hashtbl.mem t.listeners port then invalid_arg "Stack.tcp_listen: port in use";
+  let l =
+    { l_stack = t; l_port = port; backlog; accept_q = Queue.create (); syn_pending = 0 }
+  in
+  Hashtbl.replace t.listeners port l;
+  l
+
+let listener_port l = l.l_port
+let tcp_accept l = if Queue.is_empty l.accept_q then None else Some (Queue.pop l.accept_q)
+let accept_pending l = Queue.length l.accept_q
+
+let send_syn conn =
+  emit_segment conn ~seq:conn.iss ~syn:true ~ack_flag:false ~fin:false ~rst:false ~payload:None
+
+let send_syn_ack conn =
+  emit_segment conn ~seq:conn.iss ~syn:true ~ack_flag:true ~fin:false ~rst:false ~payload:None
+
+let tcp_connect t ~dst =
+  let port = t.next_ephemeral in
+  t.next_ephemeral <- (if t.next_ephemeral >= 65535 then 49152 else t.next_ephemeral + 1);
+  let local = Net.Addr.endpoint (Iface.ip t.iface) port in
+  let conn = make_conn t ~local ~remote:dst ~state:Syn_sent ~parent_listener:None in
+  Hashtbl.replace t.conns (conn_key conn) conn;
+  send_syn conn;
+  conn.snd_nxt <- Seqnum.add conn.iss 1;
+  conn.rto_deadline <- Some (now t + t.config.syn_rto_ns);
+  conn
+
+let tcp_send conn ?(push_id = 0) bufs =
+  (match conn.state with
+  | Established_st | Close_wait -> ()
+  | Syn_sent | Syn_received | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait
+  | Closed_st ->
+      invalid_arg "Stack.tcp_send: connection cannot send");
+  let mss = min conn.stack.config.mss conn.peer_mss in
+  let seg_count buf = (Memory.Heap.length buf + mss - 1) / mss in
+  let nsegs = List.fold_left (fun n buf -> n + seg_count buf) 0 bufs in
+  if nsegs = 0 then invalid_arg "Stack.tcp_send: empty scatter-gather array";
+  (* Register the whole push before queueing anything, so an inline
+     transmission of the first buffer cannot complete the push early. *)
+  Hashtbl.replace conn.push_remaining push_id
+    ((match Hashtbl.find_opt conn.push_remaining push_id with Some n -> n | None -> 0) + nsegs);
+  let queue_buf base_seq buf =
+    let total = Memory.Heap.length buf in
+    let rec split off seq =
+      if off < total then begin
+        let len = min mss (total - off) in
+        Memory.Heap.os_incref buf;
+        Queue.add
+          {
+            seg_seq = seq;
+            seg_len = len;
+            seg_buf = buf;
+            seg_buf_off = off;
+            seg_push_id = push_id;
+            first_tx = -1;
+            retransmitted = false;
+            sacked = false;
+          }
+          conn.unsent;
+        split (off + len) (Seqnum.add seq len)
+      end
+    in
+    split 0 base_seq;
+    Seqnum.add base_seq total
+  in
+  let queued_bytes =
+    Queue.fold (fun n s -> n + s.seg_len) 0 conn.unsent + bytes_in_flight conn
+  in
+  let base_seq = Seqnum.add conn.snd_una queued_bytes in
+  let _ = List.fold_left queue_buf base_seq bufs in
+  try_transmit conn
+
+let tcp_close conn =
+  match conn.state with
+  | Established_st ->
+      conn.state <- Fin_wait_1;
+      conn.fin_pending <- true;
+      try_transmit conn
+  | Close_wait ->
+      conn.state <- Last_ack;
+      conn.fin_pending <- true;
+      try_transmit conn
+  | Syn_sent -> to_closed conn ~reset:false
+  | Syn_received ->
+      conn.state <- Fin_wait_1;
+      conn.fin_pending <- true;
+      try_transmit conn
+  | Fin_wait_1 | Fin_wait_2 | Closing | Last_ack | Time_wait | Closed_st -> ()
+
+let tcp_abort conn =
+  (match conn.state with
+  | Closed_st -> ()
+  | Syn_sent | Syn_received | Established_st | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing
+  | Last_ack | Time_wait ->
+      emit_segment conn ~seq:conn.snd_nxt ~syn:false ~ack_flag:true ~fin:false ~rst:true
+        ~payload:None);
+  to_closed conn ~reset:false
+
+let tcp_recv conn =
+  if not (Queue.is_empty conn.recv_q) then begin
+    let buf = Queue.pop conn.recv_q in
+    conn.recv_q_bytes <- conn.recv_q_bytes - Memory.Heap.length buf;
+    `Data buf
+  end
+  else if conn.eof_delivered_to_q then `Eof
+  else `Nothing
+
+(* ---------- ack processing ---------- *)
+
+let fin_acked conn =
+  match conn.fin_seq with
+  | Some fs -> Seqnum.le (Seqnum.add fs 1) conn.snd_una
+  | None -> false
+
+(* First unacknowledged segment the peer has not selectively acked:
+   with SACK this skips delivered data and retransmits only the holes. *)
+let first_retransmit_candidate conn =
+  Queue.fold
+    (fun acc seg -> match acc with Some _ -> acc | None -> if seg.sacked then None else Some seg)
+    None conn.unacked
+
+let retransmit_head conn =
+  match first_retransmit_candidate conn with
+  | Some seg ->
+      seg.retransmitted <- true;
+      conn.retransmit_count <- conn.retransmit_count + 1;
+      conn.stack.retransmit_total <- conn.stack.retransmit_total + 1;
+      send_data_segment conn seg
+  | None -> (
+      (* Nothing unacked: the timer was armed for a FIN or a zero-window
+         probe. *)
+      match conn.fin_seq with
+      | Some fs when not (fin_acked conn) ->
+          conn.retransmit_count <- conn.retransmit_count + 1;
+          emit_segment conn ~seq:fs ~syn:false ~ack_flag:true ~fin:true ~rst:false ~payload:None
+      | Some _ | None ->
+          if not (Queue.is_empty conn.unsent) then begin
+            (* Zero-window probe: force out the head segment. *)
+            let seg = Queue.pop conn.unsent in
+            send_data_segment conn seg;
+            conn.snd_nxt <- Seqnum.max conn.snd_nxt (Seqnum.add seg.seg_seq seg.seg_len);
+            Queue.add seg conn.unacked;
+            note_push_progress conn seg.seg_push_id
+          end)
+
+let apply_sack_blocks conn blocks =
+  if blocks <> [] && conn.use_sack then
+    Queue.iter
+      (fun seg ->
+        if not seg.sacked then
+          let seg_end = Seqnum.add seg.seg_seq seg.seg_len in
+          if
+            List.exists
+              (fun (left, right) -> Seqnum.le left seg.seg_seq && Seqnum.le seg_end right)
+              blocks
+          then seg.sacked <- true)
+      conn.unacked
+
+let process_ack conn th ~payload_len =
+  let t = conn.stack in
+  let ack = th.Net.Tcp_wire.ack in
+  apply_sack_blocks conn th.Net.Tcp_wire.options.Net.Tcp_wire.sack_blocks;
+  (* Update the peer's advertised window (scaled outside of SYNs). *)
+  conn.snd_wnd <- th.Net.Tcp_wire.window lsl conn.peer_wscale;
+  if Seqnum.lt conn.snd_una ack && Seqnum.le ack conn.snd_nxt then begin
+    let acked_bytes = Seqnum.sub ack conn.snd_una in
+    conn.snd_una <- ack;
+    conn.dupacks <- 0;
+    Rto.reset_backoff conn.rto;
+    (* Retire fully-acked segments, dropping the stack's buffer refs. *)
+    let rtt_sample = ref None in
+    let rec retire () =
+      match Queue.peek_opt conn.unacked with
+      | Some seg when Seqnum.le (Seqnum.add seg.seg_seq seg.seg_len) ack ->
+          ignore (Queue.pop conn.unacked);
+          if (not seg.retransmitted) && seg.first_tx >= 0 then
+            rtt_sample := Some (now t - seg.first_tx);
+          Memory.Heap.os_decref seg.seg_buf;
+          retire ()
+      | Some _ | None -> ()
+    in
+    retire ();
+    (match !rtt_sample with Some s -> Rto.observe conn.rto s | None -> ());
+    Cc.on_ack conn.cc ~acked:acked_bytes ~now:(now t);
+    (* FIN progress. *)
+    if fin_acked conn then begin
+      match conn.state with
+      | Fin_wait_1 -> conn.state <- Fin_wait_2
+      | Closing -> enter_time_wait conn
+      | Last_ack -> to_closed conn ~reset:false
+      | Syn_sent | Syn_received | Established_st | Fin_wait_2 | Close_wait | Time_wait
+      | Closed_st -> ()
+    end;
+    if conn.state <> Closed_st then try_transmit conn
+  end
+  else if Seqnum.le ack conn.snd_una then begin
+    (* Duplicate ack (RFC 5681 §2): same ack, outstanding data, and the
+       segment carries no payload — data segments of the reverse stream
+       must not count, or bidirectional traffic fakes losses. *)
+    if
+      ack = conn.snd_una
+      && (not (Queue.is_empty conn.unacked))
+      && th.Net.Tcp_wire.syn = false
+      && th.Net.Tcp_wire.fin = false
+      && payload_len = 0
+    then begin
+      conn.dupacks <- conn.dupacks + 1;
+      if conn.dupacks = 3 then begin
+        Cc.on_fast_retransmit conn.cc ~now:(now t);
+        (* With SACK, every unsacked segment below the highest selective
+           ack is presumed lost (RFC 6675): repair all the holes now
+           instead of one per round trip. *)
+        let sack_high =
+          Queue.fold
+            (fun acc seg ->
+              if seg.sacked then Seqnum.max acc (Seqnum.add seg.seg_seq seg.seg_len) else acc)
+            conn.snd_una conn.unacked
+        in
+        if conn.use_sack && Seqnum.lt conn.snd_una sack_high then
+          Queue.iter
+            (fun seg ->
+              if (not seg.sacked) && Seqnum.lt seg.seg_seq sack_high then begin
+                seg.retransmitted <- true;
+                conn.retransmit_count <- conn.retransmit_count + 1;
+                conn.stack.retransmit_total <- conn.stack.retransmit_total + 1;
+                send_data_segment conn seg
+              end)
+            conn.unacked
+        else retransmit_head conn;
+        arm_rto conn
+      end
+    end
+  end
+
+(* ---------- receive path ---------- *)
+
+let deliver_ready conn =
+  match conn.reasm with
+  | None -> ()
+  | Some reasm ->
+      let delivered = ref false in
+      let rec drain () =
+        match Reassembly.pop_ready reasm with
+        | Some chunk ->
+            let buf = Memory.Heap.alloc conn.stack.heap (String.length chunk) in
+            Memory.Heap.blit_string chunk buf;
+            Queue.add buf conn.recv_q;
+            conn.recv_q_bytes <- conn.recv_q_bytes + String.length chunk;
+            delivered := true;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      if !delivered then conn.stack.events (Readable conn)
+
+let establish conn ~irs ~options =
+  let t = conn.stack in
+  conn.reasm <-
+    Some (Reassembly.create ~rcv_nxt:(Seqnum.add irs 1) ~capacity:t.config.rwnd_capacity);
+  (match options.Net.Tcp_wire.mss with Some m -> conn.peer_mss <- m | None -> ());
+  (match options.Net.Tcp_wire.window_scale with
+  | Some s -> conn.peer_wscale <- min s 14
+  | None -> conn.peer_wscale <- 0);
+  (match options.Net.Tcp_wire.timestamp with
+  | Some (tsval, _) when t.config.use_timestamps ->
+      conn.use_ts <- true;
+      conn.ts_recent <- tsval
+  | Some _ | None -> conn.use_ts <- false);
+  conn.use_sack <- t.config.use_sack && options.Net.Tcp_wire.sack_permitted
+
+let process_payload conn th payload_str seg_len =
+  (match (conn.use_ts, th.Net.Tcp_wire.options.Net.Tcp_wire.timestamp) with
+  | true, Some (tsval, _) -> conn.ts_recent <- tsval
+  | _, _ -> ());
+  match conn.reasm with
+  | None -> ()
+  | Some reasm ->
+      let seq = th.Net.Tcp_wire.seq in
+      let had_payload = String.length payload_str > 0 in
+      let expected = Reassembly.rcv_nxt reasm in
+      if had_payload then begin
+        Reassembly.insert reasm ~seq payload_str;
+        deliver_ready conn
+      end;
+      let advanced = Seqnum.lt expected (Reassembly.rcv_nxt reasm) in
+      (* FIN consumes one sequence number after the payload. *)
+      if th.Net.Tcp_wire.fin then begin
+        let fin_seq = Seqnum.add seq (String.length payload_str) in
+        if fin_seq = Reassembly.rcv_nxt reasm && not conn.eof_delivered_to_q then begin
+          (* All data before the FIN has been delivered. *)
+          conn.reasm <-
+            Some
+              (Reassembly.create
+                 ~rcv_nxt:(Seqnum.add fin_seq 1)
+                 ~capacity:conn.stack.config.rwnd_capacity);
+          conn.eof_delivered_to_q <- true;
+          (match conn.state with
+          | Established_st -> conn.state <- Close_wait
+          | Fin_wait_1 -> if fin_acked conn then enter_time_wait conn else conn.state <- Closing
+          | Fin_wait_2 -> enter_time_wait conn
+          | Syn_sent | Syn_received | Close_wait | Closing | Last_ack | Time_wait | Closed_st ->
+              ());
+          conn.stack.events (Readable conn);
+          send_ack conn
+        end
+        else send_ack conn
+      end
+      else if had_payload then begin
+        if advanced then conn.ack_pending <- true
+          (* In-order data: cumulative ack at the end of the poll burst. *)
+        else send_ack conn (* duplicate or out-of-order: dup-ack now *)
+      end
+      else if seg_len > 0 && not (Seqnum.in_window seq ~base:(Reassembly.rcv_nxt reasm) ~size:(max 1 (advertised_window conn))) then
+        send_ack conn
+
+let handle_existing conn th payload_str seg_len =
+  let t = conn.stack in
+  if th.Net.Tcp_wire.rst then begin
+    match conn.state with
+    | Syn_sent | Syn_received | Established_st | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing
+    | Last_ack ->
+        to_closed conn ~reset:true
+    | Time_wait -> to_closed conn ~reset:false
+    | Closed_st -> ()
+  end
+  else
+    match conn.state with
+    | Syn_sent ->
+        if th.Net.Tcp_wire.syn && th.Net.Tcp_wire.ack_flag then begin
+          if th.Net.Tcp_wire.ack = Seqnum.add conn.iss 1 then begin
+            conn.snd_una <- th.Net.Tcp_wire.ack;
+            establish conn ~irs:th.Net.Tcp_wire.seq ~options:th.Net.Tcp_wire.options;
+            conn.snd_wnd <- th.Net.Tcp_wire.window (* SYN windows are unscaled *);
+            conn.state <- Established_st;
+            conn.rto_deadline <- None;
+            send_ack conn;
+            t.events (Established conn)
+          end
+          else send_rst_for t ~src_ip:conn.remote.Net.Addr.ip ~th ~seg_len
+        end
+    | Syn_received ->
+        if th.Net.Tcp_wire.ack_flag && th.Net.Tcp_wire.ack = Seqnum.add conn.iss 1 then begin
+          conn.snd_una <- th.Net.Tcp_wire.ack;
+          conn.snd_wnd <- th.Net.Tcp_wire.window lsl conn.peer_wscale;
+          conn.state <- Established_st;
+          conn.rto_deadline <- None;
+          (match conn.parent_listener with
+          | Some l ->
+              l.syn_pending <- max 0 (l.syn_pending - 1);
+              Queue.add conn l.accept_q;
+              t.events (Accept_ready l)
+          | None -> ());
+          (* The handshake ACK may carry data. *)
+          process_payload conn th payload_str seg_len
+        end
+    | Established_st | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack ->
+        (* A retransmitted SYN/SYN-ACK means our handshake ACK was lost:
+           re-ack so the peer can leave SYN_RCVD (RFC 793 p.69). *)
+        if th.Net.Tcp_wire.syn then send_ack conn;
+        if th.Net.Tcp_wire.ack_flag then
+          process_ack conn th ~payload_len:(String.length payload_str);
+        if conn.state <> Closed_st then process_payload conn th payload_str seg_len
+    | Time_wait ->
+        (* A retransmitted FIN: re-ack and restart the 2MSL clock. *)
+        if th.Net.Tcp_wire.fin then begin
+          send_ack conn;
+          conn.time_wait_deadline <- Some (now t + t.config.time_wait_ns)
+        end
+    | Closed_st -> ()
+
+let handle_syn_for_listener t l th ~src_ip =
+  if l.syn_pending + Queue.length l.accept_q >= l.backlog then
+    (* Backlog full: drop the SYN; the client retries (RFC 793 allows
+       silently discarding). *)
+    ()
+  else begin
+  l.syn_pending <- l.syn_pending + 1;
+  let local = Net.Addr.endpoint (Iface.ip t.iface) l.l_port in
+  let remote = Net.Addr.endpoint src_ip th.Net.Tcp_wire.src_port in
+  let conn = make_conn t ~local ~remote ~state:Syn_received ~parent_listener:(Some l) in
+  establish conn ~irs:th.Net.Tcp_wire.seq ~options:th.Net.Tcp_wire.options;
+  conn.snd_wnd <- th.Net.Tcp_wire.window;
+  Hashtbl.replace t.conns (conn_key conn) conn;
+  send_syn_ack conn;
+  conn.snd_nxt <- Seqnum.add conn.iss 1;
+  conn.rto_deadline <- Some (now t + t.config.syn_rto_ns)
+  end
+
+let handle_tcp t header b off =
+  let src_ip = header.Net.Ipv4.src in
+  let seg_total = header.Net.Ipv4.total_length - Net.Ipv4.size in
+  match
+    Net.Tcp_wire.read b off ~seg_len:seg_total ~src_ip ~dst_ip:header.Net.Ipv4.dst
+  with
+  | exception Net.Wire.Malformed _ -> ()
+  | th, payload_off ->
+      let payload_len = seg_total - (payload_off - off) in
+      let payload_str = Bytes.sub_string b payload_off payload_len in
+      let key = (th.Net.Tcp_wire.dst_port, src_ip, th.Net.Tcp_wire.src_port) in
+      (match Hashtbl.find_opt t.conns key with
+      | Some conn -> handle_existing conn th payload_str payload_len
+      | None -> (
+          match Hashtbl.find_opt t.listeners th.Net.Tcp_wire.dst_port with
+          | Some l when th.Net.Tcp_wire.syn && not th.Net.Tcp_wire.ack_flag ->
+              handle_syn_for_listener t l th ~src_ip
+          | Some _ | None ->
+              if not th.Net.Tcp_wire.rst then send_rst_for t ~src_ip ~th ~seg_len:payload_len))
+
+(* ---------- input and timers ---------- *)
+
+let flush_acks t =
+  Hashtbl.iter (fun _ conn -> if conn.ack_pending then send_ack conn) t.conns
+
+let input t frame =
+  match Iface.input t.iface frame with
+  | Iface.Consumed -> ()
+  | Iface.Packet (header, b, off) ->
+      if header.Net.Ipv4.protocol = Net.Ipv4.protocol_udp then handle_udp t header b off
+      else if header.Net.Ipv4.protocol = Net.Ipv4.protocol_tcp then handle_tcp t header b off
+
+let conn_deadline conn =
+  match (conn.rto_deadline, conn.time_wait_deadline) with
+  | Some a, Some b -> Some (min a b)
+  | (Some _ as d), None | None, (Some _ as d) -> d
+  | None, None -> None
+
+let next_timer t =
+  Hashtbl.fold
+    (fun _ conn acc ->
+      match (conn_deadline conn, acc) with
+      | Some d, Some a -> Some (min d a)
+      | (Some _ as d), None -> d
+      | None, acc -> acc)
+    t.conns None
+
+let handshake_timeout conn =
+  let t = conn.stack in
+  conn.syn_retries <- conn.syn_retries + 1;
+  if conn.syn_retries > t.config.max_syn_retries then to_closed conn ~reset:true
+  else begin
+    (match conn.state with
+    | Syn_sent -> send_syn conn
+    | Syn_received -> send_syn_ack conn
+    | Established_st | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack | Time_wait
+    | Closed_st -> ());
+    conn.rto_deadline <- Some (now t + (t.config.syn_rto_ns lsl min conn.syn_retries 10))
+  end
+
+let rto_fire conn =
+  let t = conn.stack in
+  match conn.state with
+  | Syn_sent | Syn_received -> handshake_timeout conn
+  | Established_st | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack ->
+      Cc.on_timeout conn.cc ~now:(now t);
+      Rto.backoff conn.rto;
+      retransmit_head conn;
+      arm_rto conn
+  | Time_wait | Closed_st -> ()
+
+let on_timer t =
+  flush_acks t;
+  let current = now t in
+  let expired =
+    Hashtbl.fold
+      (fun _ conn acc ->
+        match conn_deadline conn with Some d when d <= current -> conn :: acc | _ -> acc)
+      t.conns []
+  in
+  List.iter
+    (fun conn ->
+      match conn.time_wait_deadline with
+      | Some d when d <= current -> to_closed conn ~reset:false
+      | _ ->
+          (match conn.rto_deadline with
+          | Some d when d <= current ->
+              conn.rto_deadline <- None;
+              rto_fire conn
+          | _ -> ()))
+    expired
+
+(* ---------- introspection ---------- *)
+
+let conn_id conn = conn.uid
+let conn_state conn = conn.state
+let conn_local conn = conn.local
+let conn_remote conn = conn.remote
+let conn_cwnd conn = Cc.cwnd conn.cc
+let conn_srtt conn = Rto.srtt conn.rto
+let conn_bytes_in_flight = bytes_in_flight
+let conn_retransmits conn = conn.retransmit_count
+let conn_recv_queue_bytes conn = conn.recv_q_bytes
+let conn_at_eof conn = conn.eof_delivered_to_q && Queue.is_empty conn.recv_q

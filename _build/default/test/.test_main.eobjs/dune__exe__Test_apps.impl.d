@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array Char Demikernel Engine Fun Gen List Metrics Net Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Float Harness List Metrics Net Printf

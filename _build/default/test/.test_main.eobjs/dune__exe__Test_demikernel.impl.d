@@ -1,0 +1,1 @@
+test/test_demikernel.ml: Alcotest Apps Demikernel Engine Lazy List Memory Metrics Net Oskernel Printf QCheck QCheck_alcotest

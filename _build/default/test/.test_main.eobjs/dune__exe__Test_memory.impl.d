@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Gen List Memory QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_more.ml: Alcotest Apps Array Buffer Bytes Char Demikernel Engine Gen Harness Lazy List Memory Metrics Net Printf QCheck QCheck_alcotest String Tcp

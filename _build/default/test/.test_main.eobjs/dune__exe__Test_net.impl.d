@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bytes Engine Gen List Net QCheck QCheck_alcotest String

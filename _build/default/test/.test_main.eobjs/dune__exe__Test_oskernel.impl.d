@@ -1,0 +1,1 @@
+test/test_oskernel.ml: Alcotest Baselines Engine List Memory Net Oskernel Printf String

@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Apps Bytes Demikernel Engine List Net Printf String

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Array Buffer Char Engine Fun Gen Int64 Lazy List Memory Net Printf QCheck QCheck_alcotest String Tcp

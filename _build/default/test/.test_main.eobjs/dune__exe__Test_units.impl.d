@@ -1,0 +1,1 @@
+test/test_units.ml: Alcotest Apps Baselines Bytes Demikernel Engine Format Memory Metrics Net Oskernel QCheck QCheck_alcotest

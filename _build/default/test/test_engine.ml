@@ -1,0 +1,244 @@
+(* Unit and property tests for the discrete-event engine. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_clock_pp () =
+  let s v = Format.asprintf "%a" Engine.Clock.pp v in
+  Alcotest.(check string) "ns" "999ns" (s 999);
+  Alcotest.(check string) "us" "1.50us" (s 1_500);
+  Alcotest.(check string) "ms" "2.50ms" (s (Engine.Clock.us 2_500));
+  Alcotest.(check string) "s" "1.000s" (s (Engine.Clock.s 1))
+
+let test_clock_units () =
+  check_int "us" 1_000 (Engine.Clock.us 1);
+  check_int "ms" 1_000_000 (Engine.Clock.ms 1);
+  check_int "s" 1_000_000_000 (Engine.Clock.s 1)
+
+let test_eventq_order () =
+  let q = Engine.Eventq.create () in
+  let order = ref [] in
+  let record tag () = order := tag :: !order in
+  Engine.Eventq.add q ~time:30 (record "c");
+  Engine.Eventq.add q ~time:10 (record "a");
+  Engine.Eventq.add q ~time:20 (record "b");
+  let rec drain () =
+    match Engine.Eventq.pop q with
+    | None -> ()
+    | Some (_, fn) ->
+        fn ();
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !order)
+
+let test_eventq_ties_fifo () =
+  let q = Engine.Eventq.create () in
+  let order = ref [] in
+  for i = 0 to 99 do
+    Engine.Eventq.add q ~time:5 (fun () -> order := i :: !order)
+  done;
+  let rec drain () =
+    match Engine.Eventq.pop q with
+    | None -> ()
+    | Some (_, fn) ->
+        fn ();
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "fifo ties" (List.init 100 Fun.id) (List.rev !order)
+
+let test_eventq_heap_property =
+  QCheck.Test.make ~name:"eventq pops sorted" ~count:200
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let q = Engine.Eventq.create () in
+      List.iter (fun time -> Engine.Eventq.add q ~time (fun () -> ())) times;
+      let rec drain acc =
+        match Engine.Eventq.pop q with
+        | None -> List.rev acc
+        | Some (time, _) -> drain (time :: acc)
+      in
+      let popped = drain [] in
+      popped = List.sort compare times)
+
+let test_sim_schedule () =
+  let sim = Engine.Sim.create () in
+  let fired = ref [] in
+  Engine.Sim.schedule sim ~delay:100 (fun () -> fired := `B :: !fired);
+  Engine.Sim.schedule sim ~delay:50 (fun () -> fired := `A :: !fired);
+  Engine.Sim.run sim;
+  check_int "clock at end" 100 (Engine.Sim.now sim);
+  Alcotest.(check bool) "order" true (List.rev !fired = [ `A; `B ])
+
+let test_sim_until () =
+  let sim = Engine.Sim.create () in
+  let fired = ref 0 in
+  Engine.Sim.schedule sim ~delay:10 (fun () -> incr fired);
+  Engine.Sim.schedule sim ~delay:1000 (fun () -> incr fired);
+  Engine.Sim.run ~until:500 sim;
+  check_int "only first fired" 1 !fired;
+  check_int "clock clamped" 500 (Engine.Sim.now sim);
+  Engine.Sim.run sim;
+  check_int "second fires on resume" 2 !fired
+
+let test_sim_stop () =
+  let sim = Engine.Sim.create () in
+  let fired = ref 0 in
+  Engine.Sim.schedule sim ~delay:1 (fun () ->
+      incr fired;
+      Engine.Sim.stop sim);
+  Engine.Sim.schedule sim ~delay:2 (fun () -> incr fired);
+  Engine.Sim.run sim;
+  check_int "stopped after first" 1 !fired
+
+let test_fiber_sleep () =
+  let sim = Engine.Sim.create () in
+  let log = ref [] in
+  Engine.Fiber.spawn sim (fun () ->
+      log := ("start", Engine.Sim.now sim) :: !log;
+      Engine.Fiber.sleep sim 250;
+      log := ("awake", Engine.Sim.now sim) :: !log);
+  Engine.Sim.run sim;
+  Alcotest.(check (list (pair string int)))
+    "sleep advances time"
+    [ ("start", 0); ("awake", 250) ]
+    (List.rev !log)
+
+let test_fiber_interleave () =
+  let sim = Engine.Sim.create () in
+  let log = ref [] in
+  let worker tag delay =
+    Engine.Fiber.spawn sim (fun () ->
+        Engine.Fiber.sleep sim delay;
+        log := tag :: !log;
+        Engine.Fiber.sleep sim delay;
+        log := tag :: !log)
+  in
+  worker "slow" 100;
+  worker "fast" 30;
+  Engine.Sim.run sim;
+  Alcotest.(check (list string)) "interleaving" [ "fast"; "fast"; "slow"; "slow" ] (List.rev !log)
+
+let test_fiber_exception () =
+  let sim = Engine.Sim.create () in
+  Engine.Fiber.spawn sim ~name:"boomer" (fun () -> failwith "boom");
+  match Engine.Sim.run sim with
+  | () -> Alcotest.fail "expected exception"
+  | exception Failure msg ->
+      Alcotest.(check bool) "mentions fiber" true
+        (String.length msg > 0 && String.sub msg 0 5 = "fiber")
+
+let test_condvar_broadcast () =
+  let sim = Engine.Sim.create () in
+  let cv = Engine.Condvar.create sim in
+  let woken = ref [] in
+  for i = 1 to 3 do
+    Engine.Fiber.spawn sim (fun () ->
+        Engine.Condvar.wait cv;
+        woken := i :: !woken)
+  done;
+  Engine.Fiber.spawn sim (fun () ->
+      Engine.Fiber.sleep sim 500;
+      Engine.Condvar.broadcast cv);
+  Engine.Sim.run sim;
+  Alcotest.(check (list int)) "fifo wake order" [ 1; 2; 3 ] (List.rev !woken);
+  check_int "time of wake" 500 (Engine.Sim.now sim)
+
+let test_condvar_timeout () =
+  let sim = Engine.Sim.create () in
+  let cv = Engine.Condvar.create sim in
+  let outcome = ref None in
+  Engine.Fiber.spawn sim (fun () ->
+      outcome := Some (Engine.Condvar.wait_timeout cv 100));
+  Engine.Sim.run sim;
+  Alcotest.(check bool) "timed out" true (!outcome = Some `Timeout);
+  check_int "timeout time" 100 (Engine.Sim.now sim)
+
+let test_condvar_signal_beats_timeout () =
+  let sim = Engine.Sim.create () in
+  let cv = Engine.Condvar.create sim in
+  let outcome = ref None in
+  Engine.Fiber.spawn sim (fun () ->
+      outcome := Some (Engine.Condvar.wait_timeout cv 1_000));
+  Engine.Fiber.spawn sim (fun () ->
+      Engine.Fiber.sleep sim 10;
+      Engine.Condvar.broadcast cv);
+  Engine.Sim.run sim;
+  Alcotest.(check bool) "signaled" true (!outcome = Some `Signaled)
+
+let test_prng_deterministic () =
+  let a = Engine.Prng.create 42L in
+  let b = Engine.Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Engine.Prng.int64 a) (Engine.Prng.int64 b)
+  done
+
+let test_prng_split_independent () =
+  let a = Engine.Prng.create 42L in
+  let c = Engine.Prng.split a in
+  let first_c = Engine.Prng.int64 c in
+  let first_a = Engine.Prng.int64 a in
+  Alcotest.(check bool) "streams differ" true (first_a <> first_c)
+
+let test_prng_bounds =
+  QCheck.Test.make ~name:"prng int stays in bounds" ~count:500
+    QCheck.(pair int64 (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let g = Engine.Prng.create seed in
+      let v = Engine.Prng.int g bound in
+      v >= 0 && v < bound)
+
+let test_prng_float_unit =
+  QCheck.Test.make ~name:"prng float in [0,1)" ~count:500 QCheck.int64 (fun seed ->
+      let g = Engine.Prng.create seed in
+      let v = Engine.Prng.float g in
+      v >= 0. && v < 1.)
+
+let test_trace_ring () =
+  let tr = Engine.Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Engine.Trace.record tr ~now:(i * 10) ~category:"t" (string_of_int i)
+  done;
+  let evs = Engine.Trace.events tr in
+  check_int "capacity bounds events" 4 (List.length evs);
+  check_int "two dropped" 2 (Engine.Trace.dropped tr);
+  Alcotest.(check (list string)) "oldest dropped first" [ "3"; "4"; "5"; "6" ]
+    (List.map (fun (_, _, m) -> m) evs)
+
+let test_trace_thunk_lazy () =
+  let sim = Engine.Sim.create () in
+  let forced = ref false in
+  Engine.Sim.trace_event sim ~category:"x" (fun () ->
+      forced := true;
+      "never");
+  check_bool "thunk not forced when tracing off" false !forced;
+  let _ = Engine.Sim.enable_trace sim in
+  Engine.Sim.trace_event sim ~category:"x" (fun () ->
+      forced := true;
+      "recorded");
+  check_bool "thunk forced when tracing on" true !forced
+
+let suite =
+  [
+    Alcotest.test_case "clock pretty-printing" `Quick test_clock_pp;
+    Alcotest.test_case "clock unit conversions" `Quick test_clock_units;
+    Alcotest.test_case "eventq time order" `Quick test_eventq_order;
+    Alcotest.test_case "eventq fifo on ties" `Quick test_eventq_ties_fifo;
+    QCheck_alcotest.to_alcotest test_eventq_heap_property;
+    Alcotest.test_case "sim schedule and run" `Quick test_sim_schedule;
+    Alcotest.test_case "sim run ~until" `Quick test_sim_until;
+    Alcotest.test_case "sim stop" `Quick test_sim_stop;
+    Alcotest.test_case "fiber sleep" `Quick test_fiber_sleep;
+    Alcotest.test_case "fiber interleaving" `Quick test_fiber_interleave;
+    Alcotest.test_case "fiber exception propagation" `Quick test_fiber_exception;
+    Alcotest.test_case "condvar broadcast" `Quick test_condvar_broadcast;
+    Alcotest.test_case "condvar timeout" `Quick test_condvar_timeout;
+    Alcotest.test_case "condvar signal beats timeout" `Quick test_condvar_signal_beats_timeout;
+    Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
+    Alcotest.test_case "prng split independence" `Quick test_prng_split_independent;
+    Alcotest.test_case "trace ring buffer" `Quick test_trace_ring;
+    Alcotest.test_case "trace thunks are lazy" `Quick test_trace_thunk_lazy;
+    QCheck_alcotest.to_alcotest test_prng_bounds;
+    QCheck_alcotest.to_alcotest test_prng_float_unit;
+  ]

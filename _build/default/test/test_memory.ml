@@ -1,0 +1,202 @@
+(* Tests for the DMA-capable heap: size classes, allocation recycling,
+   use-after-free protection, and registration modes. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_sizeclass_rounding () =
+  check_int "1 byte -> class 0" 0 (Memory.Sizeclass.index_of_size 1);
+  check_int "64 -> class 0" 0 (Memory.Sizeclass.index_of_size 64);
+  check_int "65 -> class 1" 1 (Memory.Sizeclass.index_of_size 65);
+  check_int "1 MB -> last class" (Memory.Sizeclass.class_count - 1)
+    (Memory.Sizeclass.index_of_size Memory.Sizeclass.max_class)
+
+let test_sizeclass_bounds () =
+  Alcotest.check_raises "zero" (Invalid_argument "Sizeclass.index_of_size: non-positive size")
+    (fun () -> ignore (Memory.Sizeclass.index_of_size 0));
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Sizeclass.index_of_size: size beyond max class") (fun () ->
+      ignore (Memory.Sizeclass.index_of_size (Memory.Sizeclass.max_class + 1)))
+
+let test_sizeclass_zero_copy () =
+  check_bool "1024 not eligible" false (Memory.Sizeclass.zero_copy_eligible 1024);
+  check_bool "1025 eligible" true (Memory.Sizeclass.zero_copy_eligible 1025)
+
+let sizeclass_roundtrip =
+  QCheck.Test.make ~name:"size class covers request" ~count:500
+    QCheck.(int_range 1 Memory.Sizeclass.max_class)
+    (fun size ->
+      let i = Memory.Sizeclass.index_of_size size in
+      Memory.Sizeclass.size_of_index i >= size
+      && (i = 0 || Memory.Sizeclass.size_of_index (i - 1) < size))
+
+let make_heap ?(mode = Memory.Heap.Pool_backed) () = Memory.Heap.create ~mode ()
+
+let test_alloc_roundtrip () =
+  let h = make_heap () in
+  let b = Memory.Heap.alloc_of_string h "hello world" in
+  Alcotest.(check string) "payload" "hello world" (Memory.Heap.to_string b);
+  check_int "length" 11 (Memory.Heap.length b);
+  check_int "live" 1 (Memory.Heap.live_objects h);
+  Memory.Heap.free b;
+  check_int "live after free" 0 (Memory.Heap.live_objects h)
+
+let test_alloc_recycles_lifo () =
+  let h = make_heap () in
+  let a = Memory.Heap.alloc h 100 in
+  let a_off = Memory.Heap.offset a in
+  Memory.Heap.free a;
+  let b = Memory.Heap.alloc h 100 in
+  check_int "LIFO reuse of freed slot" a_off (Memory.Heap.offset b)
+
+let test_double_free_raises () =
+  let h = make_heap () in
+  let b = Memory.Heap.alloc h 64 in
+  Memory.Heap.free b;
+  Alcotest.check_raises "double free" Memory.Heap.Double_free (fun () -> Memory.Heap.free b)
+
+let test_uaf_protection () =
+  (* The §5.3 scenario: app frees a buffer while the TCP stack still
+     holds it for retransmission. The slot must stay allocated. *)
+  let h = make_heap () in
+  let b = Memory.Heap.alloc_of_string h "retransmit me" in
+  Memory.Heap.os_incref b;
+  Memory.Heap.free b;
+  check_bool "slot still live" true (Memory.Heap.is_slot_live b);
+  Alcotest.(check string) "payload intact" "retransmit me" (Memory.Heap.to_string b);
+  (* No new allocation may reuse the slot while the libOS holds it. *)
+  let c = Memory.Heap.alloc h 64 in
+  check_bool "new alloc got a different slot" true
+    (Memory.Heap.offset c <> Memory.Heap.offset b);
+  Memory.Heap.os_decref b;
+  check_bool "slot released after ack" false (Memory.Heap.is_slot_live b);
+  check_int "one deferred free recorded" 1 (Memory.Heap.stats h).uaf_protected
+
+let test_os_ref_overflow () =
+  (* More than one libOS reference uses the overflow table. *)
+  let h = make_heap () in
+  let b = Memory.Heap.alloc h 64 in
+  Memory.Heap.os_incref b;
+  Memory.Heap.os_incref b;
+  Memory.Heap.os_incref b;
+  check_int "three refs" 3 (Memory.Heap.os_refs b);
+  Memory.Heap.free b;
+  Memory.Heap.os_decref b;
+  Memory.Heap.os_decref b;
+  check_bool "still live with one os ref" true (Memory.Heap.is_slot_live b);
+  Memory.Heap.os_decref b;
+  check_bool "released" false (Memory.Heap.is_slot_live b)
+
+let test_os_decref_without_ref () =
+  let h = make_heap () in
+  let b = Memory.Heap.alloc h 64 in
+  Alcotest.check_raises "bad refcount" Memory.Heap.Bad_refcount (fun () ->
+      Memory.Heap.os_decref b)
+
+let test_superblock_growth () =
+  let h = make_heap () in
+  let buffers = List.init 200 (fun _ -> Memory.Heap.alloc h 64) in
+  let s = Memory.Heap.stats h in
+  check_int "200 live" 200 s.live;
+  (* 64 objects per superblock -> ceil(200/64) = 4. *)
+  check_int "4 superblocks" 4 s.superblocks;
+  List.iter Memory.Heap.free buffers;
+  check_int "all recycled" 0 (Memory.Heap.live_objects h)
+
+let test_rkey_on_demand () =
+  let h = make_heap ~mode:Memory.Heap.Register_on_demand () in
+  let b = Memory.Heap.alloc h 2048 in
+  check_int "nothing registered yet" 0 (Memory.Heap.stats h).registered_superblocks;
+  let k1 = Memory.Heap.rkey b in
+  check_int "one registration" 1 (Memory.Heap.stats h).registered_superblocks;
+  let k2 = Memory.Heap.rkey b in
+  check_int "rkey stable" k1 k2;
+  (* A buffer in the same superblock shares the rkey. *)
+  let b2 = Memory.Heap.alloc h 2048 in
+  check_int "same superblock same rkey" k1 (Memory.Heap.rkey b2);
+  check_int "still one registration" 1 (Memory.Heap.stats h).registered_superblocks
+
+let test_rkey_pool_backed () =
+  let h = make_heap ~mode:Memory.Heap.Pool_backed () in
+  let b = Memory.Heap.alloc h 2048 in
+  check_int "registered at creation" 1 (Memory.Heap.stats h).registered_superblocks;
+  ignore (Memory.Heap.rkey b)
+
+let test_rkey_not_dma () =
+  let h = make_heap ~mode:Memory.Heap.Not_dma () in
+  let b = Memory.Heap.alloc h 2048 in
+  check_bool "not dma capable" false (Memory.Heap.is_dma_capable b);
+  Alcotest.check_raises "rkey fails" (Failure "Heap.rkey: heap is not DMA-capable") (fun () ->
+      ignore (Memory.Heap.rkey b))
+
+let test_zero_copy_threshold () =
+  let h = make_heap () in
+  let small = Memory.Heap.alloc h 512 in
+  let big = Memory.Heap.alloc h 4096 in
+  check_bool "small buffers copy" false (Memory.Heap.is_dma_capable small);
+  check_bool "big buffers are zero-copy" true (Memory.Heap.is_dma_capable big)
+
+let test_headroom () =
+  let h = Memory.Heap.create ~headroom:128 ~mode:Memory.Heap.Pool_backed () in
+  let b = Memory.Heap.alloc_of_string h "payload" in
+  (* A protocol stack prepends a 14-byte header without copying. *)
+  let off = Memory.Heap.offset b in
+  Memory.Heap.set_bounds b ~offset:(128 - 14) ~length:(7 + 14) ;
+  check_int "window grew left" (off - 14) (Memory.Heap.offset b);
+  check_int "length includes header" 21 (Memory.Heap.length b)
+
+let test_set_bounds_checked () =
+  let h = make_heap () in
+  let b = Memory.Heap.alloc h 64 in
+  Alcotest.check_raises "window outside object"
+    (Invalid_argument "Heap.set_bounds: window outside object") (fun () ->
+      Memory.Heap.set_bounds b ~offset:0 ~length:(Memory.Heap.capacity b + 1))
+
+let test_copy_accounting () =
+  let h = make_heap () in
+  Memory.Heap.note_copy h 1500;
+  Memory.Heap.note_copy h 500;
+  check_int "bytes copied" 2000 (Memory.Heap.stats h).bytes_copied
+
+let alloc_free_balanced =
+  QCheck.Test.make ~name:"heap alloc/free leaves no live objects" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_range 1 65536))
+    (fun sizes ->
+      let h = make_heap () in
+      let bufs = List.map (Memory.Heap.alloc h) sizes in
+      List.iter Memory.Heap.free bufs;
+      Memory.Heap.live_objects h = 0
+      && (Memory.Heap.stats h).allocations = List.length sizes
+      && (Memory.Heap.stats h).frees = List.length sizes)
+
+let payload_integrity =
+  QCheck.Test.make ~name:"heap payloads do not interfere" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 50) (string_of_size (Gen.int_range 1 2000)))
+    (fun payloads ->
+      let h = make_heap () in
+      let bufs = List.map (Memory.Heap.alloc_of_string h) payloads in
+      List.for_all2 (fun s b -> Memory.Heap.to_string b = s) payloads bufs)
+
+let suite =
+  [
+    Alcotest.test_case "size class rounding" `Quick test_sizeclass_rounding;
+    Alcotest.test_case "size class bounds" `Quick test_sizeclass_bounds;
+    Alcotest.test_case "zero-copy threshold constant" `Quick test_sizeclass_zero_copy;
+    QCheck_alcotest.to_alcotest sizeclass_roundtrip;
+    Alcotest.test_case "alloc roundtrip" `Quick test_alloc_roundtrip;
+    Alcotest.test_case "freed slots recycle LIFO" `Quick test_alloc_recycles_lifo;
+    Alcotest.test_case "double free raises" `Quick test_double_free_raises;
+    Alcotest.test_case "use-after-free protection" `Quick test_uaf_protection;
+    Alcotest.test_case "libOS refcount overflow table" `Quick test_os_ref_overflow;
+    Alcotest.test_case "os_decref without ref raises" `Quick test_os_decref_without_ref;
+    Alcotest.test_case "superblock growth" `Quick test_superblock_growth;
+    Alcotest.test_case "rkey registers on demand" `Quick test_rkey_on_demand;
+    Alcotest.test_case "pool-backed registers eagerly" `Quick test_rkey_pool_backed;
+    Alcotest.test_case "non-DMA heap rejects rkey" `Quick test_rkey_not_dma;
+    Alcotest.test_case "zero-copy only above 1kB" `Quick test_zero_copy_threshold;
+    Alcotest.test_case "headroom allows header prepend" `Quick test_headroom;
+    Alcotest.test_case "set_bounds is checked" `Quick test_set_bounds_checked;
+    Alcotest.test_case "copy accounting" `Quick test_copy_accounting;
+    QCheck_alcotest.to_alcotest alloc_free_balanced;
+    QCheck_alcotest.to_alcotest payload_integrity;
+  ]

@@ -1,0 +1,89 @@
+(* Tests for histograms and table rendering helpers. *)
+
+let check_int = Alcotest.(check int)
+
+let test_histogram_empty () =
+  let h = Metrics.Histogram.create () in
+  check_int "count" 0 (Metrics.Histogram.count h);
+  check_int "p99" 0 (Metrics.Histogram.p99 h);
+  Alcotest.(check (float 0.0)) "mean" 0. (Metrics.Histogram.mean h)
+
+let test_histogram_single () =
+  let h = Metrics.Histogram.create () in
+  Metrics.Histogram.add h 1234;
+  check_int "count" 1 (Metrics.Histogram.count h);
+  check_int "min" 1234 (Metrics.Histogram.min h);
+  check_int "max" 1234 (Metrics.Histogram.max h);
+  check_int "p50 = only sample" 1234 (Metrics.Histogram.p50 h)
+
+let test_histogram_exact_small () =
+  (* Values below 32 are recorded exactly. *)
+  let h = Metrics.Histogram.create () in
+  List.iter (Metrics.Histogram.add h) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  check_int "p50" 5 (Metrics.Histogram.quantile h 0.5);
+  check_int "p100" 10 (Metrics.Histogram.quantile h 1.0)
+
+let test_histogram_precision =
+  QCheck.Test.make ~name:"histogram quantile within 1/32 relative error" ~count:300
+    QCheck.(int_range 1 1_000_000_000)
+    (fun v ->
+      let h = Metrics.Histogram.create () in
+      Metrics.Histogram.add h v;
+      let q = Metrics.Histogram.p50 h in
+      let err = abs (q - v) in
+      (* Bucket width at v is at most v/32 + 1. *)
+      err <= (v / 32) + 1)
+
+let test_histogram_mean_merge () =
+  let a = Metrics.Histogram.create () in
+  let b = Metrics.Histogram.create () in
+  List.iter (Metrics.Histogram.add a) [ 100; 200 ];
+  List.iter (Metrics.Histogram.add b) [ 300; 400 ];
+  Metrics.Histogram.merge a b;
+  check_int "merged count" 4 (Metrics.Histogram.count a);
+  Alcotest.(check (float 0.01)) "merged mean" 250. (Metrics.Histogram.mean a);
+  check_int "merged max" 400 (Metrics.Histogram.max a);
+  check_int "merged min" 100 (Metrics.Histogram.min a)
+
+let test_histogram_clear () =
+  let h = Metrics.Histogram.create () in
+  Metrics.Histogram.add h 42;
+  Metrics.Histogram.clear h;
+  check_int "count after clear" 0 (Metrics.Histogram.count h);
+  Metrics.Histogram.add h 7;
+  check_int "usable after clear" 7 (Metrics.Histogram.p50 h)
+
+let test_histogram_negative_clamped () =
+  let h = Metrics.Histogram.create () in
+  Metrics.Histogram.add h (-5);
+  check_int "clamped to zero" 0 (Metrics.Histogram.min h)
+
+let test_histogram_quantile_monotone =
+  QCheck.Test.make ~name:"histogram quantiles monotone" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 200) (int_range 0 10_000_000))
+    (fun samples ->
+      let h = Metrics.Histogram.create () in
+      List.iter (Metrics.Histogram.add h) samples;
+      let q25 = Metrics.Histogram.quantile h 0.25 in
+      let q50 = Metrics.Histogram.quantile h 0.5 in
+      let q99 = Metrics.Histogram.quantile h 0.99 in
+      q25 <= q50 && q50 <= q99)
+
+let test_cells () =
+  Alcotest.(check string) "ns" "640ns" (Metrics.Table.cell_ns 640);
+  Alcotest.(check string) "us" "5.30us" (Metrics.Table.cell_ns 5_300);
+  Alcotest.(check string) "int" "12" (Metrics.Table.cell_i 12);
+  Alcotest.(check string) "float" "3.14" (Metrics.Table.cell_f 3.14159)
+
+let suite =
+  [
+    Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+    Alcotest.test_case "histogram single sample" `Quick test_histogram_single;
+    Alcotest.test_case "histogram exact small values" `Quick test_histogram_exact_small;
+    QCheck_alcotest.to_alcotest test_histogram_precision;
+    Alcotest.test_case "histogram mean/merge" `Quick test_histogram_mean_merge;
+    Alcotest.test_case "histogram clear" `Quick test_histogram_clear;
+    Alcotest.test_case "histogram clamps negatives" `Quick test_histogram_negative_clamped;
+    QCheck_alcotest.to_alcotest test_histogram_quantile_monotone;
+    Alcotest.test_case "table cell rendering" `Quick test_cells;
+  ]

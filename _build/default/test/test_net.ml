@@ -1,0 +1,438 @@
+(* Tests for wire formats, the fabric, and the simulated devices. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- wire formats --- *)
+
+let test_u48_roundtrip () =
+  let b = Bytes.create 6 in
+  let v = 0x0200_1234_5678 in
+  Net.Wire.set_u48 b 0 v;
+  check_int "u48" v (Net.Wire.get_u48 b 0)
+
+let test_checksum_rfc1071 () =
+  (* Worked example from RFC 1071 §3: bytes 00 01 f2 03 f4 f5 f6 f7. *)
+  let b = Bytes.of_string "\x00\x01\xf2\x03\xf4\xf5\xf6\xf7" in
+  check_int "rfc1071 example" (lnot 0xddf2 land 0xffff) (Net.Wire.checksum b 0 8)
+
+let test_checksum_odd_length () =
+  let b = Bytes.of_string "\x01\x02\x03" in
+  (* 0x0102 + 0x0300 = 0x0402 -> complement. *)
+  check_int "odd tail padded" (lnot 0x0402 land 0xffff) (Net.Wire.checksum b 0 3)
+
+let test_eth_roundtrip () =
+  let b = Bytes.create 64 in
+  let h = { Net.Eth.dst = Net.Addr.Mac.of_index 2; src = Net.Addr.Mac.of_index 1;
+            ethertype = Net.Eth.ethertype_ipv4 } in
+  let off = Net.Eth.write b 0 h in
+  check_int "header size" Net.Eth.size off;
+  let h', off' = Net.Eth.read b 0 in
+  check_bool "roundtrip" true (h = h');
+  check_int "payload offset" Net.Eth.size off'
+
+let test_arp_roundtrip () =
+  let b = Bytes.create 64 in
+  let p =
+    {
+      Net.Arp.operation = Net.Arp.Request;
+      sender_mac = Net.Addr.Mac.of_index 1;
+      sender_ip = Net.Addr.Ip.of_index 1;
+      target_mac = 0;
+      target_ip = Net.Addr.Ip.of_index 2;
+    }
+  in
+  let _ = Net.Arp.write b 0 p in
+  let p', _ = Net.Arp.read b 0 in
+  check_bool "roundtrip" true (p = p')
+
+let ipv4_roundtrip =
+  QCheck.Test.make ~name:"ipv4 header roundtrip" ~count:200
+    QCheck.(quad (int_bound 0xffff) (int_range 1 255) (int_bound 0xff) (int_bound 0xffffffff))
+    (fun (identification, ttl, proto_raw, src) ->
+      let h =
+        {
+          Net.Ipv4.total_length = 20 + 100;
+          identification;
+          ttl;
+          protocol = proto_raw;
+          src;
+          dst = Net.Addr.Ip.of_index 7;
+          more_fragments = false;
+          fragment_offset = 0;
+        }
+      in
+      let b = Bytes.create 200 in
+      let _ = Net.Ipv4.write b 0 h in
+      let h', off = Net.Ipv4.read b 0 in
+      h = h' && off = Net.Ipv4.size)
+
+let test_ipv4_checksum_detects_corruption () =
+  let h =
+    Net.Ipv4.whole ~total_length:40 ~identification:9 ~protocol:Net.Ipv4.protocol_udp ~src:1
+      ~dst:2
+  in
+  let b = Bytes.create 64 in
+  let _ = Net.Ipv4.write b 0 h in
+  Net.Wire.set_u8 b 8 65 (* flip the ttl *);
+  Alcotest.check_raises "corruption detected" (Net.Wire.Malformed "ipv4: bad checksum")
+    (fun () -> ignore (Net.Ipv4.read b 0))
+
+let udp_roundtrip =
+  QCheck.Test.make ~name:"udp header+payload roundtrip" ~count:200
+    QCheck.(triple (int_bound 0xffff) (int_bound 0xffff) (string_of_size (Gen.int_range 0 512)))
+    (fun (src_port, dst_port, payload) ->
+      let src_ip = Net.Addr.Ip.of_index 1 and dst_ip = Net.Addr.Ip.of_index 2 in
+      let len = Net.Udp_wire.size + String.length payload in
+      let b = Bytes.create (len + 8) in
+      Bytes.blit_string payload 0 b Net.Udp_wire.size (String.length payload);
+      let h = { Net.Udp_wire.src_port; dst_port; length = len } in
+      let off = Net.Udp_wire.write b 0 h ~src_ip ~dst_ip in
+      let h', off' = Net.Udp_wire.read b 0 ~src_ip ~dst_ip in
+      h = h' && off = off'
+      && Bytes.sub_string b off' (h'.Net.Udp_wire.length - Net.Udp_wire.size) = payload)
+
+let test_udp_checksum_detects_corruption () =
+  let src_ip = 1 and dst_ip = 2 in
+  let payload = "hello" in
+  let len = Net.Udp_wire.size + String.length payload in
+  let b = Bytes.create len in
+  Bytes.blit_string payload 0 b Net.Udp_wire.size (String.length payload);
+  let _ = Net.Udp_wire.write b 0 { Net.Udp_wire.src_port = 1; dst_port = 2; length = len } ~src_ip ~dst_ip in
+  Bytes.set b (len - 1) 'x';
+  Alcotest.check_raises "bad checksum" (Net.Wire.Malformed "udp: bad checksum") (fun () ->
+      ignore (Net.Udp_wire.read b 0 ~src_ip ~dst_ip))
+
+let tcp_gen =
+  QCheck.Gen.(
+    let* src_port = int_bound 0xffff in
+    let* dst_port = int_bound 0xffff in
+    let* seq = int_bound 0xffffffff in
+    let* ack = int_bound 0xffffffff in
+    let* syn = bool in
+    let* ack_flag = bool in
+    let* fin = bool in
+    let* psh = bool in
+    let* window = int_bound 0xffff in
+    let* mss = opt (int_bound 0xffff) in
+    let* wscale = opt (int_bound 14) in
+    let* ts = opt (pair (int_bound 0xffffffff) (int_bound 0xffffffff)) in
+    let* sack_permitted = bool in
+    let* sack_blocks =
+      list_size (int_bound 3) (pair (int_bound 0xffffffff) (int_bound 0xffffffff))
+    in
+    (* Keep the header within the 60-byte limit: SACK blocks never ride
+       with the SYN-only options (mirrors real segments). *)
+    let mss = if sack_blocks = [] then mss else None in
+    let wscale = if sack_blocks = [] then wscale else None in
+    let sack_permitted = sack_permitted && sack_blocks = [] in
+    let* payload = string_size (int_range 0 256) in
+    return
+      ( {
+          Net.Tcp_wire.src_port;
+          dst_port;
+          seq;
+          ack;
+          syn;
+          ack_flag;
+          fin;
+          rst = false;
+          psh;
+          window;
+          options =
+            {
+              Net.Tcp_wire.mss;
+              window_scale = wscale;
+              timestamp = ts;
+              sack_permitted;
+              sack_blocks;
+            };
+        },
+        payload ))
+
+let tcp_roundtrip =
+  QCheck.Test.make ~name:"tcp header+options roundtrip" ~count:300
+    (QCheck.make tcp_gen) (fun (h, payload) ->
+      let src_ip = Net.Addr.Ip.of_index 3 and dst_ip = Net.Addr.Ip.of_index 4 in
+      let hsize = Net.Tcp_wire.header_size h in
+      let seg_len = hsize + String.length payload in
+      let b = Bytes.create (seg_len + 16) in
+      Bytes.blit_string payload 0 b hsize (String.length payload);
+      let off = Net.Tcp_wire.write b 0 h ~payload_len:(String.length payload) ~src_ip ~dst_ip in
+      let h', off' = Net.Tcp_wire.read b 0 ~seg_len ~src_ip ~dst_ip in
+      h = h' && off = off' && Bytes.sub_string b off' (seg_len - off') = payload)
+
+let test_tcp_checksum_detects_corruption () =
+  let h =
+    {
+      Net.Tcp_wire.src_port = 80; dst_port = 8080; seq = 1; ack = 2; syn = false;
+      ack_flag = true; fin = false; rst = false; psh = true; window = 1000;
+      options = Net.Tcp_wire.no_options;
+    }
+  in
+  let b = Bytes.create 64 in
+  let _ = Net.Tcp_wire.write b 0 h ~payload_len:4 ~src_ip:1 ~dst_ip:2 in
+  Net.Wire.set_u32 b 4 999 (* corrupt seq *);
+  Alcotest.check_raises "bad checksum" (Net.Wire.Malformed "tcp: bad checksum") (fun () ->
+      ignore (Net.Tcp_wire.read b 0 ~seg_len:24 ~src_ip:1 ~dst_ip:2))
+
+(* --- fabric --- *)
+
+let bare = Net.Cost.bare_metal
+
+let eth_frame ~dst ~src payload =
+  let b = Bytes.create (Net.Eth.size + String.length payload) in
+  let off = Net.Eth.write b 0 { Net.Eth.dst; src; ethertype = 0x0800 } in
+  Bytes.blit_string payload 0 b off (String.length payload);
+  Bytes.unsafe_to_string b
+
+let test_fabric_unicast () =
+  let sim = Engine.Sim.create () in
+  let fabric = Net.Fabric.create sim ~cost:bare () in
+  let m1 = Net.Addr.Mac.of_index 1 and m2 = Net.Addr.Mac.of_index 2 in
+  let got = ref [] in
+  let p1 = Net.Fabric.attach fabric ~mac:m1 ~rx:(fun _ -> got := `P1 :: !got) in
+  let _p2 = Net.Fabric.attach fabric ~mac:m2 ~rx:(fun _ -> got := `P2 :: !got) in
+  Net.Fabric.send fabric p1 (eth_frame ~dst:m2 ~src:m1 "hi");
+  Engine.Sim.run sim;
+  Alcotest.(check bool) "delivered to p2 only" true (!got = [ `P2 ]);
+  check_int "stats" 1 (Net.Fabric.stats fabric).frames_delivered
+
+let test_fabric_broadcast () =
+  let sim = Engine.Sim.create () in
+  let fabric = Net.Fabric.create sim ~cost:bare () in
+  let got = ref 0 in
+  let mk i = Net.Fabric.attach fabric ~mac:(Net.Addr.Mac.of_index i) ~rx:(fun _ -> incr got) in
+  let p1 = mk 1 in
+  let _ = mk 2 and _ = mk 3 in
+  Net.Fabric.send fabric p1 (eth_frame ~dst:Net.Addr.Mac.broadcast ~src:(Net.Addr.Mac.of_index 1) "arp");
+  Engine.Sim.run sim;
+  check_int "everyone but sender" 2 !got
+
+let test_fabric_latency () =
+  let sim = Engine.Sim.create () in
+  let fabric = Net.Fabric.create sim ~cost:bare () in
+  let m1 = Net.Addr.Mac.of_index 1 and m2 = Net.Addr.Mac.of_index 2 in
+  let arrived = ref 0 in
+  let p1 = Net.Fabric.attach fabric ~mac:m1 ~rx:(fun _ -> ()) in
+  let _ = Net.Fabric.attach fabric ~mac:m2 ~rx:(fun _ -> arrived := Engine.Sim.now sim) in
+  let frame = eth_frame ~dst:m2 ~src:m1 (String.make 50 'x') in
+  Net.Fabric.send fabric p1 frame;
+  Engine.Sim.run sim;
+  let expect =
+    (* Store-and-forward: serialization onto the sender's link and again
+       onto the receiver's. *)
+    (2 * Net.Cost.serialization_ns bare (String.length frame))
+    + bare.Net.Cost.propagation_ns + bare.Net.Cost.switch_ns
+  in
+  check_int "arrival time" expect !arrived
+
+let test_fabric_serialization_queueing () =
+  (* Two back-to-back frames: the second waits for the first to leave. *)
+  let sim = Engine.Sim.create () in
+  let fabric = Net.Fabric.create sim ~cost:bare () in
+  let m1 = Net.Addr.Mac.of_index 1 and m2 = Net.Addr.Mac.of_index 2 in
+  let times = ref [] in
+  let p1 = Net.Fabric.attach fabric ~mac:m1 ~rx:(fun _ -> ()) in
+  let _ = Net.Fabric.attach fabric ~mac:m2 ~rx:(fun _ -> times := Engine.Sim.now sim :: !times) in
+  let frame = eth_frame ~dst:m2 ~src:m1 (String.make 1000 'x') in
+  Net.Fabric.send fabric p1 frame;
+  Net.Fabric.send fabric p1 frame;
+  Engine.Sim.run sim;
+  match List.rev !times with
+  | [ t1; t2 ] ->
+      check_int "gap is one serialization" (Net.Cost.serialization_ns bare (String.length frame)) (t2 - t1)
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_fabric_loss () =
+  let sim = Engine.Sim.create () in
+  let fabric = Net.Fabric.create sim ~cost:bare ~loss:1.0 () in
+  let m1 = Net.Addr.Mac.of_index 1 and m2 = Net.Addr.Mac.of_index 2 in
+  let got = ref 0 in
+  let p1 = Net.Fabric.attach fabric ~mac:m1 ~rx:(fun _ -> ()) in
+  let _ = Net.Fabric.attach fabric ~mac:m2 ~rx:(fun _ -> incr got) in
+  Net.Fabric.send fabric p1 (eth_frame ~dst:m2 ~src:m1 "drop me");
+  Net.Fabric.send fabric p1 ~lossless:true (eth_frame ~dst:m2 ~src:m1 "keep me");
+  Engine.Sim.run sim;
+  check_int "lossless survives full loss" 1 !got;
+  check_int "lossy dropped" 1 (Net.Fabric.stats fabric).frames_dropped
+
+(* --- dpdk device --- *)
+
+let test_dpdk_tx_rx () =
+  let sim = Engine.Sim.create () in
+  let fabric = Net.Fabric.create sim ~cost:bare () in
+  let nic1 =
+    Net.Dpdk_sim.create fabric ~mac:(Net.Addr.Mac.of_index 1) ~ip:(Net.Addr.Ip.of_index 1) ()
+  in
+  let nic2 =
+    Net.Dpdk_sim.create fabric ~mac:(Net.Addr.Mac.of_index 2) ~ip:(Net.Addr.Ip.of_index 2) ()
+  in
+  let frame = eth_frame ~dst:(Net.Dpdk_sim.mac nic2) ~src:(Net.Dpdk_sim.mac nic1) "ping" in
+  Net.Dpdk_sim.tx_burst nic1 [ frame ];
+  Engine.Sim.run sim;
+  check_int "one frame in ring" 1 (Net.Dpdk_sim.rx_pending nic2);
+  match Net.Dpdk_sim.rx_burst nic2 ~max:8 with
+  | [ got ] -> Alcotest.(check string) "frame intact" frame got
+  | _ -> Alcotest.fail "expected one frame"
+
+let test_dpdk_ring_overflow () =
+  let sim = Engine.Sim.create () in
+  let fabric = Net.Fabric.create sim ~cost:bare () in
+  let nic1 =
+    Net.Dpdk_sim.create fabric ~mac:(Net.Addr.Mac.of_index 1) ~ip:(Net.Addr.Ip.of_index 1) ()
+  in
+  let nic2 =
+    Net.Dpdk_sim.create fabric ~mac:(Net.Addr.Mac.of_index 2) ~ip:(Net.Addr.Ip.of_index 2)
+      ~rx_ring_size:4 ()
+  in
+  let frame = eth_frame ~dst:(Net.Dpdk_sim.mac nic2) ~src:(Net.Dpdk_sim.mac nic1) "x" in
+  Net.Dpdk_sim.tx_burst nic1 (List.init 10 (fun _ -> frame));
+  Engine.Sim.run sim;
+  check_int "ring capped" 4 (Net.Dpdk_sim.rx_pending nic2);
+  check_int "rest dropped" 6 (Net.Dpdk_sim.rx_dropped nic2)
+
+(* --- rdma device --- *)
+
+let rdma_pair () =
+  let sim = Engine.Sim.create () in
+  let fabric = Net.Fabric.create sim ~cost:bare () in
+  let r1 =
+    Net.Rdma_sim.create fabric ~mac:(Net.Addr.Mac.of_index 1) ~ip:(Net.Addr.Ip.of_index 1) ()
+  in
+  let r2 =
+    Net.Rdma_sim.create fabric ~mac:(Net.Addr.Mac.of_index 2) ~ip:(Net.Addr.Ip.of_index 2) ()
+  in
+  (sim, r1, r2)
+
+let test_rdma_send_recv () =
+  let sim, r1, r2 = rdma_pair () in
+  Net.Rdma_sim.post_recv r2;
+  Net.Rdma_sim.post_send r1 ~dst:(Net.Rdma_sim.mac r2) ~wr_id:7 ~imm:42 "payload";
+  Engine.Sim.run sim;
+  (match Net.Rdma_sim.poll_cq r1 ~max:4 with
+  | [ Net.Rdma_sim.Send_done { wr_id } ] -> check_int "send completion" 7 wr_id
+  | _ -> Alcotest.fail "expected send completion");
+  match Net.Rdma_sim.poll_cq r2 ~max:4 with
+  | [ Net.Rdma_sim.Recv { imm; payload; src_mac } ] ->
+      check_int "imm" 42 imm;
+      Alcotest.(check string) "payload" "payload" payload;
+      check_int "src" (Net.Rdma_sim.mac r1) src_mac
+  | _ -> Alcotest.fail "expected recv completion"
+
+let test_rdma_rnr_drop () =
+  let sim, r1, r2 = rdma_pair () in
+  Net.Rdma_sim.post_send r1 ~dst:(Net.Rdma_sim.mac r2) ~wr_id:1 ~imm:0 "no buffer posted";
+  Engine.Sim.run sim;
+  check_int "rnr drop" 1 (Net.Rdma_sim.rnr_drops r2);
+  check_int "no recv completion" 0 (Net.Rdma_sim.cq_pending r2)
+
+let test_rdma_ordering () =
+  let sim, r1, r2 = rdma_pair () in
+  for _ = 1 to 10 do Net.Rdma_sim.post_recv r2 done;
+  for i = 1 to 10 do
+    Net.Rdma_sim.post_send r1 ~dst:(Net.Rdma_sim.mac r2) ~wr_id:i ~imm:i (string_of_int i)
+  done;
+  Engine.Sim.run sim;
+  let imms =
+    List.filter_map
+      (function Net.Rdma_sim.Recv { imm; _ } -> Some imm | _ -> None)
+      (Net.Rdma_sim.poll_cq r2 ~max:100)
+  in
+  Alcotest.(check (list int)) "ordered delivery" (List.init 10 (fun i -> i + 1)) imms
+
+let test_rdma_one_sided_write () =
+  let sim, r1, r2 = rdma_pair () in
+  let region = Bytes.make 16 '.' in
+  let rkey = Net.Rdma_sim.register_region r2 region in
+  Net.Rdma_sim.post_write r1 ~dst:(Net.Rdma_sim.mac r2) ~wr_id:3 ~rkey ~offset:4 "ABCD";
+  Engine.Sim.run sim;
+  Alcotest.(check string) "remote memory updated" "....ABCD........" (Bytes.to_string region);
+  (match Net.Rdma_sim.poll_cq r1 ~max:4 with
+  | [ Net.Rdma_sim.Write_done { wr_id; ok } ] ->
+      check_int "wr_id" 3 wr_id;
+      check_bool "ok" true ok
+  | _ -> Alcotest.fail "expected write completion");
+  check_int "target cq silent" 0 (Net.Rdma_sim.cq_pending r2)
+
+let test_rdma_write_bad_rkey () =
+  let sim, r1, r2 = rdma_pair () in
+  Net.Rdma_sim.post_write r1 ~dst:(Net.Rdma_sim.mac r2) ~wr_id:9 ~rkey:999 ~offset:0 "x";
+  Engine.Sim.run sim;
+  match Net.Rdma_sim.poll_cq r1 ~max:4 with
+  | [ Net.Rdma_sim.Write_done { ok; _ } ] -> check_bool "failed" false ok
+  | _ -> Alcotest.fail "expected write completion"
+
+(* --- ssd device --- *)
+
+let test_ssd_write_read () =
+  let sim = Engine.Sim.create () in
+  let ssd = Net.Ssd_sim.create sim ~cost:bare ~capacity:4096 in
+  Net.Ssd_sim.submit_write ssd ~id:1 ~off:100 "persist me";
+  Engine.Sim.run sim;
+  (match Net.Ssd_sim.poll_cq ssd ~max:4 with
+  | [ { Net.Ssd_sim.id = 1; ok = true; _ } ] -> ()
+  | _ -> Alcotest.fail "expected write completion");
+  Net.Ssd_sim.submit_read ssd ~id:2 ~off:100 ~len:10;
+  Engine.Sim.run sim;
+  match Net.Ssd_sim.poll_cq ssd ~max:4 with
+  | [ { Net.Ssd_sim.id = 2; ok = true; data } ] ->
+      Alcotest.(check string) "read back" "persist me" data
+  | _ -> Alcotest.fail "expected read completion"
+
+let test_ssd_latency () =
+  let sim = Engine.Sim.create () in
+  let ssd = Net.Ssd_sim.create sim ~cost:bare ~capacity:4096 in
+  Net.Ssd_sim.submit_write ssd ~id:1 ~off:0 (String.make 100 'x');
+  Engine.Sim.run sim;
+  check_int "optane-class write latency" (Net.Cost.ssd_op_ns bare ~write:true 100)
+    (Engine.Sim.now sim)
+
+let test_ssd_out_of_bounds () =
+  let sim = Engine.Sim.create () in
+  let ssd = Net.Ssd_sim.create sim ~cost:bare ~capacity:64 in
+  Net.Ssd_sim.submit_write ssd ~id:1 ~off:60 "too long for the device";
+  Engine.Sim.run sim;
+  match Net.Ssd_sim.poll_cq ssd ~max:4 with
+  | [ { Net.Ssd_sim.ok = false; _ } ] -> ()
+  | _ -> Alcotest.fail "expected failed completion"
+
+let test_ssd_serializes_commands () =
+  let sim = Engine.Sim.create () in
+  let ssd = Net.Ssd_sim.create sim ~cost:bare ~capacity:4096 in
+  Net.Ssd_sim.submit_write ssd ~id:1 ~off:0 (String.make 64 'a');
+  Net.Ssd_sim.submit_write ssd ~id:2 ~off:64 (String.make 64 'b');
+  Engine.Sim.run sim;
+  let expect = 2 * Net.Cost.ssd_op_ns bare ~write:true 64 in
+  check_int "second waits for first" expect (Engine.Sim.now sim)
+
+let suite =
+  [
+    Alcotest.test_case "u48 roundtrip" `Quick test_u48_roundtrip;
+    Alcotest.test_case "checksum rfc1071 example" `Quick test_checksum_rfc1071;
+    Alcotest.test_case "checksum odd length" `Quick test_checksum_odd_length;
+    Alcotest.test_case "ethernet roundtrip" `Quick test_eth_roundtrip;
+    Alcotest.test_case "arp roundtrip" `Quick test_arp_roundtrip;
+    QCheck_alcotest.to_alcotest ipv4_roundtrip;
+    Alcotest.test_case "ipv4 checksum detects corruption" `Quick test_ipv4_checksum_detects_corruption;
+    QCheck_alcotest.to_alcotest udp_roundtrip;
+    Alcotest.test_case "udp checksum detects corruption" `Quick test_udp_checksum_detects_corruption;
+    QCheck_alcotest.to_alcotest tcp_roundtrip;
+    Alcotest.test_case "tcp checksum detects corruption" `Quick test_tcp_checksum_detects_corruption;
+    Alcotest.test_case "fabric unicast" `Quick test_fabric_unicast;
+    Alcotest.test_case "fabric broadcast" `Quick test_fabric_broadcast;
+    Alcotest.test_case "fabric latency model" `Quick test_fabric_latency;
+    Alcotest.test_case "fabric serialization queueing" `Quick test_fabric_serialization_queueing;
+    Alcotest.test_case "fabric loss spares lossless class" `Quick test_fabric_loss;
+    Alcotest.test_case "dpdk tx/rx" `Quick test_dpdk_tx_rx;
+    Alcotest.test_case "dpdk rx ring overflow" `Quick test_dpdk_ring_overflow;
+    Alcotest.test_case "rdma send/recv" `Quick test_rdma_send_recv;
+    Alcotest.test_case "rdma rnr drop without recv buffer" `Quick test_rdma_rnr_drop;
+    Alcotest.test_case "rdma ordered delivery" `Quick test_rdma_ordering;
+    Alcotest.test_case "rdma one-sided write" `Quick test_rdma_one_sided_write;
+    Alcotest.test_case "rdma write with bad rkey" `Quick test_rdma_write_bad_rkey;
+    Alcotest.test_case "ssd write/read" `Quick test_ssd_write_read;
+    Alcotest.test_case "ssd latency model" `Quick test_ssd_latency;
+    Alcotest.test_case "ssd bounds check" `Quick test_ssd_out_of_bounds;
+    Alcotest.test_case "ssd serializes commands" `Quick test_ssd_serializes_commands;
+  ]
