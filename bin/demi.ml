@@ -129,6 +129,41 @@ let echo_cmd =
           end)
       $ count_arg $ flavor $ msg_size $ persist $ profile $ trace_flag)
 
+let run_selfcheck ~seed ~count =
+  let r = Harness.Selfcheck.run ~seed ~count () in
+  Harness.Selfcheck.print Format.std_formatter r;
+  if not r.Harness.Selfcheck.ok then exit 1
+
+let selfcheck_seed =
+  Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Simulation seed.")
+
+let selfcheck_count =
+  Arg.(value & opt int 64 & info [ "echos" ] ~docv:"N" ~doc:"Echos per flavor per run.")
+
+let selfcheck_cmd =
+  Cmd.v
+    (Cmd.info "selfcheck"
+       ~doc:
+         "Determinism self-check: run the echo scenario twice from the same seed and \
+          verify trace digests and metric tables are identical.")
+    Term.(
+      const (fun seed count -> run_selfcheck ~seed ~count) $ selfcheck_seed $ selfcheck_count)
+
+(* `demi --selfcheck` (no subcommand) also works, for scripts and CI. *)
+let default_term =
+  let selfcheck_flag =
+    Arg.(value & flag & info [ "selfcheck" ] ~doc:"Run the determinism self-check.")
+  in
+  Term.(
+    ret
+      (const (fun selfcheck seed count ->
+           if selfcheck then begin
+             run_selfcheck ~seed ~count;
+             `Ok ()
+           end
+           else `Help (`Pager, None))
+      $ selfcheck_flag $ selfcheck_seed $ selfcheck_count))
+
 let cmds =
   [
     simple "fig5" "Echo RTT comparison (Figure 5)." (fun () ->
@@ -153,8 +188,9 @@ let cmds =
         Harness.Loc.print ~title:"Table 2: library OS sizes" (Harness.Loc.table2 ());
         Harness.Loc.print ~title:"Table 3: application sizes" (Harness.Loc.table3 ()));
     echo_cmd;
+    selfcheck_cmd;
   ]
 
 let () =
   let info = Cmd.info "demi" ~doc:"Demikernel reproduction experiment driver." in
-  exit (Cmd.eval (Cmd.group info cmds))
+  exit (Cmd.eval (Cmd.group ~default:default_term info cmds))

@@ -1,0 +1,14 @@
+(* dlint: determinism and zero-copy discipline lint.
+
+   Usage: dlint [DIR ...]   (default: lib)
+
+   Walks every .ml file under the given roots and rejects violations of
+   the rules in Lint.Rules; exits 1 when any survive the allowlist and
+   inline dlint-allow annotations. Wired into `dune runtest` via the
+   @lint alias. *)
+
+let () =
+  let roots = match Array.to_list Sys.argv with _ :: (_ :: _ as rs) -> rs | _ -> [ "lib" ] in
+  let violations = List.concat_map Lint.Driver.check_tree roots in
+  Lint.Driver.report Format.std_formatter violations;
+  if violations <> [] then exit 1

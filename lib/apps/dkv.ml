@@ -81,7 +81,9 @@ let reply srv qd status value_sga =
   | _ -> failwith "dkv: unexpected push completion"
 
 let store_bytes srv =
-  Hashtbl.fold (fun k v n -> n + String.length k + Memory.Heap.length v) srv.store 0
+  Engine.Det.hashtbl_fold_sorted ~compare:String.compare srv.store
+    (fun k v n -> n + String.length k + Memory.Heap.length v)
+    0
 
 (* AOF compaction: once the live tail of the log is several times the
    store's size, write a snapshot (one SET record per live key) and
@@ -95,12 +97,13 @@ let rec maybe_compact srv log =
   let live = srv.aof_off - srv.aof_live_floor in
   if srv.compaction && live > max 262_144 (8 * store_bytes srv) then begin
     let snapshot_start = srv.aof_off in
-    Hashtbl.iter
+    (* Snapshot in key order: the snapshot's byte layout (and hence the
+       persisted log) must not depend on Hashtbl hashing. *)
+    Engine.Det.hashtbl_iter_sorted ~compare:String.compare srv.store
       (fun key value ->
         append_record srv log [ srv.api.Pdpix.alloc_str
             (Framing.encode (encode_request ~cmd:cmd_set ~key ~value:(Memory.Heap.to_string value))) ]
-          ~free_after:true)
-      srv.store;
+          ~free_after:true);
     (try srv.api.Pdpix.truncate log snapshot_start
      with Pdpix.Unsupported _ -> srv.compaction <- false);
     srv.aof_live_floor <- snapshot_start

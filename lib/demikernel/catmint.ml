@@ -261,14 +261,16 @@ let fast_path t slot () =
     | [] ->
         (* Grant updates land silently in credit cells; retry stalled
            senders on every poll round. *)
-        Hashtbl.iter (fun _ ch -> flush_pending t ch) t.chans;
+        Engine.Det.hashtbl_iter_sorted ~compare:Int.compare t.chans (fun _ ch ->
+            flush_pending t ch);
         ignore (Runtime.maybe_park t.rt slot);
         Dsched.yield sched
     | completions ->
         Runtime.fp_busy slot;
         charge t (cost t).Net.Cost.libos_poll_ns;
         List.iter (handle_completion t) completions;
-        Hashtbl.iter (fun _ ch -> flush_pending t ch) t.chans;
+        Engine.Det.hashtbl_iter_sorted ~compare:Int.compare t.chans (fun _ ch ->
+            flush_pending t ch);
         Dsched.yield sched);
     loop ()
   in

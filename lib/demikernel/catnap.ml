@@ -31,9 +31,14 @@ let service t =
     progress := true;
     Runtime.complete t.rt qt c
   in
-  (* Snapshot the table: servicing an accept inserts new entries, and
-     mutating a Hashtbl during iteration is undefined. *)
-  let entries = Hashtbl.fold (fun _ e acc -> e :: acc) t.qds [] in
+  (* Snapshot the table in ascending qd order: servicing an accept
+     inserts new entries (mutating a Hashtbl during iteration is
+     undefined), and hash order would service queues in a
+     seed-dependent sequence. *)
+  let entries =
+    List.rev (Engine.Det.hashtbl_fold_sorted ~compare:Stdlib.compare t.qds
+        (fun _ e acc -> e :: acc) [])
+  in
   List.iter
     (fun entry ->
       match entry with

@@ -6,7 +6,9 @@ type t = {
 }
 
 let create sim ~name ~cost ~heap_mode =
-  { sim; name; cost; heap = Memory.Heap.create ~label:name ~mode:heap_mode () }
+  let heap = Memory.Heap.create ~label:name ~mode:heap_mode () in
+  Engine.Sim.at_teardown sim (fun () -> Memory.Heap.log_teardown heap);
+  { sim; name; cost; heap }
 
 let charge t ns = if ns > 0 then Engine.Fiber.sleep t.sim ns
 

@@ -1,0 +1,14 @@
+let hashtbl_sorted_keys ~compare tbl =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+  List.sort_uniq compare keys
+
+let hashtbl_iter_sorted ~compare tbl f =
+  List.iter
+    (fun k -> match Hashtbl.find_opt tbl k with Some v -> f k v | None -> ())
+    (hashtbl_sorted_keys ~compare tbl)
+
+let hashtbl_fold_sorted ~compare tbl f init =
+  List.fold_left
+    (fun acc k -> match Hashtbl.find_opt tbl k with Some v -> f k v acc | None -> acc)
+    init
+    (hashtbl_sorted_keys ~compare tbl)

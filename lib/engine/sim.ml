@@ -5,6 +5,7 @@ type t = {
   mutable stopped : bool;
   mutable processed : int;
   mutable tracer : Trace.t option;
+  mutable teardown_hooks : (unit -> unit) list; (* newest first *)
 }
 
 let create ?(seed = 1L) () =
@@ -15,6 +16,7 @@ let create ?(seed = 1L) () =
     stopped = false;
     processed = 0;
     tracer = None;
+    teardown_hooks = [];
   }
 
 let now t = t.now
@@ -53,6 +55,15 @@ let run ?until t =
   loop ()
 
 let events_processed t = t.processed
+
+let at_teardown t hook = t.teardown_hooks <- hook :: t.teardown_hooks
+
+let teardown t =
+  (* Registration order (oldest first), and idempotent: a second call is
+     a no-op unless new hooks were registered in between. *)
+  let hooks = List.rev t.teardown_hooks in
+  t.teardown_hooks <- [];
+  List.iter (fun hook -> hook ()) hooks
 
 let enable_trace ?capacity t =
   match t.tracer with

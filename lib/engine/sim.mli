@@ -32,6 +32,18 @@ val run : ?until:Clock.t -> t -> unit
 val events_processed : t -> int
 (** Total events executed, for sanity checks and reporting. *)
 
+(** {1 Teardown} *)
+
+val at_teardown : t -> (unit -> unit) -> unit
+(** Register a hook to run when the experiment is torn down. Hosts use
+    this to emit end-of-run reports (e.g. the heap sanitizer's
+    leak/double-free summary). *)
+
+val teardown : t -> unit
+(** Run the registered hooks in registration order, then clear them
+    (calling twice is harmless). Harness entry points call this after
+    the final [run]. *)
+
 (** {1 Tracing} *)
 
 val enable_trace : ?capacity:int -> t -> Trace.t

@@ -21,6 +21,30 @@ let events t =
 
 let dropped t = max 0 (t.count - t.capacity)
 
+(* FNV-1a over the retained events plus the total count. Implemented by
+   hand (rather than Digest) so the digest is a stable function of the
+   event stream alone — no dependency on marshalling layout. *)
+let digest t =
+  let h = ref 0xcbf29ce484222325L in
+  let prime = 0x100000001b3L in
+  let byte b = h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) prime in
+  let string s = String.iter (fun c -> byte (Char.code c)) s in
+  let int n =
+    for shift = 0 to 7 do
+      byte ((n lsr (shift * 8)) land 0xff)
+    done
+  in
+  int t.count;
+  List.iter
+    (fun (time, category, msg) ->
+      int time;
+      string category;
+      byte 0;
+      string msg;
+      byte 1)
+    (events t);
+  Printf.sprintf "%016Lx" !h
+
 let dump ?categories ?last fmt t =
   let evs = events t in
   let evs =

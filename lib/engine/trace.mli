@@ -19,6 +19,12 @@ val events : t -> (Clock.t * string * string) list
 
 val dropped : t -> int
 
+val digest : t -> string
+(** A stable 64-bit FNV-1a digest (as 16 hex chars) of the retained
+    events and the total event count. Two runs of the same scenario from
+    the same seed must produce equal digests — the determinism
+    self-check ([demi --selfcheck]) is built on this. *)
+
 val dump : ?categories:string list -> ?last:int -> Format.formatter -> t -> unit
 (** Print the timeline, optionally filtered to [categories] and/or the
     [last] n events. *)

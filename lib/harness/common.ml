@@ -7,7 +7,9 @@ let make_world ?(cost = Net.Cost.bare_metal) ?(loss = 0.) ?(seed = 1L) () =
   let fabric = Net.Fabric.create sim ~cost ~loss () in
   { sim; fabric; cost }
 
-let run_world ?(horizon_s = 600) w = Engine.Sim.run ~until:(Engine.Clock.s horizon_s) w.sim
+let run_world ?(horizon_s = 600) w =
+  Engine.Sim.run ~until:(Engine.Clock.s horizon_s) w.sim;
+  Engine.Sim.teardown w.sim
 
 type echo_proto = Echo_tcp | Echo_udp
 

@@ -1,0 +1,87 @@
+type fingerprint = { digest : string; events : int; metrics : string }
+type result = { seed : int64; first : fingerprint; second : fingerprint; ok : bool }
+
+let heap_line name (s : Memory.Heap.stats) =
+  Printf.sprintf "  heap %-12s alloc=%d free=%d live=%d uaf_protected=%d bytes_copied=%d"
+    name s.allocations s.frees s.live s.uaf_protected s.bytes_copied
+
+let flavor_name = function
+  | Demikernel.Boot.Catnap_os -> "catnap"
+  | Demikernel.Boot.Catnip_os -> "catnip"
+  | Demikernel.Boot.Catmint_os -> "catmint"
+
+(* One traced echo scenario; returns (trace digest, events, metrics lines). *)
+let scenario ~seed ~count flavor =
+  let sim = Engine.Sim.create ~seed () in
+  let tracer = Engine.Sim.enable_trace sim in
+  let fabric = Net.Fabric.create sim ~cost:Net.Cost.bare_metal () in
+  let server = Demikernel.Boot.make sim fabric ~index:1 flavor in
+  let client = Demikernel.Boot.make sim fabric ~index:2 flavor in
+  let hist = Metrics.Histogram.create () in
+  Demikernel.Boot.run_app server (Apps.Echo.server ~port:7 ~persist:false);
+  Demikernel.Boot.run_app client
+    (Apps.Echo.client
+       ~dst:(Demikernel.Boot.endpoint server 7)
+       ~msg_size:256 ~count
+       ~record:(Metrics.Histogram.add hist));
+  Demikernel.Boot.start server;
+  Demikernel.Boot.start client;
+  Engine.Sim.run ~until:(Engine.Clock.s 60) sim;
+  Engine.Sim.teardown sim;
+  let name = flavor_name flavor in
+  let heap_of (node : Demikernel.Boot.node) =
+    Memory.Heap.stats node.Demikernel.Boot.host.Demikernel.Host.heap
+  in
+  let metrics =
+    String.concat "\n"
+      [
+        Printf.sprintf "  %-8s echos=%d rtt: mean=%.0fns p50=%dns p99=%dns" name
+          (Metrics.Histogram.count hist) (Metrics.Histogram.mean hist)
+          (Metrics.Histogram.p50 hist) (Metrics.Histogram.p99 hist);
+        heap_line (name ^ "-server") (heap_of server);
+        heap_line (name ^ "-client") (heap_of client);
+      ]
+  in
+  (Engine.Trace.digest tracer, Engine.Sim.events_processed sim, metrics)
+
+let fingerprint ~seed ~count =
+  let runs =
+    List.map
+      (scenario ~seed ~count)
+      [ Demikernel.Boot.Catnip_os; Demikernel.Boot.Catmint_os ]
+  in
+  {
+    digest = String.concat "+" (List.map (fun (d, _, _) -> d) runs);
+    events = List.fold_left (fun acc (_, e, _) -> acc + e) 0 runs;
+    metrics = String.concat "\n" (List.map (fun (_, _, m) -> m) runs);
+  }
+
+let run ?(seed = 42L) ?(count = 64) () =
+  (* Arm the heap sanitizer for the duration: the self-check doubles as
+     an end-to-end exercise of poison/canary/leak reporting. *)
+  let prior = Memory.Heap.sanitize_default () in
+  Memory.Heap.set_sanitize_default true;
+  Fun.protect
+    ~finally:(fun () -> Memory.Heap.set_sanitize_default prior)
+    (fun () ->
+      let first = fingerprint ~seed ~count in
+      let second = fingerprint ~seed ~count in
+      let ok =
+        String.equal first.digest second.digest
+        && first.events = second.events
+        && String.equal first.metrics second.metrics
+      in
+      { seed; first; second; ok })
+
+let print fmt r =
+  Format.fprintf fmt "determinism selfcheck (seed %Ld): two full runs per flavor@." r.seed;
+  Format.fprintf fmt "  trace digest  %s@." r.first.digest;
+  Format.fprintf fmt "  events        %d@." r.first.events;
+  Format.fprintf fmt "%s@." r.first.metrics;
+  if r.ok then Format.fprintf fmt "selfcheck PASSED: identical trace digests and metric tables@."
+  else begin
+    Format.fprintf fmt "selfcheck FAILED: runs diverged@.";
+    Format.fprintf fmt "  second digest %s@." r.second.digest;
+    Format.fprintf fmt "  second events %d@." r.second.events;
+    Format.fprintf fmt "%s@." r.second.metrics
+  end

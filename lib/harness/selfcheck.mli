@@ -1,0 +1,27 @@
+(** Determinism self-check (the §6.3 property, testbed-wide).
+
+    Runs a fixed scenario — closed-loop echo over Catnip (DPDK/TCP) and
+    Catmint (RDMA), with tracing and the heap sanitizer armed — twice
+    from the same seed, and compares a fingerprint of each run: the
+    {!Engine.Trace.digest} of the full event trace, the number of
+    simulator events processed, and a rendered table of the final
+    metrics (RTT distribution and per-host heap statistics). Any
+    divergence means something in the stack consulted an unseeded or
+    order-dependent source, which the repro must never do.
+
+    Exposed to operators as [demi --selfcheck] and to CI as a unit
+    test. *)
+
+type fingerprint = {
+  digest : string; (* Trace.digest over both flavors' traces *)
+  events : int; (* total simulator events processed *)
+  metrics : string; (* rendered final-metrics table *)
+}
+
+type result = { seed : int64; first : fingerprint; second : fingerprint; ok : bool }
+
+val run : ?seed:int64 -> ?count:int -> unit -> result
+(** [count] (default 64) echos per flavor per run. *)
+
+val print : Format.formatter -> result -> unit
+(** Human-readable verdict; on divergence, prints both fingerprints. *)

@@ -1,0 +1,18 @@
+(** Central per-file exemptions for dlint rules.
+
+    Each entry names one file (by path suffix, so the same entry works
+    whatever root dlint was pointed at), one rule id, and a
+    justification string explaining why the file is exempt. Exemptions
+    are deliberate, reviewed decisions — a new violation in a file that
+    is not listed (or a typo'd rule id) still fails the lint. *)
+
+type entry = {
+  path_suffix : string; (* e.g. "lib/tcp/stack.ml" *)
+  rule : string; (* a member of {!Rules.rule_ids} *)
+  justification : string;
+}
+
+val entries : entry list
+
+val find : path:string -> rule:string -> entry option
+(** The entry covering [path] (by suffix match) for [rule], if any. *)

@@ -1,0 +1,26 @@
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let scan_file path =
+  let violations = Rules.scan_string ~path (read_file path) in
+  List.filter
+    (fun (v : Rules.violation) -> Allowlist.find ~path ~rule:v.rule = None)
+    violations
+
+let rec check_tree root =
+  if Sys.is_directory root then
+    Sys.readdir root |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun name ->
+           if String.length name > 0 && name.[0] = '.' then []
+           else check_tree (Filename.concat root name))
+  else if Filename.check_suffix root ".ml" then scan_file root
+  else []
+
+let report fmt violations =
+  List.iter (fun v -> Format.fprintf fmt "%a@." Rules.pp_violation v) violations;
+  match List.length violations with
+  | 0 -> Format.fprintf fmt "dlint: clean@."
+  | n -> Format.fprintf fmt "dlint: %d violation(s)@." n

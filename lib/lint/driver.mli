@@ -1,0 +1,15 @@
+(** File-system driver for dlint: walks source trees, applies
+    {!Rules.scan_string} to every [.ml] file, filters through
+    {!Allowlist}, and reports. *)
+
+val scan_file : string -> Rules.violation list
+(** Lint one file (allowlist applied). *)
+
+val check_tree : string -> Rules.violation list
+(** Recursively lint every [.ml] under a root directory, visiting
+    entries in sorted order so diagnostics are stable. Directories whose
+    name starts with ['.'] (build artefacts) are skipped. *)
+
+val report : Format.formatter -> Rules.violation list -> unit
+(** Print one [file:line: [rule] message] diagnostic per violation and a
+    summary line. *)

@@ -1,0 +1,317 @@
+type violation = { path : string; line : int; rule : string; message : string }
+
+let rule_determinism = "determinism-source"
+let rule_hashtbl = "unordered-hashtbl"
+let rule_copy = "unaccounted-copy"
+let rule_poly = "poly-compare-buffer"
+let rule_ids = [ rule_determinism; rule_hashtbl; rule_copy; rule_poly ]
+
+(* ---------- path classification ---------- *)
+
+(* The first directory component after a "lib" segment, so rules scope
+   the same way whether dlint was handed "lib", "../lib" or an absolute
+   path. *)
+let lib_subdir path =
+  let rec go = function
+    | "lib" :: sub :: _ :: _ -> Some sub
+    | _ :: rest -> go rest
+    | [] -> None
+  in
+  go (String.split_on_char '/' path)
+
+let datapath_dirs = [ "tcp"; "demikernel"; "apps"; "net" ]
+let zero_copy_dirs = [ "memory"; "tcp"; "net"; "demikernel" ]
+let poly_compare_dirs = "apps" :: zero_copy_dirs
+
+(* ---------- lexical stripping ---------- *)
+
+(* Blank out comment bodies and string/char literal contents (keeping
+   newlines) so token scans cannot match inside them. Handles nested
+   comments, escape sequences, and distinguishes char literals from
+   type variables. *)
+let strip_comments_and_strings src =
+  let n = String.length src in
+  let out = Bytes.of_string src in
+  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
+  let rec in_string i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | '"' ->
+          blank i;
+          i + 1
+      | '\\' when i + 1 < n ->
+          blank i;
+          blank (i + 1);
+          in_string (i + 2)
+      | _ ->
+          blank i;
+          in_string (i + 1)
+  in
+  let rec in_comment depth i =
+    if i >= n then i
+    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
+      blank i;
+      blank (i + 1);
+      in_comment (depth + 1) (i + 2)
+    end
+    else if i + 1 < n && src.[i] = '*' && src.[i + 1] = ')' then begin
+      blank i;
+      blank (i + 1);
+      if depth = 1 then i + 2 else in_comment (depth - 1) (i + 2)
+    end
+    else begin
+      blank i;
+      in_comment depth (i + 1)
+    end
+  in
+  let rec go i =
+    if i >= n then ()
+    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
+      blank i;
+      blank (i + 1);
+      go (in_comment 1 (i + 2))
+    end
+    else
+      match src.[i] with
+      | '"' ->
+          blank i;
+          go (in_string (i + 1))
+      | '\'' ->
+          if i + 2 < n && src.[i + 1] = '\\' then begin
+            (* escaped char literal: blank through the closing quote *)
+            let rec close j =
+              if j >= n then j
+              else if src.[j] = '\'' then begin
+                blank j;
+                j + 1
+              end
+              else begin
+                blank j;
+                close (j + 1)
+              end
+            in
+            blank i;
+            blank (i + 1);
+            go (close (i + 2))
+          end
+          else if i + 2 < n && src.[i + 2] = '\'' then begin
+            blank i;
+            blank (i + 1);
+            blank (i + 2);
+            go (i + 3)
+          end
+          else go (i + 1) (* type variable like 'a *)
+      | _ -> go (i + 1)
+  in
+  go 0;
+  Bytes.to_string out
+
+(* ---------- token scanning ---------- *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = '\''
+
+(* Whole-token occurrence: the character before must not be an
+   identifier character (a qualifying '.' is fine, so [Stdlib.Random.]
+   still matches "Random."), and when the token ends in an identifier
+   character the next one must not extend it (so "Bytes.sub" does not
+   match inside "Bytes.sub_string"). *)
+let contains_token line token =
+  let n = String.length line and m = String.length token in
+  let tail_is_ident = m > 0 && is_ident_char token.[m - 1] in
+  let rec at i =
+    if i + m > n then false
+    else if
+      String.sub line i m = token
+      && (i = 0 || not (is_ident_char line.[i - 1]))
+      && ((not tail_is_ident) || i + m >= n || not (is_ident_char line.[i + m]))
+    then true
+    else at (i + 1)
+  in
+  at 0
+
+let word_at line i =
+  let n = String.length line in
+  let rec start j = if j > 0 && (is_ident_char line.[j - 1] || line.[j - 1] = '.') then start (j - 1) else j in
+  let rec stop j = if j < n && (is_ident_char line.[j] || line.[j] = '.') then stop (j + 1) else j in
+  let s = start i and e = stop i in
+  if e > s then String.sub line s (e - s) else ""
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  at 0
+
+let names_a_buffer ident = contains_sub (String.lowercase_ascii ident) "buf"
+
+(* poly-compare pattern A: a polymorphic [compare] (bare or
+   Stdlib-qualified, not a labelled argument) applied to a
+   buffer-named first argument. *)
+let poly_compare_call line =
+  let n = String.length line in
+  let tok = "compare" and m = 7 in
+  let rec at i =
+    if i + m > n then false
+    else if
+      String.sub line i m = tok
+      && (i = 0 || not (is_ident_char line.[i - 1]))
+      && (i + m >= n || not (is_ident_char line.[i + m]))
+      && (i = 0 || line.[i - 1] <> '~')
+      && (i + m >= n || line.[i + m] <> ':')
+      && (i = 0
+         || line.[i - 1] <> '.'
+         ||
+         let q = word_at line (i - 2) in
+         q = "Stdlib" || q = "Stdlib.compare")
+    then
+      (* first argument after the call *)
+      let rec skip_ws j = if j < n && line.[j] = ' ' then skip_ws (j + 1) else j in
+      let j = skip_ws (i + m) in
+      if j < n && (is_ident_char line.[j] || line.[j] = '(') then
+        let arg = word_at line (if line.[j] = '(' then j + 1 else j) in
+        if names_a_buffer arg then true else at (i + 1)
+      else at (i + 1)
+    else at (i + 1)
+  in
+  at 0
+
+(* poly-compare pattern B: [buf_x = buf_y] / [buf_x <> buf_y] in a
+   conditional context. The context requirement keeps record-literal
+   fields like [{ seg_buf = buf }] from matching. *)
+let poly_eq_on_buffers line =
+  let n = String.length line in
+  let in_condition =
+    contains_token line "if" || contains_token line "when" || contains_sub line "&&"
+    || contains_sub line "||"
+  in
+  in_condition
+  &&
+  let rec at i =
+    if i >= n then false
+    else if
+      line.[i] = '='
+      && (i = 0 || not (List.mem line.[i - 1] [ '<'; '>'; '!'; '='; ':'; '+'; '-'; '*' ]))
+      && (i + 1 >= n || line.[i + 1] <> '=')
+      || (i + 1 < n && line.[i] = '<' && line.[i + 1] = '>')
+    then begin
+      let left = if i > 1 then word_at line (i - 2) else "" in
+      let skip = if i + 1 < n && line.[i] = '<' then 2 else 1 in
+      let rec skip_ws j = if j < n && line.[j] = ' ' then skip_ws (j + 1) else j in
+      let j = skip_ws (i + skip) in
+      let right = if j < n then word_at line j else "" in
+      if names_a_buffer left && names_a_buffer right then true else at (i + 1)
+    end
+    else at (i + 1)
+  in
+  at 1
+
+(* ---------- inline allow annotations ---------- *)
+
+(* A comment containing [dlint-allow: <rule-id> -- justification]
+   suppresses that rule on the same line and the line below. *)
+let inline_allows raw_lines =
+  let marker = "dlint-allow:" in
+  let allows = Hashtbl.create 8 in
+  Array.iteri
+    (fun idx line ->
+      let n = String.length line and m = String.length marker in
+      let rec find i =
+        if i + m > n then ()
+        else if String.sub line i m = marker then begin
+          let rec skip_ws j = if j < n && line.[j] = ' ' then skip_ws (j + 1) else j in
+          let j = skip_ws (i + m) in
+          let rec stop k =
+            if k < n && (is_ident_char line.[k] || line.[k] = '-') then stop (k + 1) else k
+          in
+          let rule = String.sub line j (stop j - j) in
+          if rule <> "" then begin
+            Hashtbl.replace allows (idx + 1, rule) ();
+            Hashtbl.replace allows (idx + 2, rule) ()
+          end
+        end
+        else find (i + 1)
+      in
+      find 0)
+    raw_lines;
+  fun ~line ~rule -> Hashtbl.mem allows (line, rule)
+
+(* ---------- the scanner ---------- *)
+
+let determinism_tokens = [ "Random."; "Unix."; "Sys.time" ]
+let hashtbl_tokens = [ "Hashtbl.iter"; "Hashtbl.fold" ]
+
+let copy_tokens =
+  [ "Bytes.blit_string"; "Bytes.blit"; "Bytes.sub_string"; "Bytes.sub"; "Bytes.copy" ]
+
+let accounting_tokens = [ "note_copy"; "charge_copy" ]
+
+let scan_string ~path contents =
+  let sub = lib_subdir path in
+  let in_dirs dirs = match sub with Some d -> List.mem d dirs | None -> false in
+  let stripped = strip_comments_and_strings contents in
+  let lines = Array.of_list (String.split_on_char '\n' stripped) in
+  let raw_lines = Array.of_list (String.split_on_char '\n' contents) in
+  let allowed = inline_allows raw_lines in
+  let nlines = Array.length lines in
+  let accounted idx =
+    let lo = max 0 (idx - 3) and hi = min (nlines - 1) (idx + 3) in
+    let rec any i =
+      i <= hi
+      && (List.exists (contains_token lines.(i)) accounting_tokens || any (i + 1))
+    in
+    any lo
+  in
+  let out = ref [] in
+  let emit ~line ~rule message =
+    if not (allowed ~line ~rule) then out := { path; line; rule; message } :: !out
+  in
+  Array.iteri
+    (fun idx line ->
+      let lno = idx + 1 in
+      (* determinism-source: everywhere but the engine itself *)
+      if sub <> Some "engine" then
+        List.iter
+          (fun tok ->
+            if contains_token line tok then
+              emit ~line:lno ~rule:rule_determinism
+                (Printf.sprintf
+                   "%s* is an ambient nondeterminism source; draw randomness from \
+                    Engine.Prng and time from Engine.Clock (only lib/engine may touch it)"
+                   tok))
+          determinism_tokens;
+      (* unordered-hashtbl: datapath modules *)
+      if in_dirs datapath_dirs then
+        List.iter
+          (fun tok ->
+            if contains_token line tok then
+              emit ~line:lno ~rule:rule_hashtbl
+                (Printf.sprintf
+                   "%s visits bindings in hash order, which differs between runs; use \
+                    Engine.Det.hashtbl_iter_sorted / hashtbl_fold_sorted"
+                   tok))
+          hashtbl_tokens;
+      (* unaccounted-copy: zero-copy modules, one diagnostic per line *)
+      if in_dirs zero_copy_dirs then begin
+        match List.find_opt (contains_token line) copy_tokens with
+        | Some tok when not (accounted idx) ->
+            emit ~line:lno ~rule:rule_copy
+              (Printf.sprintf
+                 "%s copies payload bytes without accounting; record it with \
+                  Heap.note_copy / Host.charge_copy within 3 lines, or add an allowlist \
+                  justification"
+                 tok)
+        | Some _ | None -> ()
+      end;
+      (* poly-compare-buffer *)
+      if in_dirs poly_compare_dirs && (poly_compare_call line || poly_eq_on_buffers line)
+      then
+        emit ~line:lno ~rule:rule_poly
+          "polymorphic compare/equality on a buffer value; Heap.buffer contains cyclic \
+           superblock links — compare by identity or explicit fields instead")
+    lines;
+  List.rev !out
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%s:%d: [%s] %s" v.path v.line v.rule v.message

@@ -1,0 +1,51 @@
+(** The dlint rule set.
+
+    Four rules guard the two invariants the reproduction depends on —
+    Catnip-style determinism ("deterministic and parameterized on time",
+    §6.3, extended by DESIGN.md to the whole testbed) and zero-copy
+    buffer discipline (§5.3):
+
+    - [determinism-source]: [Random.*], [Unix.*] and [Sys.time] are
+      banned everywhere under [lib/] except [lib/engine/] — randomness
+      must flow through [Engine.Prng], time through [Engine.Clock].
+    - [unordered-hashtbl]: [Hashtbl.iter]/[Hashtbl.fold] are banned in
+      the datapath modules ([lib/tcp], [lib/demikernel], [lib/apps],
+      [lib/net]) because their visit order depends on hashing; use
+      [Engine.Det.hashtbl_iter_sorted]/[hashtbl_fold_sorted].
+    - [unaccounted-copy]: raw [Bytes.blit]/[Bytes.sub]/[Bytes.copy]
+      (and their [_string] variants) in the zero-copy modules
+      ([lib/memory], [lib/tcp], [lib/net], [lib/demikernel]) must sit
+      within three lines of a [note_copy]/[charge_copy] call so the
+      copy shows up in the heap's [bytes_copied] ledger — or carry an
+      allowlist justification.
+    - [poly-compare-buffer]: polymorphic [compare]/[=]/[<>] applied to
+      buffer-named values in zero-copy modules and apps; buffer handles
+      contain cyclic superblock links and must be compared by identity
+      or by explicit fields.
+
+    Scanning is purely lexical: comments and string/char literals are
+    stripped first, so a banned name inside a docstring does not trip
+    the lint. A violation can be suppressed in place with a comment
+    containing [dlint-allow: <rule-id> -- <justification>] on the same
+    or the preceding line, or centrally in {!Allowlist.entries}. *)
+
+type violation = {
+  path : string;
+  line : int; (* 1-based *)
+  rule : string;
+  message : string;
+}
+
+val rule_ids : string list
+
+val strip_comments_and_strings : string -> string
+(** Replace comment bodies and string/char literal contents with spaces
+    (newlines preserved), so token scans can't match inside them. *)
+
+val scan_string : path:string -> string -> violation list
+(** All rule violations for one source file, in line order. Inline
+    [dlint-allow] annotations are honoured; the central
+    {!Allowlist.entries} is NOT applied here (the driver does that). *)
+
+val pp_violation : Format.formatter -> violation -> unit
+(** Renders as [file:line: [rule] message]. *)

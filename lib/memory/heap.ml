@@ -2,8 +2,20 @@ type mode = Pool_backed | Register_on_demand | Not_dma
 
 exception Double_free
 exception Bad_refcount
+exception Canary_violation of string
 
 let objects_per_superblock = 64
+
+(* ---------- sanitizer mode ---------- *)
+
+(* Freed objects are filled with this pattern; any non-poison byte seen
+   in a free slot is a write-after-free. 0xDE so hex dumps read as the
+   classic dead pattern. *)
+let poison_byte = '\xde'
+
+let sanitize_default_flag = ref false
+let set_sanitize_default b = sanitize_default_flag := b
+let sanitize_default () = !sanitize_default_flag
 
 type superblock = {
   class_index : int;
@@ -15,6 +27,7 @@ type superblock = {
   app_bits : bool array;
   os_bits : bool array;
   os_overflow : (int, int) Hashtbl.t; (* slot -> extra libOS refs beyond the bit *)
+  sites : string array; (* last allocation-site label per slot (sanitizer) *)
   mutable rkey : int option;
   mutable in_partial : bool;
   heap : t;
@@ -24,7 +37,9 @@ and t = {
   label : string;
   mode : mode;
   headroom : int;
+  sanitize : bool;
   partial : superblock list array; (* per class, superblocks with free slots *)
+  mutable all_superblocks : superblock list; (* newest first; for end-of-run scans *)
   mutable next_rkey : int;
   mutable superblock_count : int;
   mutable registered : int;
@@ -33,6 +48,8 @@ and t = {
   mutable live : int;
   mutable uaf_protected : int;
   mutable bytes_copied : int;
+  mutable canary_violations : int;
+  mutable double_frees : int;
 }
 
 type buffer = {
@@ -52,12 +69,15 @@ type stats = {
   bytes_copied : int;
 }
 
-let create ?(label = "heap") ?(headroom = 128) ~mode () =
+let create ?(label = "heap") ?(headroom = 128) ?sanitize ~mode () =
+  let sanitize = match sanitize with Some b -> b | None -> !sanitize_default_flag in
   {
     label;
     mode;
     headroom;
+    sanitize;
     partial = Array.make Sizeclass.class_count [];
+    all_superblocks = [];
     next_rkey = 1;
     superblock_count = 0;
     registered = 0;
@@ -66,7 +86,11 @@ let create ?(label = "heap") ?(headroom = 128) ~mode () =
     live = 0;
     uaf_protected = 0;
     bytes_copied = 0;
+    canary_violations = 0;
+    double_frees = 0;
   }
+
+let sanitizing t = t.sanitize
 
 let mode t = t.mode
 let label t = t.label
@@ -95,18 +119,48 @@ let new_superblock t class_index =
       app_bits = Array.make objects_per_superblock false;
       os_bits = Array.make objects_per_superblock false;
       os_overflow = Hashtbl.create 4;
+      sites = Array.make objects_per_superblock "";
       rkey = None;
       in_partial = true;
       heap = t;
     }
   in
+  if t.sanitize then Bytes.fill sb.store 0 (Bytes.length sb.store) poison_byte;
   t.superblock_count <- t.superblock_count + 1;
+  t.all_superblocks <- sb :: t.all_superblocks;
   (match t.mode with
   | Pool_backed -> register_superblock sb
   | Register_on_demand | Not_dma -> ());
   sb
 
-let alloc t size =
+(* Scan a free slot for non-poison bytes; [None] means the canary is
+   intact. *)
+let canary_damage sb slot =
+  let base = slot * sb.object_size in
+  let rec scan i =
+    if i >= sb.object_size then None
+    else if Bytes.get sb.store (base + i) <> poison_byte then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let verify_canary sb slot =
+  match canary_damage sb slot with
+  | None -> ()
+  | Some i ->
+      let t = sb.heap in
+      t.canary_violations <- t.canary_violations + 1;
+      (* Re-poison so the end-of-run free-slot scan does not count this
+         same write a second time. *)
+      Bytes.fill sb.store (slot * sb.object_size) sb.object_size poison_byte;
+      let site = if sb.sites.(slot) = "" then "<unlabeled>" else sb.sites.(slot) in
+      raise
+        (Canary_violation
+           (Printf.sprintf
+              "%s: write-after-free detected at byte %d of a freed object (last owner: %s)"
+              t.label i site))
+
+let alloc ?(site = "") t size =
   let class_index = Sizeclass.index_of_size size in
   let sb =
     match t.partial.(class_index) with
@@ -118,6 +172,7 @@ let alloc t size =
   in
   let slot = sb.free_head in
   assert (slot >= 0);
+  if t.sanitize then verify_canary sb slot;
   sb.free_head <- sb.next.(slot);
   sb.free_count <- sb.free_count - 1;
   if sb.free_count = 0 then begin
@@ -125,6 +180,7 @@ let alloc t size =
     t.partial.(class_index) <- List.tl t.partial.(class_index)
   end;
   sb.app_bits.(slot) <- true;
+  sb.sites.(slot) <- site;
   t.allocations <- t.allocations + 1;
   t.live <- t.live + 1;
   { sb; slot; off = t.headroom; len = size }
@@ -147,21 +203,25 @@ let set_length b length =
     invalid_arg "Heap.set_length: length outside object";
   b.len <- length
 
+(* dlint-allow: unaccounted-copy -- test/assertion bridge out of the heap; documented in the .mli as not a datapath copy *)
 let to_string b = Bytes.sub_string b.sb.store (offset b) b.len
 
 let blit_string s b =
   let n = String.length s in
   if b.off + n > b.sb.object_size then invalid_arg "Heap.blit_string: too long";
+  (* dlint-allow: unaccounted-copy -- the fill primitive callers account through note_copy/charge_copy *)
   Bytes.blit_string s 0 b.sb.store (offset b) n;
   b.len <- n
 
-let alloc_of_string t s =
-  let b = alloc t (max 1 (String.length s)) in
+let alloc_of_string ?site t s =
+  let b = alloc ?site t (max 1 (String.length s)) in
   blit_string s b;
   b
 
 let release sb slot =
   let t = sb.heap in
+  if t.sanitize then
+    Bytes.fill sb.store (slot * sb.object_size) sb.object_size poison_byte;
   sb.next.(slot) <- sb.free_head;
   sb.free_head <- slot;
   sb.free_count <- sb.free_count + 1;
@@ -178,7 +238,10 @@ let os_ref_count sb slot =
 
 let free b =
   let sb = b.sb in
-  if not sb.app_bits.(b.slot) then raise Double_free;
+  if not sb.app_bits.(b.slot) then begin
+    sb.heap.double_frees <- sb.heap.double_frees + 1;
+    raise Double_free
+  end;
   sb.app_bits.(b.slot) <- false;
   if os_ref_count sb b.slot = 0 then release sb b.slot
   else sb.heap.uaf_protected <- sb.heap.uaf_protected + 1
@@ -233,3 +296,68 @@ let stats (t : t) : stats =
   }
 
 let live_objects (t : t) = t.live
+let site b = b.sb.sites.(b.slot)
+
+(* ---------- end-of-run sanitizer report ---------- *)
+
+type sanitizer_report = {
+  heap_label : string;
+  leaks : (string * int) list; (* allocation site -> live objects, sorted by site *)
+  canary_violations : int;
+  double_frees : int;
+}
+
+let scan_free_canaries t =
+  List.fold_left
+    (fun acc sb ->
+      let n = ref acc in
+      for slot = 0 to objects_per_superblock - 1 do
+        if (not sb.app_bits.(slot)) && os_ref_count sb slot = 0 then
+          match canary_damage sb slot with Some _ -> incr n | None -> ()
+      done;
+      !n)
+    0 t.all_superblocks
+
+let sanitizer_report (t : t) : sanitizer_report option =
+  if not t.sanitize then None
+  else begin
+    let by_site = Hashtbl.create 16 in
+    List.iter
+      (fun sb ->
+        for slot = 0 to objects_per_superblock - 1 do
+          if sb.app_bits.(slot) || os_ref_count sb slot > 0 then begin
+            let site = if sb.sites.(slot) = "" then "<unlabeled>" else sb.sites.(slot) in
+            let n = match Hashtbl.find_opt by_site site with Some n -> n | None -> 0 in
+            Hashtbl.replace by_site site (n + 1)
+          end
+        done)
+      t.all_superblocks;
+    let leaks =
+      Hashtbl.fold (fun site n acc -> (site, n) :: acc) by_site []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    Some
+      {
+        heap_label = t.label;
+        leaks;
+        canary_violations = t.canary_violations + scan_free_canaries t;
+        double_frees = t.double_frees;
+      }
+  end
+
+let pp_sanitizer_report fmt r =
+  Format.fprintf fmt "heap %S sanitizer report:@." r.heap_label;
+  Format.fprintf fmt "  canary violations (writes after free): %d@." r.canary_violations;
+  Format.fprintf fmt "  double frees: %d@." r.double_frees;
+  if r.leaks = [] then Format.fprintf fmt "  leaks: none@."
+  else
+    List.iter
+      (fun (site, n) -> Format.fprintf fmt "  leaked: %4d object(s) from %s@." n site)
+      r.leaks
+
+let log_teardown ?(fmt = Format.err_formatter) (t : t) =
+  match sanitizer_report t with
+  | None -> ()
+  | Some r ->
+      if r.canary_violations > 0 || r.double_frees > 0 || r.leaks <> [] then
+        pp_sanitizer_report fmt r

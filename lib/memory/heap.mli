@@ -48,19 +48,39 @@ type stats = {
 exception Double_free
 exception Bad_refcount
 
-val create : ?label:string -> ?headroom:int -> mode:mode -> unit -> t
+exception Canary_violation of string
+(** Raised (in sanitizer mode) when a freed object is re-allocated and
+    its poison fill has been overwritten — i.e. someone wrote through a
+    stale reference after the slot was released. *)
+
+val create : ?label:string -> ?headroom:int -> ?sanitize:bool -> mode:mode -> unit -> t
 (** A fresh heap. [headroom] (default 128 B) is reserved at the front of
-    every object for protocol headers. *)
+    every object for protocol headers. [sanitize] (default
+    {!sanitize_default}) enables the heap sanitizer: freed objects are
+    filled with a poison pattern, re-allocation verifies the poison
+    canary (raising {!Canary_violation} on a write-after-free), and
+    {!sanitizer_report} summarises leaks/double-frees at end of run. *)
 
 val mode : t -> mode
 val label : t -> string
 
-val alloc : t -> int -> buffer
-(** Allocate an object with at least [size] bytes of payload capacity.
-    The application holds the only reference. Raises [Invalid_argument]
-    for sizes outside the size classes. *)
+val sanitizing : t -> bool
 
-val alloc_of_string : t -> string -> buffer
+val set_sanitize_default : bool -> unit
+(** Default [sanitize] for heaps created afterwards; lets the CLI /
+    selfcheck harness arm the sanitizer globally without threading a
+    flag through every [create] call. *)
+
+val sanitize_default : unit -> bool
+
+val alloc : ?site:string -> t -> int -> buffer
+(** Allocate an object with at least [size] bytes of payload capacity.
+    The application holds the only reference. [site] is a free-form
+    allocation-site label the sanitizer attributes leaks and
+    write-after-free diagnostics to. Raises [Invalid_argument] for sizes
+    outside the size classes. *)
+
+val alloc_of_string : ?site:string -> t -> string -> buffer
 (** Allocate and fill with the string's bytes. *)
 
 (** {1 Buffer accessors} *)
@@ -131,3 +151,30 @@ val note_copy : t -> int -> unit
 
 val stats : t -> stats
 val live_objects : t -> int
+
+val site : buffer -> string
+(** The allocation-site label this buffer's slot was last allocated
+    with ([""] when unlabeled). *)
+
+(** {1 Sanitizer report} *)
+
+type sanitizer_report = {
+  heap_label : string;
+  leaks : (string * int) list;
+      (** Objects still live at end of run, grouped by allocation site
+          and sorted by site label. *)
+  canary_violations : int;
+      (** Writes-after-free: raised at re-alloc plus poison damage found
+          in free slots by the end-of-run scan. *)
+  double_frees : int;
+}
+
+val sanitizer_report : t -> sanitizer_report option
+(** [None] unless the heap was created with [~sanitize:true]. *)
+
+val pp_sanitizer_report : Format.formatter -> sanitizer_report -> unit
+
+val log_teardown : ?fmt:Format.formatter -> t -> unit
+(** Print the sanitizer report (default to stderr) if sanitizing and
+    there is anything to report. Hosts register this with
+    [Sim.at_teardown]. *)

@@ -25,6 +25,7 @@ type fd = int
 
 let create sim ~cost ~nic ?ssd ?(mode = Posix) () =
   let heap = Memory.Heap.create ~label:"kernel" ~mode:Memory.Heap.Not_dma () in
+  Engine.Sim.at_teardown sim (fun () -> Memory.Heap.log_teardown heap);
   let iface =
     Tcp.Iface.create ~mac:(Net.Dpdk_sim.mac nic) ~ip:(Net.Dpdk_sim.ip nic)
       ~clock:(fun () -> Engine.Sim.now sim)

@@ -145,13 +145,15 @@ let offer_fragment t (header : Net.Ipv4.header) b off =
     | None ->
         if Hashtbl.length t.fragments >= max_frag_entries then begin
           (* Evict the oldest partial datagram. *)
+          (* Sorted fold so the eviction victim is deterministic even
+             when several entries share a birth tick. *)
           let oldest =
-            Hashtbl.fold
+            Engine.Det.hashtbl_fold_sorted ~compare:Stdlib.compare t.fragments
               (fun k e acc ->
                 match acc with
                 | Some (_, age) when age <= e.born -> acc
                 | _ -> Some (k, e.born))
-              t.fragments None
+              None
           in
           match oldest with Some (k, _) -> Hashtbl.remove t.fragments k | None -> ()
         end;
@@ -231,4 +233,7 @@ let input t frame =
       else Consumed
 
 let arp_resolved t ip = Hashtbl.mem t.arp_table ip
-let pending_arp t = Hashtbl.fold (fun _ e n -> n + Queue.length e.waiting) t.parked 0
+let pending_arp t =
+  Engine.Det.hashtbl_fold_sorted ~compare:Stdlib.compare t.parked
+    (fun _ e n -> n + Queue.length e.waiting)
+    0

@@ -867,8 +867,12 @@ let handle_tcp t header b off =
 
 (* ---------- input and timers ---------- *)
 
+(* Delayed ACKs for every connection, in (local port, remote ip, remote
+   port) order — Hashtbl order would make segment emission order depend
+   on hashing. *)
 let flush_acks t =
-  Hashtbl.iter (fun _ conn -> if conn.ack_pending then send_ack conn) t.conns
+  Engine.Det.hashtbl_iter_sorted ~compare:Stdlib.compare t.conns (fun _ conn ->
+      if conn.ack_pending then send_ack conn)
 
 let input t frame =
   match Iface.input t.iface frame with
@@ -884,13 +888,13 @@ let conn_deadline conn =
   | None, None -> None
 
 let next_timer t =
-  Hashtbl.fold
+  Engine.Det.hashtbl_fold_sorted ~compare:Stdlib.compare t.conns
     (fun _ conn acc ->
       match (conn_deadline conn, acc) with
       | Some d, Some a -> Some (min d a)
       | (Some _ as d), None -> d
       | None, acc -> acc)
-    t.conns None
+    None
 
 let handshake_timeout conn =
   let t = conn.stack in
@@ -920,10 +924,10 @@ let on_timer t =
   flush_acks t;
   let current = now t in
   let expired =
-    Hashtbl.fold
+    Engine.Det.hashtbl_fold_sorted ~compare:Stdlib.compare t.conns
       (fun _ conn acc ->
         match conn_deadline conn with Some d when d <= current -> conn :: acc | _ -> acc)
-      t.conns []
+      []
   in
   List.iter
     (fun conn ->

@@ -219,6 +219,57 @@ let test_trace_thunk_lazy () =
       "recorded");
   check_bool "thunk forced when tracing on" true !forced
 
+let test_trace_digest () =
+  let mk () =
+    let tr = Engine.Trace.create () in
+    Engine.Trace.record tr ~now:5 ~category:"net" "tx frame";
+    Engine.Trace.record tr ~now:9 ~category:"app" "pop done";
+    tr
+  in
+  Alcotest.(check string) "identical streams digest equally"
+    (Engine.Trace.digest (mk ()))
+    (Engine.Trace.digest (mk ()));
+  let extended = mk () in
+  Engine.Trace.record extended ~now:10 ~category:"app" "one more";
+  check_bool "an extra event changes the digest" true
+    (Engine.Trace.digest extended <> Engine.Trace.digest (mk ()));
+  let reordered = Engine.Trace.create () in
+  Engine.Trace.record reordered ~now:9 ~category:"app" "pop done";
+  Engine.Trace.record reordered ~now:5 ~category:"net" "tx frame";
+  check_bool "event order is part of the digest" true
+    (Engine.Trace.digest reordered <> Engine.Trace.digest (mk ()))
+
+let test_det_sorted_iteration () =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun k -> Hashtbl.replace tbl k (k * 10)) [ 5; 1; 9; 3 ];
+  Alcotest.(check (list int)) "keys sorted" [ 1; 3; 5; 9 ]
+    (Engine.Det.hashtbl_sorted_keys ~compare:Int.compare tbl);
+  let visited = ref [] in
+  Engine.Det.hashtbl_iter_sorted ~compare:Int.compare tbl (fun k _ ->
+      visited := k :: !visited);
+  Alcotest.(check (list int)) "iter visits in key order" [ 9; 5; 3; 1 ] !visited;
+  let sum =
+    Engine.Det.hashtbl_fold_sorted ~compare:Int.compare tbl (fun _ v acc -> acc + v) 0
+  in
+  check_int "fold sees every binding" 180 sum;
+  (* Mutation during iteration must not crash or revisit. *)
+  let seen = ref [] in
+  Engine.Det.hashtbl_iter_sorted ~compare:Int.compare tbl (fun k _ ->
+      if k = 1 then Hashtbl.remove tbl 9;
+      seen := k :: !seen);
+  Alcotest.(check (list int)) "removed binding skipped" [ 5; 3; 1 ] !seen
+
+let test_sim_teardown_hooks () =
+  let sim = Engine.Sim.create () in
+  let order = ref [] in
+  Engine.Sim.at_teardown sim (fun () -> order := "first" :: !order);
+  Engine.Sim.at_teardown sim (fun () -> order := "second" :: !order);
+  Engine.Sim.teardown sim;
+  Alcotest.(check (list string)) "hooks run in registration order" [ "second"; "first" ]
+    !order;
+  Engine.Sim.teardown sim;
+  Alcotest.(check (list string)) "second teardown is a no-op" [ "second"; "first" ] !order
+
 let suite =
   [
     Alcotest.test_case "clock pretty-printing" `Quick test_clock_pp;
@@ -238,6 +289,9 @@ let suite =
     Alcotest.test_case "prng determinism" `Quick test_prng_deterministic;
     Alcotest.test_case "prng split independence" `Quick test_prng_split_independent;
     Alcotest.test_case "trace ring buffer" `Quick test_trace_ring;
+    Alcotest.test_case "trace digest stability" `Quick test_trace_digest;
+    Alcotest.test_case "det sorted hashtbl iteration" `Quick test_det_sorted_iteration;
+    Alcotest.test_case "sim teardown hooks" `Quick test_sim_teardown_hooks;
     Alcotest.test_case "trace thunks are lazy" `Quick test_trace_thunk_lazy;
     QCheck_alcotest.to_alcotest test_prng_bounds;
     QCheck_alcotest.to_alcotest test_prng_float_unit;

@@ -1,0 +1,130 @@
+(* Tests for dlint (the determinism / zero-copy lint) and the
+   determinism self-check harness. The lint tests scan synthetic
+   sources, so they prove `dune runtest` would reject a regression
+   without planting one in the real tree. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let rules_of vs = List.map (fun v -> v.Lint.Rules.rule) vs
+let lines_of vs = List.map (fun v -> v.Lint.Rules.line) vs
+
+let bad_source =
+  String.concat "\n"
+    [
+      "let () = Random.self_init ()";
+      "let size t = Hashtbl.fold (fun _ _ n -> n + 1) t 0";
+      "let drain t f = Hashtbl.iter f t";
+      "let steal b = Bytes.sub b 0 4";
+      "let same buf1 buf2 = if buf1 = buf2 then 1 else 0";
+      "let stamp () = Sys.time ()";
+      "";
+    ]
+
+let test_catches_bad_datapath_source () =
+  let vs = Lint.Rules.scan_string ~path:"lib/tcp/bad.ml" bad_source in
+  Alcotest.(check (list string))
+    "every rule fires once, in line order"
+    [
+      "determinism-source";
+      "unordered-hashtbl";
+      "unordered-hashtbl";
+      "unaccounted-copy";
+      "poly-compare-buffer";
+      "determinism-source";
+    ]
+    (rules_of vs);
+  Alcotest.(check (list int)) "line numbers" [ 1; 2; 3; 4; 5; 6 ] (lines_of vs)
+
+let test_engine_is_exempt () =
+  (* lib/engine owns the ambient sources (Prng/Clock wrap them) and is
+     not a datapath module: the same source is clean there. *)
+  check_int "engine exempt from all four rules" 0
+    (List.length (Lint.Rules.scan_string ~path:"lib/engine/bad.ml" bad_source))
+
+let test_scoping_outside_datapath () =
+  (* Harness code may iterate Hashtbls (reporting only), but ambient
+     randomness is still banned. *)
+  let vs = Lint.Rules.scan_string ~path:"lib/harness/bad.ml" bad_source in
+  Alcotest.(check (list string))
+    "only determinism-source applies outside datapath/zero-copy dirs"
+    [ "determinism-source"; "determinism-source" ]
+    (rules_of vs)
+
+let test_comments_and_strings_ignored () =
+  let src =
+    "(* Random.self_init would be wrong here; Hashtbl.iter too *)\n"
+    ^ "let doc = \"Unix.gettimeofday and Bytes.blit in a string\"\n"
+    ^ "let c = 'x'\n"
+  in
+  check_int "no violations from comments or literals" 0
+    (List.length (Lint.Rules.scan_string ~path:"lib/tcp/doc.ml" src))
+
+let test_inline_allow_annotation () =
+  let src =
+    "(* dlint-allow: unordered-hashtbl -- size is order-insensitive *)\n"
+    ^ "let size t = Hashtbl.fold (fun _ _ n -> n + 1) t 0\n"
+  in
+  check_int "annotated line is suppressed" 0
+    (List.length (Lint.Rules.scan_string ~path:"lib/tcp/ok.ml" src));
+  let wrong_rule =
+    "(* dlint-allow: determinism-source -- wrong rule id *)\n"
+    ^ "let size t = Hashtbl.fold (fun _ _ n -> n + 1) t 0\n"
+  in
+  check_int "annotation only covers its own rule" 1
+    (List.length (Lint.Rules.scan_string ~path:"lib/tcp/ok.ml" wrong_rule))
+
+let test_accounted_copy_passes () =
+  let src =
+    "let stage h b len =\n  Memory.Heap.note_copy h len;\n  Bytes.blit b 0 b 0 len\n"
+  in
+  check_int "copy next to note_copy is accounted" 0
+    (List.length (Lint.Rules.scan_string ~path:"lib/tcp/copy.ml" src))
+
+let test_sorted_helpers_pass () =
+  let src =
+    "let flush t f =\n\
+    \  Engine.Det.hashtbl_iter_sorted ~compare:Int.compare t f;\n\
+    \  Engine.Det.hashtbl_fold_sorted ~compare:Int.compare t (fun _ _ n -> n) 0\n"
+  in
+  check_int "Det helpers are the sanctioned spelling" 0
+    (List.length (Lint.Rules.scan_string ~path:"lib/demikernel/ok.ml" src))
+
+let test_allowlist_lookup () =
+  check_bool "stack.ml copy exemption exists" true
+    (Lint.Allowlist.find ~path:"../lib/tcp/stack.ml" ~rule:"unaccounted-copy" <> None);
+  check_bool "unlisted file is not exempt" true
+    (Lint.Allowlist.find ~path:"lib/tcp/bad.ml" ~rule:"unaccounted-copy" = None);
+  check_bool "exemption is per rule" true
+    (Lint.Allowlist.find ~path:"lib/tcp/stack.ml" ~rule:"unordered-hashtbl" = None)
+
+let test_allowlist_is_well_formed () =
+  List.iter
+    (fun (e : Lint.Allowlist.entry) ->
+      check_bool ("rule id valid: " ^ e.rule) true (List.mem e.rule Lint.Rules.rule_ids);
+      check_bool ("justified: " ^ e.path_suffix) true (String.length e.justification > 10))
+    Lint.Allowlist.entries
+
+let test_selfcheck_two_runs_identical () =
+  let r = Harness.Selfcheck.run ~seed:7L ~count:8 () in
+  check_bool "digests and metrics identical across same-seed runs" true
+    r.Harness.Selfcheck.ok;
+  check_bool "digest non-trivial" true
+    (String.length r.Harness.Selfcheck.first.Harness.Selfcheck.digest > 16)
+
+let suite =
+  [
+    Alcotest.test_case "lint catches bad datapath source" `Quick
+      test_catches_bad_datapath_source;
+    Alcotest.test_case "lib/engine is exempt" `Quick test_engine_is_exempt;
+    Alcotest.test_case "rule scoping outside datapath" `Quick test_scoping_outside_datapath;
+    Alcotest.test_case "comments and strings ignored" `Quick
+      test_comments_and_strings_ignored;
+    Alcotest.test_case "inline dlint-allow annotation" `Quick test_inline_allow_annotation;
+    Alcotest.test_case "accounted copy passes" `Quick test_accounted_copy_passes;
+    Alcotest.test_case "Det sorted helpers pass" `Quick test_sorted_helpers_pass;
+    Alcotest.test_case "allowlist lookup" `Quick test_allowlist_lookup;
+    Alcotest.test_case "allowlist entries well-formed" `Quick test_allowlist_is_well_formed;
+    Alcotest.test_case "selfcheck: same seed, same fingerprint" `Quick
+      test_selfcheck_two_runs_identical;
+  ]

@@ -158,6 +158,91 @@ let test_copy_accounting () =
   Memory.Heap.note_copy h 500;
   check_int "bytes copied" 2000 (Memory.Heap.stats h).bytes_copied
 
+(* ---------- sanitizer mode ---------- *)
+
+let make_sanitized () = Memory.Heap.create ~mode:Memory.Heap.Pool_backed ~sanitize:true ()
+
+let test_sanitizer_poisons_freed_objects () =
+  let h = make_sanitized () in
+  let b = Memory.Heap.alloc_of_string ~site:"test.poison" h "sensitive" in
+  let data = Memory.Heap.data b and off = Memory.Heap.offset b in
+  Memory.Heap.free b;
+  check_bool "freed bytes are poisoned" true (Bytes.get data off = '\xde');
+  check_bool "all payload bytes poisoned" true
+    (String.for_all (fun c -> c = '\xde') (Bytes.sub_string data off 9))
+
+let test_sanitizer_catches_write_after_free () =
+  let h = make_sanitized () in
+  let b = Memory.Heap.alloc ~site:"test.waf" h 64 in
+  let data = Memory.Heap.data b and off = Memory.Heap.offset b in
+  Memory.Heap.free b;
+  (* A stale write through a pointer the app kept after free. *)
+  Bytes.set data off 'X';
+  (match Memory.Heap.alloc h 64 with
+  | _ -> Alcotest.fail "re-alloc should have tripped the canary"
+  | exception Memory.Heap.Canary_violation msg ->
+      check_bool "diagnostic names the last owner" true
+        (String.length msg > 0
+        &&
+        let rec has i =
+          i + 8 <= String.length msg && (String.sub msg i 8 = "test.waf" || has (i + 1))
+        in
+        has 0));
+  match Memory.Heap.sanitizer_report h with
+  | None -> Alcotest.fail "sanitizing heap must produce a report"
+  | Some r -> check_int "one canary violation recorded" 1 r.canary_violations
+
+let test_sanitizer_uaf_protected_slot_not_poisoned () =
+  (* The §5.3 deferred-free path: while the libOS still holds the
+     buffer (e.g. queued for retransmit), the payload must remain
+     readable; poison lands only when the slot is truly released. *)
+  let h = make_sanitized () in
+  let b = Memory.Heap.alloc_of_string ~site:"test.uaf" h "retransmit" in
+  Memory.Heap.os_incref b;
+  Memory.Heap.free b;
+  Alcotest.(check string) "payload intact while libOS holds it" "retransmit"
+    (Memory.Heap.to_string b);
+  let data = Memory.Heap.data b and off = Memory.Heap.offset b in
+  Memory.Heap.os_decref b;
+  check_bool "poisoned once fully released" true (Bytes.get data off = '\xde')
+
+let test_sanitizer_leak_and_double_free_report () =
+  let h = make_sanitized () in
+  let a = Memory.Heap.alloc ~site:"tcp.rx" h 64 in
+  let b = Memory.Heap.alloc ~site:"tcp.rx" h 64 in
+  let c = Memory.Heap.alloc ~site:"app.reply" h 64 in
+  let d = Memory.Heap.alloc h 64 in
+  ignore a;
+  ignore b;
+  ignore c;
+  Memory.Heap.free d;
+  (try Memory.Heap.free d with Memory.Heap.Double_free -> ());
+  match Memory.Heap.sanitizer_report h with
+  | None -> Alcotest.fail "sanitizing heap must produce a report"
+  | Some r ->
+      Alcotest.(check (list (pair string int)))
+        "leaks grouped by site, sorted"
+        [ ("app.reply", 1); ("tcp.rx", 2) ]
+        r.leaks;
+      check_int "double free counted" 1 r.double_frees;
+      check_int "no canary violations" 0 r.canary_violations
+
+let test_sanitizer_off_no_report () =
+  let h = make_heap () in
+  let b = Memory.Heap.alloc h 64 in
+  ignore b;
+  check_bool "no report when sanitizer off" true (Memory.Heap.sanitizer_report h = None)
+
+let test_sanitizer_payload_roundtrip () =
+  (* Poison/canary machinery must be invisible to correct code. *)
+  let h = make_sanitized () in
+  let b = Memory.Heap.alloc_of_string ~site:"test.rt" h "hello" in
+  Alcotest.(check string) "payload" "hello" (Memory.Heap.to_string b);
+  Memory.Heap.free b;
+  let b2 = Memory.Heap.alloc_of_string ~site:"test.rt2" h "world" in
+  Alcotest.(check string) "recycled slot works" "world" (Memory.Heap.to_string b2);
+  Alcotest.(check string) "site label recorded" "test.rt2" (Memory.Heap.site b2)
+
 let alloc_free_balanced =
   QCheck.Test.make ~name:"heap alloc/free leaves no live objects" ~count:100
     QCheck.(list_of_size (Gen.int_range 1 100) (int_range 1 65536))
@@ -197,6 +282,17 @@ let suite =
     Alcotest.test_case "headroom allows header prepend" `Quick test_headroom;
     Alcotest.test_case "set_bounds is checked" `Quick test_set_bounds_checked;
     Alcotest.test_case "copy accounting" `Quick test_copy_accounting;
+    Alcotest.test_case "sanitizer poisons freed objects" `Quick
+      test_sanitizer_poisons_freed_objects;
+    Alcotest.test_case "sanitizer catches write-after-free" `Quick
+      test_sanitizer_catches_write_after_free;
+    Alcotest.test_case "sanitizer defers poison while libOS holds ref" `Quick
+      test_sanitizer_uaf_protected_slot_not_poisoned;
+    Alcotest.test_case "sanitizer leak and double-free report" `Quick
+      test_sanitizer_leak_and_double_free_report;
+    Alcotest.test_case "no sanitizer report when off" `Quick test_sanitizer_off_no_report;
+    Alcotest.test_case "sanitizer invisible to correct code" `Quick
+      test_sanitizer_payload_roundtrip;
     QCheck_alcotest.to_alcotest alloc_free_balanced;
     QCheck_alcotest.to_alcotest payload_integrity;
   ]
