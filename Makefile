@@ -1,0 +1,26 @@
+.PHONY: all build test lint selfcheck check bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+lint:
+	dune build @lint
+
+selfcheck:
+	dune build @selfcheck
+
+# Everything CI runs: build + tests (incl. lint) + determinism
+# selfcheck with the ownership oracle armed.
+check:
+	dune build @check
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

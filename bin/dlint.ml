@@ -1,14 +1,44 @@
-(* dlint: determinism and zero-copy discipline lint.
+(* dlint: determinism, zero-copy and ownership-protocol lint.
 
-   Usage: dlint [DIR ...]   (default: lib)
+   Usage: dlint [--format human|json] [DIR ...]   (default: lib)
 
    Walks every .ml file under the given roots and rejects violations of
-   the rules in Lint.Rules; exits 1 when any survive the allowlist and
-   inline dlint-allow annotations. Wired into `dune runtest` via the
-   @lint alias. *)
+   the rules in Lint.Rules (including the PDPIX ownership pass) and
+   stale exemptions; exits 1 when any survive the allowlist and inline
+   dlint-allow annotations. Wired into `dune runtest` via the @lint
+   alias. *)
+
+let usage () =
+  prerr_endline "usage: dlint [--format human|json] [DIR ...]";
+  exit 2
 
 let () =
-  let roots = match Array.to_list Sys.argv with _ :: (_ :: _ as rs) -> rs | _ -> [ "lib" ] in
-  let violations = List.concat_map Lint.Driver.check_tree roots in
-  Lint.Driver.report Format.std_formatter violations;
+  let json = ref false in
+  let roots = ref [] in
+  let set_format = function
+    | "json" -> json := true
+    | "human" -> json := false
+    | f ->
+        Printf.eprintf "dlint: unknown format %S (expected human or json)\n" f;
+        usage ()
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--format" :: fmt :: rest ->
+        set_format fmt;
+        parse rest
+    | [ "--format" ] -> usage ()
+    | arg :: rest when String.length arg > 9 && String.sub arg 0 9 = "--format=" ->
+        set_format (String.sub arg 9 (String.length arg - 9));
+        parse rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | root :: rest ->
+        roots := root :: !roots;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let roots = match List.rev !roots with [] -> [ "lib" ] | rs -> rs in
+  let violations = Lint.Driver.run roots in
+  if !json then Lint.Driver.report_json Format.std_formatter violations
+  else Lint.Driver.report Format.std_formatter violations;
   if violations <> [] then exit 1

@@ -86,7 +86,8 @@ let make sim fabric ~index ?name ?tcp_config ?catmint_window ?(with_disk = false
         cattree = !cattree;
       }
 
-let run_app node ?name main = Runtime.spawn_app node.rt ?name main node.api
+let run_app node ?name ?(wrap = fun api -> api) main =
+  Runtime.spawn_app node.rt ?name main (wrap node.api)
 
 let start node = Runtime.start node.rt
 

@@ -40,8 +40,12 @@ val make :
     crashed node, whose Cattree logs recover their records on open. The
     cost profile comes from the fabric. *)
 
-val run_app : node -> ?name:string -> (Pdpix.api -> unit) -> unit
-(** Register an application worker coroutine. *)
+val run_app :
+  node -> ?name:string -> ?wrap:(Pdpix.api -> Pdpix.api) -> (Pdpix.api -> unit) -> unit
+(** Register an application worker coroutine. [wrap] (default
+    identity) interposes on the api the app sees — e.g.
+    [~wrap:(Pdpix.checked oracle)] to arm the runtime ownership
+    oracle. *)
 
 val start : node -> unit
 (** Start the host's scheduler; call after registering all workers. *)

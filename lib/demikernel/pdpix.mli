@@ -80,3 +80,50 @@ val sga_length : sga -> int
 val sga_to_string : sga -> string
 (** Concatenated payload (copies; for tests and app logic, not charged
     as a datapath copy). *)
+
+(** {1 Runtime ownership oracle}
+
+    The dynamic counterpart of the static ownership lint
+    ([lib/lint/ownership.ml]): {!checked} wraps an {!api} so every
+    buffer runs a per-slot state machine (App-owned → In-flight →
+    back to App-owned when the push token completes; pop completions
+    register libOS-handed buffers as App-owned) and every queue token
+    is tracked until some [wait*] redeems it. Deviations are recorded,
+    not raised, so a whole run can be audited at teardown next to the
+    heap sanitizer's leak report. Violation kinds:
+
+    - ["write-in-flight"] — a pushed buffer's payload changed between
+      push and the [Pushed] completion (detected by digest; only when
+      the buffer window is unchanged, so re-windowing cannot
+      false-positive);
+    - ["free-in-flight"] — [free] on a buffer whose push token is
+      still outstanding;
+    - ["dropped-token"] — at {!oracle_finish}, a token that was never
+      passed to any [wait*] (tokens merely parked in a wait when the
+      run ended do not count). *)
+
+type ownership_violation = { kind : string; detail : string }
+
+type oracle
+
+val oracle : name:string -> unit -> oracle
+(** Fresh oracle; [name] labels teardown reports (one oracle per
+    wrapped api — token ids are per-runtime). *)
+
+val oracle_name : oracle -> string
+
+val checked : oracle -> api -> api
+(** The same api, with every ownership-relevant operation observed by
+    the oracle. Behavior is unchanged — violations are recorded for
+    {!oracle_finish}, never raised. *)
+
+val oracle_finish : oracle -> ownership_violation list
+(** All violations in program order, closing the books: the first call
+    also flags never-waited tokens as ["dropped-token"]. Idempotent. *)
+
+val pp_ownership_violation : Format.formatter -> ownership_violation -> unit
+
+val log_oracle_teardown : ?fmt:Format.formatter -> oracle -> unit
+(** {!oracle_finish} and print any violations (default
+    [err_formatter]); silent when the run was clean. Mirrors
+    [Memory.Heap.log_teardown] for use in [Engine.Sim.at_teardown]. *)

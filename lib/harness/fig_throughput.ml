@@ -138,19 +138,25 @@ let demi_open_loop ?cost ?catmint_window ~flavor ~proto ~msg_size ~rate_per_sec 
           let acc = Buffer.create 1024 in
           let size = max 8 msg_size in
           let pop = ref (api.Pdpix.pop qd) in
+          (* Each sent buffer stays owned by the libOS until its push
+             token completes, so retirement (and the free) rides the
+             same wait_any_t the receive path blocks on — the send
+             pace never gates on push completions. *)
+          let unretired = ref [] in
           let rec loop () =
             let now = api.Pdpix.clock () in
             if now < grace then begin
               if now >= !next_send && now < deadline then begin
                 let buf = api.Pdpix.alloc_str (payload now) in
-                ignore (api.Pdpix.push qd [ buf ]);
-                api.Pdpix.free buf;
+                unretired := (api.Pdpix.push qd [ buf ], buf) :: !unretired;
                 next_send := !next_send + gap ()
               end
               else begin
                 let wake = if now < deadline then min !next_send grace else grace in
-                match api.Pdpix.wait_any_t [| !pop |] ~timeout_ns:(max 1 (wake - now)) with
-                | Some (_, Pdpix.Popped (_ :: _ as sga)) ->
+                let pushes = List.rev !unretired in
+                let qts = Array.of_list (!pop :: List.map fst pushes) in
+                match api.Pdpix.wait_any_t qts ~timeout_ns:(max 1 (wake - now)) with
+                | Some (0, Pdpix.Popped (_ :: _ as sga)) ->
                     Buffer.add_string acc (Pdpix.sga_to_string sga);
                     List.iter api.Pdpix.free sga;
                     let rec extract () =
@@ -164,7 +170,12 @@ let demi_open_loop ?cost ?catmint_window ~flavor ~proto ~msg_size ~rate_per_sec 
                     in
                     extract ();
                     pop := api.Pdpix.pop qd
-                | Some _ -> failwith "loadgen: connection lost"
+                | Some (0, _) -> failwith "loadgen: connection lost"
+                | Some (i, Pdpix.Pushed) ->
+                    let qt, sent = List.nth pushes (i - 1) in
+                    api.Pdpix.free sent;
+                    unretired := List.filter (fun (q, _) -> q <> qt) !unretired
+                | Some (_, _) -> failwith "loadgen: push failed"
                 | None -> ()
               end;
               loop ()

@@ -1,4 +1,9 @@
-type fingerprint = { digest : string; events : int; metrics : string }
+type fingerprint = {
+  digest : string;
+  events : int;
+  metrics : string;
+  ownership_violations : int;
+}
 type result = { seed : int64; first : fingerprint; second : fingerprint; ok : bool }
 
 let heap_line name (s : Memory.Heap.stats) =
@@ -10,7 +15,8 @@ let flavor_name = function
   | Demikernel.Boot.Catnip_os -> "catnip"
   | Demikernel.Boot.Catmint_os -> "catmint"
 
-(* One traced echo scenario; returns (trace digest, events, metrics lines). *)
+(* One traced echo scenario with the ownership oracle armed on both
+   ends; returns (trace digest, events, metrics lines, violations). *)
 let scenario ~seed ~count flavor =
   let sim = Engine.Sim.create ~seed () in
   let tracer = Engine.Sim.enable_trace sim in
@@ -18,8 +24,19 @@ let scenario ~seed ~count flavor =
   let server = Demikernel.Boot.make sim fabric ~index:1 flavor in
   let client = Demikernel.Boot.make sim fabric ~index:2 flavor in
   let hist = Metrics.Histogram.create () in
-  Demikernel.Boot.run_app server (Apps.Echo.server ~port:7 ~persist:false);
+  let name = flavor_name flavor in
+  let server_oracle = Demikernel.Pdpix.oracle ~name:(name ^ "-server") () in
+  let client_oracle = Demikernel.Pdpix.oracle ~name:(name ^ "-client") () in
+  (* Reported at teardown alongside the heap sanitizer's leak report
+     (Host registers Heap.log_teardown the same way). *)
+  Engine.Sim.at_teardown sim (fun () ->
+      Demikernel.Pdpix.log_oracle_teardown server_oracle;
+      Demikernel.Pdpix.log_oracle_teardown client_oracle);
+  Demikernel.Boot.run_app server
+    ~wrap:(Demikernel.Pdpix.checked server_oracle)
+    (Apps.Echo.server ~port:7 ~persist:false);
   Demikernel.Boot.run_app client
+    ~wrap:(Demikernel.Pdpix.checked client_oracle)
     (Apps.Echo.client
        ~dst:(Demikernel.Boot.endpoint server 7)
        ~msg_size:256 ~count
@@ -28,7 +45,10 @@ let scenario ~seed ~count flavor =
   Demikernel.Boot.start client;
   Engine.Sim.run ~until:(Engine.Clock.s 60) sim;
   Engine.Sim.teardown sim;
-  let name = flavor_name flavor in
+  let violations =
+    List.length (Demikernel.Pdpix.oracle_finish server_oracle)
+    + List.length (Demikernel.Pdpix.oracle_finish client_oracle)
+  in
   let heap_of (node : Demikernel.Boot.node) =
     Memory.Heap.stats node.Demikernel.Boot.host.Demikernel.Host.heap
   in
@@ -40,9 +60,10 @@ let scenario ~seed ~count flavor =
           (Metrics.Histogram.p50 hist) (Metrics.Histogram.p99 hist);
         heap_line (name ^ "-server") (heap_of server);
         heap_line (name ^ "-client") (heap_of client);
+        Printf.sprintf "  ownership %-10s violations=%d" name violations;
       ]
   in
-  (Engine.Trace.digest tracer, Engine.Sim.events_processed sim, metrics)
+  (Engine.Trace.digest tracer, Engine.Sim.events_processed sim, metrics, violations)
 
 let fingerprint ~seed ~count =
   let runs =
@@ -51,9 +72,10 @@ let fingerprint ~seed ~count =
       [ Demikernel.Boot.Catnip_os; Demikernel.Boot.Catmint_os ]
   in
   {
-    digest = String.concat "+" (List.map (fun (d, _, _) -> d) runs);
-    events = List.fold_left (fun acc (_, e, _) -> acc + e) 0 runs;
-    metrics = String.concat "\n" (List.map (fun (_, _, m) -> m) runs);
+    digest = String.concat "+" (List.map (fun (d, _, _, _) -> d) runs);
+    events = List.fold_left (fun acc (_, e, _, _) -> acc + e) 0 runs;
+    metrics = String.concat "\n" (List.map (fun (_, _, m, _) -> m) runs);
+    ownership_violations = List.fold_left (fun acc (_, _, _, v) -> acc + v) 0 runs;
   }
 
 let run ?(seed = 42L) ?(count = 64) () =
@@ -70,6 +92,8 @@ let run ?(seed = 42L) ?(count = 64) () =
         String.equal first.digest second.digest
         && first.events = second.events
         && String.equal first.metrics second.metrics
+        && first.ownership_violations = 0
+        && second.ownership_violations = 0
       in
       { seed; first; second; ok })
 
@@ -78,9 +102,14 @@ let print fmt r =
   Format.fprintf fmt "  trace digest  %s@." r.first.digest;
   Format.fprintf fmt "  events        %d@." r.first.events;
   Format.fprintf fmt "%s@." r.first.metrics;
-  if r.ok then Format.fprintf fmt "selfcheck PASSED: identical trace digests and metric tables@."
+  if r.ok then
+    Format.fprintf fmt
+      "selfcheck PASSED: identical trace digests, clean ownership protocol@."
   else begin
-    Format.fprintf fmt "selfcheck FAILED: runs diverged@.";
+    if r.first.ownership_violations + r.second.ownership_violations > 0 then
+      Format.fprintf fmt "selfcheck FAILED: %d ownership violation(s)@."
+        (r.first.ownership_violations + r.second.ownership_violations)
+    else Format.fprintf fmt "selfcheck FAILED: runs diverged@.";
     Format.fprintf fmt "  second digest %s@." r.second.digest;
     Format.fprintf fmt "  second events %d@." r.second.events;
     Format.fprintf fmt "%s@." r.second.metrics

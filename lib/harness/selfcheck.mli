@@ -9,6 +9,11 @@
     divergence means something in the stack consulted an unseeded or
     order-dependent source, which the repro must never do.
 
+    Both echo apps run through {!Demikernel.Pdpix.checked}, so the
+    runtime ownership oracle validates the zero-copy protocol
+    end-to-end on every selfcheck; any violation (reported at
+    [Sim.teardown] alongside the heap sanitizer) fails the check.
+
     Exposed to operators as [demi --selfcheck] and to CI as a unit
     test. *)
 
@@ -16,6 +21,7 @@ type fingerprint = {
   digest : string; (* Trace.digest over both flavors' traces *)
   events : int; (* total simulator events processed *)
   metrics : string; (* rendered final-metrics table *)
+  ownership_violations : int; (* oracle findings across both flavors *)
 }
 
 type result = { seed : int64; first : fingerprint; second : fingerprint; ok : bool }

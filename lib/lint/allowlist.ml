@@ -61,11 +61,8 @@ let entries =
     };
   ]
 
-let find ~path ~rule =
-  List.find_opt
-    (fun e ->
-      e.rule = rule
-      &&
-      let n = String.length path and m = String.length e.path_suffix in
-      n >= m && String.sub path (n - m) m = e.path_suffix)
-    entries
+let covers e ~path =
+  let n = String.length path and m = String.length e.path_suffix in
+  n >= m && String.sub path (n - m) m = e.path_suffix
+
+let find ~path ~rule = List.find_opt (fun e -> e.rule = rule && covers e ~path) entries

@@ -14,5 +14,8 @@ type entry = {
 
 val entries : entry list
 
+val covers : entry -> path:string -> bool
+(** Whether [path] ends with the entry's [path_suffix]. *)
+
 val find : path:string -> rule:string -> entry option
 (** The entry covering [path] (by suffix match) for [rule], if any. *)

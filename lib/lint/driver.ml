@@ -10,17 +10,87 @@ let scan_file path =
     (fun (v : Rules.violation) -> Allowlist.find ~path ~rule:v.rule = None)
     violations
 
-let rec check_tree root =
+let rec list_tree root =
   if Sys.is_directory root then
     Sys.readdir root |> Array.to_list |> List.sort String.compare
     |> List.concat_map (fun name ->
            if String.length name > 0 && name.[0] = '.' then []
-           else check_tree (Filename.concat root name))
-  else if Filename.check_suffix root ".ml" then scan_file root
+           else list_tree (Filename.concat root name))
+  else if Filename.check_suffix root ".ml" then [ root ]
   else []
+
+let check_tree root = List.concat_map scan_file (list_tree root)
+
+(* The full lint run: every violation surviving both exemption layers,
+   plus an [unused-exemption] for every exemption that no longer
+   suppresses anything — stale inline markers (via {!Rules.scan_full})
+   and stale central {!Allowlist} entries (detected here, for entries
+   whose file was actually scanned). *)
+let run roots =
+  let files = List.concat_map list_tree roots in
+  let used = Hashtbl.create 8 in
+  let violations =
+    List.concat_map
+      (fun path ->
+        Rules.scan_full ~path (read_file path)
+        |> List.filter (fun (v : Rules.violation) ->
+               match Allowlist.find ~path ~rule:v.rule with
+               | Some e ->
+                   Hashtbl.replace used (e.Allowlist.path_suffix, e.Allowlist.rule) ();
+                   false
+               | None -> true))
+      files
+  in
+  let stale =
+    List.filter
+      (fun (e : Allowlist.entry) ->
+        List.exists (fun path -> Allowlist.covers e ~path) files
+        && not (Hashtbl.mem used (e.path_suffix, e.rule)))
+      Allowlist.entries
+  in
+  violations
+  @ List.map
+      (fun (e : Allowlist.entry) ->
+        {
+          Rules.path = e.path_suffix;
+          line = 0;
+          col = 0;
+          rule = Rules.rule_unused;
+          message =
+            Printf.sprintf
+              "central allowlist entry for rule %s matches no finding in the scanned \
+               tree; remove the stale exemption"
+              e.rule;
+        })
+      stale
 
 let report fmt violations =
   List.iter (fun v -> Format.fprintf fmt "%a@." Rules.pp_violation v) violations;
   match List.length violations with
   | 0 -> Format.fprintf fmt "dlint: clean@."
   | n -> Format.fprintf fmt "dlint: %d violation(s)@." n
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let report_json fmt violations =
+  Format.fprintf fmt "{\"count\":%d,\"violations\":[" (List.length violations);
+  List.iteri
+    (fun i (v : Rules.violation) ->
+      Format.fprintf fmt "%s{\"path\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"}"
+        (if i = 0 then "" else ",")
+        (json_escape v.path) v.line v.col (json_escape v.rule) (json_escape v.message))
+    violations;
+  Format.fprintf fmt "]}@."

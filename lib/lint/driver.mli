@@ -1,15 +1,27 @@
-(** File-system driver for dlint: walks source trees, applies
-    {!Rules.scan_string} to every [.ml] file, filters through
+(** File-system driver for dlint: walks source trees, applies the
+    {!Rules} scanners to every [.ml] file, filters through
     {!Allowlist}, and reports. *)
 
 val scan_file : string -> Rules.violation list
-(** Lint one file (allowlist applied). *)
+(** Lint one file (allowlist applied; no stale-exemption detection). *)
 
 val check_tree : string -> Rules.violation list
 (** Recursively lint every [.ml] under a root directory, visiting
     entries in sorted order so diagnostics are stable. Directories whose
     name starts with ['.'] (build artefacts) are skipped. *)
 
+val run : string list -> Rules.violation list
+(** The full lint run over several roots: {!check_tree} semantics plus
+    stale-exemption detection — an [unused-exemption] violation for
+    every inline [dlint-allow] marker that suppressed nothing and for
+    every central {!Allowlist} entry whose file was scanned but which
+    matched no finding. This is what [bin/dlint] (and so the [@lint]
+    alias) runs. *)
+
 val report : Format.formatter -> Rules.violation list -> unit
-(** Print one [file:line: [rule] message] diagnostic per violation and a
-    summary line. *)
+(** Print one [file:line:col: [rule] message] diagnostic per violation
+    and a summary line. *)
+
+val report_json : Format.formatter -> Rules.violation list -> unit
+(** Machine-readable output: [{"count":N,"violations":[...]}] with
+    [path]/[line]/[col]/[rule]/[message] per finding. *)

@@ -1,0 +1,34 @@
+(** Shared lexical layer for the dlint passes: comment/string
+    stripping and whole-token matching, used identically by the
+    per-line {!Rules} scanner and the {!Ownership} dataflow pass. *)
+
+val strip_comments_and_strings : string -> string
+(** Replace comment bodies and string/char literal contents with spaces
+    (newlines preserved), so token scans can't match inside them. *)
+
+val is_ident_char : char -> bool
+
+val token_index : string -> string -> int option
+(** 0-based index of the first whole-token occurrence of a token on a
+    line: not preceded by an identifier character (a qualifying ['.']
+    is fine) and not extended by one (["Bytes.sub"] does not match
+    inside ["Bytes.sub_string"]). *)
+
+val contains_token : string -> string -> bool
+
+val token_indexes : string -> string -> int list
+(** All whole-token occurrence indexes (0-based, ascending). *)
+
+val token_col : string -> string -> int option
+(** Like {!token_index} but 1-based, for diagnostics. *)
+
+val word_at : string -> int -> string
+(** The (possibly dot-qualified) identifier covering position [i], or
+    [""]. *)
+
+val contains_sub : string -> string -> bool
+
+val ident_after : string -> int -> string
+(** The identifier starting at or just after position [i], skipping
+    spaces, ['('] and ['!'] — e.g. the first argument of a call, or the
+    binder after ["let "]. *)

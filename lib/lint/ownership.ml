@@ -1,0 +1,208 @@
+(* The ownership dataflow pass: a per-function, straight-line analysis
+   of the PDPIX zero-copy protocol (§4.2, §5.3) over the stripped
+   source that dlint already builds.
+
+   The protocol being checked:
+
+     alloc/alloc_str  ->  the app owns the buffer
+     push/pushto      ->  ownership transfers to the libOS; the app
+                          must not free (or write) the buffer until the
+                          returned queue token is redeemed
+     wait*            ->  redeems tokens; a Pushed completion returns
+                          buffer ownership to the app
+     free             ->  drops the app reference; exactly once
+
+   The pass is deliberately conservative: it tracks only bindings it
+   can see being created (a [let x = ...alloc...] or [let qt =
+   ...push/pop/accept/connect...] on one line), treats any unclassified
+   use of a binding as an ownership transfer (escape), and resets its
+   straight-line state at every branch boundary. The goal is zero
+   false positives on idiomatic code; anything it does report is a real
+   protocol deviation or needs an explicit [dlint-allow] /
+   {!Allowlist} justification. *)
+
+type finding = { line : int; col : int; rule : string; message : string }
+
+let rule_free_after_push = "free-after-push"
+let rule_double_free = "double-free-path"
+let rule_leak = "leaked-buffer"
+let rule_dropped = "dropped-token"
+
+let rule_ids = [ rule_free_after_push; rule_double_free; rule_leak; rule_dropped ]
+
+(* Only qualified spellings: a bare "pop" or "free" would match
+   [Queue.pop] or a local [free] helper. The PDPIX api record is always
+   reached through the [Pdpix.] field path and the heap through
+   [Heap.]. *)
+let alloc_tokens = [ "Pdpix.alloc"; "Pdpix.alloc_str"; "Heap.alloc"; "Heap.alloc_of_string" ]
+let free_tokens = [ "Pdpix.free"; "Heap.free" ]
+let push_tokens = [ "Pdpix.push"; "Pdpix.pushto" ]
+let yield_tokens = push_tokens @ [ "Pdpix.pop"; "Pdpix.accept"; "Pdpix.connect" ]
+let wait_tokens = [ "Pdpix.wait"; "Pdpix.wait_any"; "Pdpix.wait_any_t"; "Pdpix.wait_all" ]
+
+(* Lines that start (or contain) control-flow constructs delimit the
+   straight-line segments the free/push state lives in: distinct match
+   arms or if-branches must not see each other's frees. *)
+let branch_boundary text =
+  let trimmed = String.trim text in
+  (String.length trimmed > 0 && trimmed.[0] = '|')
+  || Lexer.contains_sub text "->"
+  || List.exists (Lexer.contains_token text)
+       [ "else"; "then"; "with"; "function"; "match"; "try"; "done"; "end"; "begin" ]
+
+(* The binder of the [let] nearest before position [k] on the line —
+   [None] when there is none, or when the only candidate is a
+   column-0 [let] (that binds the enclosing function name: its
+   right-hand side is the function body, not a buffer binding). *)
+let binder_before text k =
+  let lets = List.filter (fun i -> i < k && i > 0) (Lexer.token_indexes text "let") in
+  match List.rev lets with
+  | [] -> None
+  | i :: _ ->
+      let w = Lexer.ident_after text (i + 3) in
+      let w = if w = "rec" then Lexer.ident_after text (i + 3 + 4) else w in
+      if w = "" then None else Some w
+
+let any_token text toks = List.exists (Lexer.contains_token text) toks
+
+(* ---------- per-function analysis ---------- *)
+
+(* [group] is the consecutive run of lines belonging to one top-level
+   [let]/[and] (plus any module-level prefix), as (1-based line, text)
+   pairs. *)
+let analyze group =
+  let findings = ref [] in
+  let emit line col rule message = findings := { line; col; rule; message } :: !findings in
+  let occurrences ident =
+    List.fold_left
+      (fun n (_, text) -> n + List.length (Lexer.token_indexes text ident))
+      0 group
+  in
+  (* Pass 1: collect alloc / token bindings; flag immediate discards. *)
+  let buf_bindings = ref [] in
+  let tok_bindings = ref [] in
+  List.iter
+    (fun (lno, text) ->
+      let has_wait = any_token text wait_tokens in
+      List.iter
+        (fun tok ->
+          match Lexer.token_index text tok with
+          | None -> ()
+          | Some k -> (
+              let col = k + 1 in
+              match binder_before text k with
+              | Some "_" ->
+                  emit lno col rule_leak
+                    (Printf.sprintf
+                       "buffer from %s is bound to _ and can never be freed or pushed"
+                       tok)
+              | Some b -> buf_bindings := (b, lno, col) :: !buf_bindings
+              | None -> ()))
+        alloc_tokens;
+      if not has_wait then
+        List.iter
+          (fun tok ->
+            match Lexer.token_index text tok with
+            | None -> ()
+            | Some k -> (
+                let col = k + 1 in
+                match binder_before text k with
+                | Some "_" ->
+                    emit lno col rule_dropped
+                      (Printf.sprintf
+                         "queue token from %s is bound to _ and can never be redeemed by \
+                          wait*"
+                         tok)
+                | Some b -> tok_bindings := (b, lno, col) :: !tok_bindings
+                | None ->
+                    if Lexer.contains_token text "ignore" then
+                      emit lno col rule_dropped
+                        (Printf.sprintf
+                           "queue token from %s is discarded by ignore; its completion \
+                            (and any buffer ownership it returns) is unredeemable" tok)))
+          yield_tokens)
+    group;
+  (* Pass 2: a binding whose identifier never appears again cannot be
+     released / redeemed. Any later mention at all counts as a
+     transfer (stored, passed on, waited) — conservative by design. *)
+  List.iter
+    (fun (b, lno, col) ->
+      if occurrences b <= 1 then
+        emit lno col rule_leak
+          (Printf.sprintf
+             "buffer %s is allocated here and never mentioned again: it is neither \
+              freed, pushed, nor transferred" b))
+    !buf_bindings;
+  List.iter
+    (fun (t, lno, col) ->
+      if occurrences t <= 1 then
+        emit lno col rule_dropped
+          (Printf.sprintf
+             "queue token %s is never mentioned again and so never redeemed by any \
+              wait*" t))
+    !tok_bindings;
+  (* Pass 3: straight-line free/push state. Segment state resets at
+     branch boundaries; any wait* may redeem any outstanding push, so a
+     wait clears the in-flight set. *)
+  let tracked = List.map (fun (b, _, _) -> b) !buf_bindings in
+  let freed = ref [] in
+  let inflight = ref [] in
+  List.iter
+    (fun (lno, text) ->
+      if branch_boundary text then begin
+        freed := [];
+        inflight := []
+      end;
+      if any_token text push_tokens then
+        List.iter
+          (fun b ->
+            if Lexer.contains_token text b && not (List.mem b !inflight) then
+              inflight := b :: !inflight)
+          tracked;
+      if any_token text wait_tokens then inflight := [];
+      List.iter
+        (fun tok ->
+          match Lexer.token_index text tok with
+          | None -> ()
+          | Some k ->
+              let col = k + 1 in
+              let b = Lexer.ident_after text (k + String.length tok) in
+              if b <> "" && List.mem b tracked then begin
+                if List.mem b !inflight then
+                  emit lno col rule_free_after_push
+                    (Printf.sprintf
+                       "%s is freed while its push token is outstanding; ownership \
+                        returns to the app only when wait* redeems the token" b);
+                if List.mem b !freed then
+                  emit lno col rule_double_free
+                    (Printf.sprintf "%s is freed twice on the same straight-line path" b)
+                else freed := b :: !freed
+              end)
+        free_tokens)
+    group;
+  !findings
+
+(* ---------- function segmentation ---------- *)
+
+let starts_toplevel text =
+  let n = String.length text in
+  (n >= 4 && String.sub text 0 4 = "let ")
+  || (n >= 4 && String.sub text 0 4 = "and ")
+
+let scan lines =
+  let groups = ref [] in
+  let current = ref [] in
+  let flush () =
+    if !current <> [] then groups := List.rev !current :: !groups;
+    current := []
+  in
+  Array.iteri
+    (fun idx text ->
+      if starts_toplevel text then flush ();
+      current := (idx + 1, text) :: !current)
+    lines;
+  flush ();
+  List.rev !groups
+  |> List.concat_map analyze
+  |> List.sort (fun a b ->
+         match compare a.line b.line with 0 -> compare a.col b.col | c -> c)

@@ -1,0 +1,39 @@
+(** The PDPIX ownership dataflow pass.
+
+    A per-function, straight-line analysis over stripped source lines
+    (see {!Lexer.strip_comments_and_strings}) that checks the zero-copy
+    ownership protocol of §4.2/§5.3: [push] transfers buffer ownership
+    to the libOS until the queue token is redeemed by a [wait*]; every
+    allocation must eventually be freed, pushed, or transferred; every
+    queue token must be redeemable.
+
+    Four rules:
+    - [free-after-push]: a buffer is freed while its push token is
+      still outstanding on the same straight-line path.
+    - [double-free-path]: one binding freed twice on a straight-line
+      path.
+    - [leaked-buffer]: an [alloc] binding that is never mentioned
+      again (or bound to [_]) — it can never be freed, pushed, or
+      transferred.
+    - [dropped-token]: a queue token that can never be redeemed —
+      discarded via [ignore]/[_], or bound and never mentioned again.
+
+    The pass is conservative: any use it cannot classify counts as an
+    ownership transfer and ends tracking, and all straight-line state
+    resets at branch boundaries. Findings are therefore rare and
+    near-certain; exemptions go through the usual [dlint-allow] /
+    {!Allowlist} machinery (applied by {!Rules} / {!Driver}, not
+    here). *)
+
+type finding = {
+  line : int; (* 1-based *)
+  col : int; (* 1-based *)
+  rule : string;
+  message : string;
+}
+
+val rule_ids : string list
+
+val scan : string array -> finding list
+(** [scan stripped_lines] analyses one file's stripped source (element
+    [i] is line [i+1]) and returns findings sorted by (line, col). *)

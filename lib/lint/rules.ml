@@ -1,10 +1,14 @@
-type violation = { path : string; line : int; rule : string; message : string }
+type violation = { path : string; line : int; col : int; rule : string; message : string }
 
 let rule_determinism = "determinism-source"
 let rule_hashtbl = "unordered-hashtbl"
 let rule_copy = "unaccounted-copy"
 let rule_poly = "poly-compare-buffer"
-let rule_ids = [ rule_determinism; rule_hashtbl; rule_copy; rule_poly ]
+let rule_unused = "unused-exemption"
+
+let rule_ids =
+  [ rule_determinism; rule_hashtbl; rule_copy; rule_poly ]
+  @ Ownership.rule_ids @ [ rule_unused ]
 
 (* ---------- path classification ---------- *)
 
@@ -23,137 +27,29 @@ let datapath_dirs = [ "tcp"; "demikernel"; "apps"; "net" ]
 let zero_copy_dirs = [ "memory"; "tcp"; "net"; "demikernel" ]
 let poly_compare_dirs = "apps" :: zero_copy_dirs
 
-(* ---------- lexical stripping ---------- *)
+(* Everything that handles Heap.buffers / qtokens through the PDPIX
+   api or the heap directly: libOS implementations, applications,
+   baselines and the measurement harness. *)
+let ownership_dirs = [ "tcp"; "demikernel"; "apps"; "baselines"; "harness" ]
 
-(* Blank out comment bodies and string/char literal contents (keeping
-   newlines) so token scans cannot match inside them. Handles nested
-   comments, escape sequences, and distinguishes char literals from
-   type variables. *)
-let strip_comments_and_strings src =
-  let n = String.length src in
-  let out = Bytes.of_string src in
-  let blank i = if Bytes.get out i <> '\n' then Bytes.set out i ' ' in
-  let rec in_string i =
-    if i >= n then i
-    else
-      match src.[i] with
-      | '"' ->
-          blank i;
-          i + 1
-      | '\\' when i + 1 < n ->
-          blank i;
-          blank (i + 1);
-          in_string (i + 2)
-      | _ ->
-          blank i;
-          in_string (i + 1)
-  in
-  let rec in_comment depth i =
-    if i >= n then i
-    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
-      blank i;
-      blank (i + 1);
-      in_comment (depth + 1) (i + 2)
-    end
-    else if i + 1 < n && src.[i] = '*' && src.[i + 1] = ')' then begin
-      blank i;
-      blank (i + 1);
-      if depth = 1 then i + 2 else in_comment (depth - 1) (i + 2)
-    end
-    else begin
-      blank i;
-      in_comment depth (i + 1)
-    end
-  in
-  let rec go i =
-    if i >= n then ()
-    else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
-      blank i;
-      blank (i + 1);
-      go (in_comment 1 (i + 2))
-    end
-    else
-      match src.[i] with
-      | '"' ->
-          blank i;
-          go (in_string (i + 1))
-      | '\'' ->
-          if i + 2 < n && src.[i + 1] = '\\' then begin
-            (* escaped char literal: blank through the closing quote *)
-            let rec close j =
-              if j >= n then j
-              else if src.[j] = '\'' then begin
-                blank j;
-                j + 1
-              end
-              else begin
-                blank j;
-                close (j + 1)
-              end
-            in
-            blank i;
-            blank (i + 1);
-            go (close (i + 2))
-          end
-          else if i + 2 < n && src.[i + 2] = '\'' then begin
-            blank i;
-            blank (i + 1);
-            blank (i + 2);
-            go (i + 3)
-          end
-          else go (i + 1) (* type variable like 'a *)
-      | _ -> go (i + 1)
-  in
-  go 0;
-  Bytes.to_string out
+(* ---------- lexical layer (shared with the ownership pass) ---------- *)
 
-(* ---------- token scanning ---------- *)
-
-let is_ident_char c =
-  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
-  || c = '\''
-
-(* Whole-token occurrence: the character before must not be an
-   identifier character (a qualifying '.' is fine, so [Stdlib.Random.]
-   still matches "Random."), and when the token ends in an identifier
-   character the next one must not extend it (so "Bytes.sub" does not
-   match inside "Bytes.sub_string"). *)
-let contains_token line token =
-  let n = String.length line and m = String.length token in
-  let tail_is_ident = m > 0 && is_ident_char token.[m - 1] in
-  let rec at i =
-    if i + m > n then false
-    else if
-      String.sub line i m = token
-      && (i = 0 || not (is_ident_char line.[i - 1]))
-      && ((not tail_is_ident) || i + m >= n || not (is_ident_char line.[i + m]))
-    then true
-    else at (i + 1)
-  in
-  at 0
-
-let word_at line i =
-  let n = String.length line in
-  let rec start j = if j > 0 && (is_ident_char line.[j - 1] || line.[j - 1] = '.') then start (j - 1) else j in
-  let rec stop j = if j < n && (is_ident_char line.[j] || line.[j] = '.') then stop (j + 1) else j in
-  let s = start i and e = stop i in
-  if e > s then String.sub line s (e - s) else ""
-
-let contains_sub s sub =
-  let n = String.length s and m = String.length sub in
-  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
-  at 0
+let strip_comments_and_strings = Lexer.strip_comments_and_strings
+let is_ident_char = Lexer.is_ident_char
+let contains_token = Lexer.contains_token
+let word_at = Lexer.word_at
+let contains_sub = Lexer.contains_sub
 
 let names_a_buffer ident = contains_sub (String.lowercase_ascii ident) "buf"
 
 (* poly-compare pattern A: a polymorphic [compare] (bare or
    Stdlib-qualified, not a labelled argument) applied to a
-   buffer-named first argument. *)
+   buffer-named first argument. Returns the 1-based column. *)
 let poly_compare_call line =
   let n = String.length line in
   let tok = "compare" and m = 7 in
   let rec at i =
-    if i + m > n then false
+    if i + m > n then None
     else if
       String.sub line i m = tok
       && (i = 0 || not (is_ident_char line.[i - 1]))
@@ -171,7 +67,7 @@ let poly_compare_call line =
       let j = skip_ws (i + m) in
       if j < n && (is_ident_char line.[j] || line.[j] = '(') then
         let arg = word_at line (if line.[j] = '(' then j + 1 else j) in
-        if names_a_buffer arg then true else at (i + 1)
+        if names_a_buffer arg then Some (i + 1) else at (i + 1)
       else at (i + 1)
     else at (i + 1)
   in
@@ -179,41 +75,46 @@ let poly_compare_call line =
 
 (* poly-compare pattern B: [buf_x = buf_y] / [buf_x <> buf_y] in a
    conditional context. The context requirement keeps record-literal
-   fields like [{ seg_buf = buf }] from matching. *)
+   fields like [{ seg_buf = buf }] from matching. Returns the 1-based
+   column of the operator. *)
 let poly_eq_on_buffers line =
   let n = String.length line in
   let in_condition =
     contains_token line "if" || contains_token line "when" || contains_sub line "&&"
     || contains_sub line "||"
   in
-  in_condition
-  &&
-  let rec at i =
-    if i >= n then false
-    else if
-      line.[i] = '='
-      && (i = 0 || not (List.mem line.[i - 1] [ '<'; '>'; '!'; '='; ':'; '+'; '-'; '*' ]))
-      && (i + 1 >= n || line.[i + 1] <> '=')
-      || (i + 1 < n && line.[i] = '<' && line.[i + 1] = '>')
-    then begin
-      let left = if i > 1 then word_at line (i - 2) else "" in
-      let skip = if i + 1 < n && line.[i] = '<' then 2 else 1 in
-      let rec skip_ws j = if j < n && line.[j] = ' ' then skip_ws (j + 1) else j in
-      let j = skip_ws (i + skip) in
-      let right = if j < n then word_at line j else "" in
-      if names_a_buffer left && names_a_buffer right then true else at (i + 1)
-    end
-    else at (i + 1)
-  in
-  at 1
+  if not in_condition then None
+  else
+    let rec at i =
+      if i >= n then None
+      else if
+        line.[i] = '='
+        && (i = 0 || not (List.mem line.[i - 1] [ '<'; '>'; '!'; '='; ':'; '+'; '-'; '*' ]))
+        && (i + 1 >= n || line.[i + 1] <> '=')
+        || (i + 1 < n && line.[i] = '<' && line.[i + 1] = '>')
+      then begin
+        let left = if i > 1 then word_at line (i - 2) else "" in
+        let skip = if i + 1 < n && line.[i] = '<' then 2 else 1 in
+        let rec skip_ws j = if j < n && line.[j] = ' ' then skip_ws (j + 1) else j in
+        let j = skip_ws (i + skip) in
+        let right = if j < n then word_at line j else "" in
+        if names_a_buffer left && names_a_buffer right then Some (i + 1) else at (i + 1)
+      end
+      else at (i + 1)
+    in
+    at 1
 
 (* ---------- inline allow annotations ---------- *)
 
 (* A comment containing [dlint-allow: <rule-id> -- justification]
-   suppresses that rule on the same line and the line below. *)
+   suppresses that rule on the same line and the line below. Returns
+   the suppression predicate (which records which markers actually
+   suppressed something) and the stale-marker query. *)
 let inline_allows raw_lines =
   let marker = "dlint-allow:" in
   let allows = Hashtbl.create 8 in
+  let markers = ref [] in
+  let used = Hashtbl.create 8 in
   Array.iteri
     (fun idx line ->
       let n = String.length line and m = String.length marker in
@@ -227,15 +128,27 @@ let inline_allows raw_lines =
           in
           let rule = String.sub line j (stop j - j) in
           if rule <> "" then begin
-            Hashtbl.replace allows (idx + 1, rule) ();
-            Hashtbl.replace allows (idx + 2, rule) ()
+            markers := (idx + 1, i + 1, rule) :: !markers;
+            Hashtbl.replace allows (idx + 1, rule) (idx + 1);
+            Hashtbl.replace allows (idx + 2, rule) (idx + 1)
           end
         end
         else find (i + 1)
       in
       find 0)
     raw_lines;
-  fun ~line ~rule -> Hashtbl.mem allows (line, rule)
+  let allowed ~line ~rule =
+    match Hashtbl.find_opt allows (line, rule) with
+    | Some marker_line ->
+        Hashtbl.replace used (marker_line, rule) ();
+        true
+    | None -> false
+  in
+  let unused () =
+    List.rev !markers
+    |> List.filter (fun (mline, _, rule) -> not (Hashtbl.mem used (mline, rule)))
+  in
+  (allowed, unused)
 
 (* ---------- the scanner ---------- *)
 
@@ -247,13 +160,19 @@ let copy_tokens =
 
 let accounting_tokens = [ "note_copy"; "charge_copy" ]
 
-let scan_string ~path contents =
+let by_position a b =
+  match compare a.line b.line with 0 -> compare a.col b.col | c -> c
+
+(* Core scan: (violations surviving inline allows, stale markers).
+   The central {!Allowlist} is NOT applied here — the driver does
+   that, so it can also detect stale central entries. *)
+let scan_core ~path contents =
   let sub = lib_subdir path in
   let in_dirs dirs = match sub with Some d -> List.mem d dirs | None -> false in
   let stripped = strip_comments_and_strings contents in
   let lines = Array.of_list (String.split_on_char '\n' stripped) in
   let raw_lines = Array.of_list (String.split_on_char '\n' contents) in
-  let allowed = inline_allows raw_lines in
+  let allowed, unused = inline_allows raw_lines in
   let nlines = Array.length lines in
   let accounted idx =
     let lo = max 0 (idx - 3) and hi = min (nlines - 1) (idx + 3) in
@@ -264,9 +183,10 @@ let scan_string ~path contents =
     any lo
   in
   let out = ref [] in
-  let emit ~line ~rule message =
-    if not (allowed ~line ~rule) then out := { path; line; rule; message } :: !out
+  let emit ~line ~col ~rule message =
+    if not (allowed ~line ~rule) then out := { path; line; col; rule; message } :: !out
   in
+  let col_of line tok = match Lexer.token_col line tok with Some c -> c | None -> 1 in
   Array.iteri
     (fun idx line ->
       let lno = idx + 1 in
@@ -275,7 +195,7 @@ let scan_string ~path contents =
         List.iter
           (fun tok ->
             if contains_token line tok then
-              emit ~line:lno ~rule:rule_determinism
+              emit ~line:lno ~col:(col_of line tok) ~rule:rule_determinism
                 (Printf.sprintf
                    "%s* is an ambient nondeterminism source; draw randomness from \
                     Engine.Prng and time from Engine.Clock (only lib/engine may touch it)"
@@ -286,7 +206,7 @@ let scan_string ~path contents =
         List.iter
           (fun tok ->
             if contains_token line tok then
-              emit ~line:lno ~rule:rule_hashtbl
+              emit ~line:lno ~col:(col_of line tok) ~rule:rule_hashtbl
                 (Printf.sprintf
                    "%s visits bindings in hash order, which differs between runs; use \
                     Engine.Det.hashtbl_iter_sorted / hashtbl_fold_sorted"
@@ -296,7 +216,7 @@ let scan_string ~path contents =
       if in_dirs zero_copy_dirs then begin
         match List.find_opt (contains_token line) copy_tokens with
         | Some tok when not (accounted idx) ->
-            emit ~line:lno ~rule:rule_copy
+            emit ~line:lno ~col:(col_of line tok) ~rule:rule_copy
               (Printf.sprintf
                  "%s copies payload bytes without accounting; record it with \
                   Heap.note_copy / Host.charge_copy within 3 lines, or add an allowlist \
@@ -305,13 +225,48 @@ let scan_string ~path contents =
         | Some _ | None -> ()
       end;
       (* poly-compare-buffer *)
-      if in_dirs poly_compare_dirs && (poly_compare_call line || poly_eq_on_buffers line)
-      then
-        emit ~line:lno ~rule:rule_poly
-          "polymorphic compare/equality on a buffer value; Heap.buffer contains cyclic \
-           superblock links — compare by identity or explicit fields instead")
+      if in_dirs poly_compare_dirs then begin
+        let hit =
+          match poly_compare_call line with Some c -> Some c | None -> poly_eq_on_buffers line
+        in
+        match hit with
+        | Some col ->
+            emit ~line:lno ~col ~rule:rule_poly
+              "polymorphic compare/equality on a buffer value; Heap.buffer contains \
+               cyclic superblock links — compare by identity or explicit fields instead"
+        | None -> ()
+      end)
     lines;
-  List.rev !out
+  (* ownership protocol: per-function dataflow pass *)
+  if in_dirs ownership_dirs then
+    List.iter
+      (fun (f : Ownership.finding) ->
+        emit ~line:f.Ownership.line ~col:f.Ownership.col ~rule:f.Ownership.rule
+          f.Ownership.message)
+      (Ownership.scan lines);
+  (List.sort by_position !out, unused ())
+
+let scan_string ~path contents = fst (scan_core ~path contents)
+
+let scan_full ~path contents =
+  let violations, stale = scan_core ~path contents in
+  let stale_violations =
+    List.map
+      (fun (line, col, rule) ->
+        {
+          path;
+          line;
+          col;
+          rule = rule_unused;
+          message =
+            Printf.sprintf
+              "dlint-allow: %s suppresses nothing on this or the next line; remove the \
+               stale exemption"
+              rule;
+        })
+      stale
+  in
+  List.sort by_position (violations @ stale_violations)
 
 let pp_violation fmt v =
-  Format.fprintf fmt "%s:%d: [%s] %s" v.path v.line v.rule v.message
+  Format.fprintf fmt "%s:%d:%d: [%s] %s" v.path v.line v.col v.rule v.message

@@ -1,9 +1,9 @@
 (** The dlint rule set.
 
-    Four rules guard the two invariants the reproduction depends on —
-    Catnip-style determinism ("deterministic and parameterized on time",
-    §6.3, extended by DESIGN.md to the whole testbed) and zero-copy
-    buffer discipline (§5.3):
+    Per-line rules guard the two invariants the reproduction depends on
+    — Catnip-style determinism ("deterministic and parameterized on
+    time", §6.3, extended by DESIGN.md to the whole testbed) and
+    zero-copy buffer discipline (§5.3):
 
     - [determinism-source]: [Random.*], [Unix.*] and [Sys.time] are
       banned everywhere under [lib/] except [lib/engine/] — randomness
@@ -23,29 +23,48 @@
       contain cyclic superblock links and must be compared by identity
       or by explicit fields.
 
+    On top of these, the {!Ownership} dataflow pass contributes the
+    PDPIX ownership-protocol rules ([free-after-push],
+    [double-free-path], [leaked-buffer], [dropped-token]) in the
+    buffer-handling directories ([lib/tcp], [lib/demikernel],
+    [lib/apps], [lib/baselines], [lib/harness]).
+
     Scanning is purely lexical: comments and string/char literals are
     stripped first, so a banned name inside a docstring does not trip
     the lint. A violation can be suppressed in place with a comment
     containing [dlint-allow: <rule-id> -- <justification>] on the same
-    or the preceding line, or centrally in {!Allowlist.entries}. *)
+    or the preceding line, or centrally in {!Allowlist.entries}. A
+    [dlint-allow] marker that suppresses nothing is itself reported
+    ([unused-exemption]) by {!scan_full} — stale exemptions rot into
+    silent holes otherwise. *)
 
 type violation = {
   path : string;
   line : int; (* 1-based *)
+  col : int; (* 1-based *)
   rule : string;
   message : string;
 }
 
 val rule_ids : string list
 
+val rule_unused : string
+(** The ["unused-exemption"] rule id (stale [dlint-allow] markers and
+    stale {!Allowlist} entries). *)
+
 val strip_comments_and_strings : string -> string
 (** Replace comment bodies and string/char literal contents with spaces
     (newlines preserved), so token scans can't match inside them. *)
 
 val scan_string : path:string -> string -> violation list
-(** All rule violations for one source file, in line order. Inline
-    [dlint-allow] annotations are honoured; the central
-    {!Allowlist.entries} is NOT applied here (the driver does that). *)
+(** All rule violations for one source file, sorted by (line, col).
+    Inline [dlint-allow] annotations are honoured; the central
+    {!Allowlist.entries} is NOT applied here (the driver does that),
+    and stale inline markers are NOT reported (use {!scan_full}). *)
+
+val scan_full : path:string -> string -> violation list
+(** {!scan_string} plus an [unused-exemption] violation for every
+    inline [dlint-allow] marker that suppressed nothing. *)
 
 val pp_violation : Format.formatter -> violation -> unit
-(** Renders as [file:line: [rule] message]. *)
+(** Renders as [file:line:col: [rule] message]. *)

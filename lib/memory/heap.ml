@@ -18,6 +18,7 @@ let set_sanitize_default b = sanitize_default_flag := b
 let sanitize_default () = !sanitize_default_flag
 
 type superblock = {
+  serial : int; (* per-heap creation index; slot identity for the ownership oracle *)
   class_index : int;
   object_size : int; (* payload capacity + headroom *)
   store : Bytes.t;
@@ -41,6 +42,7 @@ and t = {
   partial : superblock list array; (* per class, superblocks with free slots *)
   mutable all_superblocks : superblock list; (* newest first; for end-of-run scans *)
   mutable next_rkey : int;
+  mutable next_serial : int;
   mutable superblock_count : int;
   mutable registered : int;
   mutable allocations : int;
@@ -79,6 +81,7 @@ let create ?(label = "heap") ?(headroom = 128) ?sanitize ~mode () =
     partial = Array.make Sizeclass.class_count [];
     all_superblocks = [];
     next_rkey = 1;
+    next_serial = 0;
     superblock_count = 0;
     registered = 0;
     allocations = 0;
@@ -108,8 +111,11 @@ let new_superblock t class_index =
   let object_size = Sizeclass.size_of_index class_index + t.headroom in
   let next = Array.init objects_per_superblock (fun i -> i - 1) in
   (* LIFO list: head is the last slot, each slot links to the previous. *)
+  let serial = t.next_serial in
+  t.next_serial <- t.next_serial + 1;
   let sb =
     {
+      serial;
       class_index;
       object_size;
       store = Bytes.create (object_size * objects_per_superblock);
@@ -297,6 +303,7 @@ let stats (t : t) : stats =
 
 let live_objects (t : t) = t.live
 let site b = b.sb.sites.(b.slot)
+let slot_id b = (b.sb.serial * objects_per_superblock) + b.slot
 
 (* ---------- end-of-run sanitizer report ---------- *)
 

@@ -48,6 +48,10 @@ type stats = {
 exception Double_free
 exception Bad_refcount
 
+val poison_byte : char
+(** The sanitizer's fill pattern ([0xDE]); exposed so tests can assert
+    poisoning without duplicating the constant. *)
+
 exception Canary_violation of string
 (** Raised (in sanitizer mode) when a freed object is re-allocated and
     its poison fill has been overwritten — i.e. someone wrote through a
@@ -155,6 +159,15 @@ val live_objects : t -> int
 val site : buffer -> string
 (** The allocation-site label this buffer's slot was last allocated
     with ([""] when unlabeled). *)
+
+val slot_id : buffer -> int
+(** A stable identity for the underlying slot, unique within the heap
+    (superblock creation index x slot). Two buffer handles alias the
+    same object iff their [slot_id]s are equal — the identity key the
+    PDPIX ownership oracle tracks state under, since structural
+    equality on [buffer] is both meaningless (windows differ) and
+    unsafe (superblock links are cyclic). Slot ids are reused after a
+    true release, exactly like the memory itself. *)
 
 (** {1 Sanitizer report} *)
 

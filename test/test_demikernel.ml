@@ -434,6 +434,128 @@ let test_cattree_log_roundtrip () =
   Alcotest.(check (list string)) "records replay in order" [ "first"; "second"; "third" ]
     (List.rev !results)
 
+(* ---------- runtime ownership oracle ---------- *)
+
+let connect_echo api dst =
+  let qd = api.Demikernel.Pdpix.socket Demikernel.Pdpix.Tcp in
+  (match api.Demikernel.Pdpix.wait (api.Demikernel.Pdpix.connect qd dst) with
+  | Demikernel.Pdpix.Connected -> ()
+  | _ -> failwith "connect failed");
+  qd
+
+(* Run [main] as a client against a TCP echo server, with the client's
+   api wrapped by a fresh ownership oracle; returns the violations. *)
+let oracle_run ?(flavor = Demikernel.Boot.Catnip_os) main =
+  let sim = Engine.Sim.create () in
+  let fabric = Net.Fabric.create sim ~cost:bare () in
+  let server = Demikernel.Boot.make sim fabric ~index:1 flavor in
+  let client = Demikernel.Boot.make sim fabric ~index:2 flavor in
+  Demikernel.Boot.run_app server (Apps.Echo.server ~port:7);
+  let oracle = Demikernel.Pdpix.oracle ~name:"oracle-under-test" () in
+  Demikernel.Boot.run_app client
+    ~wrap:(Demikernel.Pdpix.checked oracle)
+    (main (Demikernel.Boot.endpoint server 7));
+  Demikernel.Boot.start server;
+  Demikernel.Boot.start client;
+  Engine.Sim.run ~until:(Engine.Clock.s 5) sim;
+  Engine.Sim.teardown sim;
+  Demikernel.Pdpix.oracle_finish oracle
+
+let kinds vs = List.map (fun (v : Demikernel.Pdpix.ownership_violation) -> v.kind) vs
+
+let test_oracle_clean_echo () =
+  let clean dst api =
+    let qd = connect_echo api dst in
+    let buf = api.Demikernel.Pdpix.alloc_str "well-behaved" in
+    let qt = api.Demikernel.Pdpix.push qd [ buf ] in
+    (match api.Demikernel.Pdpix.wait qt with
+    | Demikernel.Pdpix.Pushed -> api.Demikernel.Pdpix.free buf
+    | _ -> failwith "push failed");
+    match api.Demikernel.Pdpix.wait (api.Demikernel.Pdpix.pop qd) with
+    | Demikernel.Pdpix.Popped sga -> List.iter api.Demikernel.Pdpix.free sga
+    | _ -> failwith "pop failed"
+  in
+  Alcotest.(check (list string)) "catnip clean" [] (kinds (oracle_run clean));
+  Alcotest.(check (list string)) "catmint clean" []
+    (kinds (oracle_run ~flavor:Demikernel.Boot.Catmint_os clean))
+
+let test_oracle_write_in_flight () =
+  let vs =
+    oracle_run (fun dst api ->
+        let qd = connect_echo api dst in
+        let buf = api.Demikernel.Pdpix.alloc_str "payload-under-test" in
+        let qt = api.Demikernel.Pdpix.push qd [ buf ] in
+        (* The libOS owns [buf] until [qt] completes: this write races
+           the (zero-copy) transmit path. *)
+        Bytes.set (Memory.Heap.data buf) (Memory.Heap.offset buf) 'Z';
+        (match api.Demikernel.Pdpix.wait qt with
+        | Demikernel.Pdpix.Pushed -> api.Demikernel.Pdpix.free buf
+        | _ -> failwith "push failed"))
+  in
+  Alcotest.(check (list string)) "write detected" [ "write-in-flight" ] (kinds vs)
+
+let test_oracle_free_in_flight () =
+  let vs =
+    oracle_run (fun dst api ->
+        let qd = connect_echo api dst in
+        let buf = api.Demikernel.Pdpix.alloc_str "freed-too-early" in
+        let qt = api.Demikernel.Pdpix.push qd [ buf ] in
+        api.Demikernel.Pdpix.free buf;
+        ignore (api.Demikernel.Pdpix.wait qt))
+  in
+  Alcotest.(check (list string)) "early free detected" [ "free-in-flight" ] (kinds vs)
+
+let test_oracle_dropped_token () =
+  let vs =
+    oracle_run (fun dst api ->
+        let qd = connect_echo api dst in
+        let buf = api.Demikernel.Pdpix.alloc_str "fire-and-forget" in
+        ignore (api.Demikernel.Pdpix.push qd [ buf ]))
+  in
+  Alcotest.(check (list string)) "unredeemed token flagged at finish" [ "dropped-token" ]
+    (kinds vs)
+
+(* ---------- wait_any_t timeout semantics ---------- *)
+
+let wait_any_t_timeout_roundtrip flavor =
+  let sim = Engine.Sim.create () in
+  let fabric = Net.Fabric.create sim ~cost:bare () in
+  let server = Demikernel.Boot.make sim fabric ~index:1 flavor in
+  let client = Demikernel.Boot.make sim fabric ~index:2 flavor in
+  Demikernel.Boot.run_app server (Apps.Echo.server ~port:7);
+  let echoed = ref None in
+  let timed_out = ref false in
+  Demikernel.Boot.run_app client (fun api ->
+      let qd = connect_echo api (Demikernel.Boot.endpoint server 7) in
+      let buf = api.Demikernel.Pdpix.alloc_str "timeout-keeps-token" in
+      (match api.Demikernel.Pdpix.wait (api.Demikernel.Pdpix.push qd [ buf ]) with
+      | Demikernel.Pdpix.Pushed -> api.Demikernel.Pdpix.free buf
+      | _ -> failwith "push failed");
+      let qt = api.Demikernel.Pdpix.pop qd in
+      (* The echo takes a full RTT; a 1ns timeout must expire first —
+         and per the PDPIX contract the token survives the timeout. *)
+      (match api.Demikernel.Pdpix.wait_any_t [| qt |] ~timeout_ns:1 with
+      | None -> timed_out := true
+      | Some _ -> failwith "echo arrived inside 1ns");
+      match api.Demikernel.Pdpix.wait qt with
+      | Demikernel.Pdpix.Popped sga ->
+          echoed := Some (Demikernel.Pdpix.sga_to_string sga);
+          List.iter api.Demikernel.Pdpix.free sga
+      | _ -> failwith "pop failed after timeout");
+  Demikernel.Boot.start server;
+  Demikernel.Boot.start client;
+  Engine.Sim.run ~until:(Engine.Clock.s 10) sim;
+  check_bool "wait_any_t returned None" true !timed_out;
+  Alcotest.(check (option string))
+    "token stayed redeemable and delivered the payload" (Some "timeout-keeps-token")
+    !echoed
+
+let test_wait_any_t_timeout_catnip () =
+  wait_any_t_timeout_roundtrip Demikernel.Boot.Catnip_os
+
+let test_wait_any_t_timeout_catnap () =
+  wait_any_t_timeout_roundtrip Demikernel.Boot.Catnap_os
+
 let suite =
   [
     Alcotest.test_case "waker basic" `Quick test_waker_basic;
@@ -459,4 +581,12 @@ let suite =
     Alcotest.test_case "wait_any returns completed index" `Quick test_wait_any_wakes_one;
     Alcotest.test_case "multi-worker request dispatch (C2)" `Quick test_multi_worker_dispatch;
     Alcotest.test_case "cattree log roundtrip" `Quick test_cattree_log_roundtrip;
+    Alcotest.test_case "oracle: clean echo has no violations" `Quick test_oracle_clean_echo;
+    Alcotest.test_case "oracle: write in flight" `Quick test_oracle_write_in_flight;
+    Alcotest.test_case "oracle: free in flight" `Quick test_oracle_free_in_flight;
+    Alcotest.test_case "oracle: dropped token" `Quick test_oracle_dropped_token;
+    Alcotest.test_case "wait_any_t timeout keeps tokens (catnip)" `Quick
+      test_wait_any_t_timeout_catnip;
+    Alcotest.test_case "wait_any_t timeout keeps tokens (catnap)" `Quick
+      test_wait_any_t_timeout_catnap;
   ]

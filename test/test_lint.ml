@@ -105,6 +105,182 @@ let test_allowlist_is_well_formed () =
       check_bool ("justified: " ^ e.path_suffix) true (String.length e.justification > 10))
     Lint.Allowlist.entries
 
+(* ---------- ownership dataflow pass ---------- *)
+
+let scan path src = Lint.Rules.scan_string ~path src
+
+let test_ownership_free_after_push () =
+  let src =
+    String.concat "\n"
+      [
+        "let send api qd =";
+        "  let buf = api.Pdpix.alloc_str \"hi\" in";
+        "  let qt = api.Pdpix.push qd [ buf ] in";
+        "  api.Pdpix.free buf;";
+        "  ignore (api.Pdpix.wait qt)";
+        "";
+      ]
+  in
+  let vs = scan "lib/apps/bad.ml" src in
+  Alcotest.(check (list string)) "free while token outstanding" [ "free-after-push" ]
+    (rules_of vs);
+  Alcotest.(check (list int)) "on the free line" [ 4 ] (lines_of vs)
+
+let test_ownership_double_free () =
+  let src =
+    String.concat "\n"
+      [
+        "let twice api =";
+        "  let buf = api.Pdpix.alloc 64 in";
+        "  api.Pdpix.free buf;";
+        "  api.Pdpix.free buf";
+        "";
+      ]
+  in
+  let vs = scan "lib/apps/bad.ml" src in
+  Alcotest.(check (list string)) "second free flagged" [ "double-free-path" ] (rules_of vs);
+  Alcotest.(check (list int)) "on the second free" [ 4 ] (lines_of vs)
+
+let test_ownership_leaked_buffer () =
+  let never_mentioned =
+    "let leak api =\n  let buf = api.Pdpix.alloc 64 in\n  ()\n"
+  in
+  let vs = scan "lib/apps/bad.ml" never_mentioned in
+  Alcotest.(check (list string)) "alloc never released" [ "leaked-buffer" ] (rules_of vs);
+  check_int "column points at the alloc" 17 (List.hd vs).Lint.Rules.col;
+  let bound_to_wildcard = "let leak api =\n  let _ = api.Pdpix.alloc 64 in\n  ()\n" in
+  Alcotest.(check (list string)) "wildcard binder leaks" [ "leaked-buffer" ]
+    (rules_of (scan "lib/apps/bad.ml" bound_to_wildcard))
+
+let test_ownership_dropped_token () =
+  let never_waited = "let fire api qd sga =\n  let qt = api.Pdpix.push qd sga in\n  ()\n" in
+  Alcotest.(check (list string)) "token never redeemed" [ "dropped-token" ]
+    (rules_of (scan "lib/apps/bad.ml" never_waited));
+  let ignored = "let fire api qd sga =\n  ignore (api.Pdpix.push qd sga)\n" in
+  Alcotest.(check (list string)) "ignored push token" [ "dropped-token" ]
+    (rules_of (scan "lib/apps/bad.ml" ignored))
+
+let test_ownership_clean_idioms () =
+  let echo_idiom =
+    String.concat "\n"
+      [
+        "let ship api qd sga =";
+        "  let qt = api.Pdpix.push qd sga in";
+        "  (match api.Pdpix.wait qt with";
+        "  | Pdpix.Pushed -> List.iter api.Pdpix.free sga";
+        "  | _ -> failwith \"push\")";
+        "";
+        "let payload_of_size api n = api.Pdpix.alloc n";
+        "";
+        "let branchy api h flag =";
+        "  let buf = Memory.Heap.alloc h 64 in";
+        "  if flag then Memory.Heap.free buf";
+        "  else Memory.Heap.free buf";
+        "";
+      ]
+  in
+  check_int "push/wait/free idiom, alloc-returning helper, per-branch frees" 0
+    (List.length (scan "lib/apps/ok.ml" echo_idiom));
+  check_int "ownership pass only covers buffer-handling dirs" 0
+    (List.length (scan "lib/engine/any.ml" "let fire api =\n  ignore (api.Pdpix.pop 1)\n"))
+
+let test_ownership_respects_inline_allow () =
+  let src =
+    "(* dlint-allow: dropped-token -- completion observed out of band *)\n"
+    ^ "let fire api qd sga =\n  ignore (api.Pdpix.push qd sga)\n"
+  in
+  (* The marker sits one line above the flagged line's binder... put it
+     directly above the ignore line instead. *)
+  check_int "marker above flagged line suppresses" 0
+    (List.length
+       (scan "lib/apps/ok.ml"
+          "let fire api qd sga =\n\
+           (* dlint-allow: dropped-token -- completion observed out of band *)\n\
+          \  ignore (api.Pdpix.push qd sga)\n"));
+  check_int "marker too far away does not" 1 (List.length (scan "lib/apps/bad.ml" src))
+
+(* ---------- stale exemptions and output formats ---------- *)
+
+let test_stale_inline_marker () =
+  let src = "(* dlint-allow: determinism-source -- nothing here anymore *)\nlet x = 1\n" in
+  check_int "scan_string stays quiet (legacy surface)" 0
+    (List.length (Lint.Rules.scan_string ~path:"lib/tcp/z.ml" src));
+  let vs = Lint.Rules.scan_full ~path:"lib/tcp/z.ml" src in
+  Alcotest.(check (list string)) "scan_full reports the stale marker"
+    [ Lint.Rules.rule_unused ] (rules_of vs);
+  Alcotest.(check (list int)) "at the marker line" [ 1 ] (lines_of vs);
+  let live =
+    "(* dlint-allow: unordered-hashtbl -- order-insensitive count *)\n"
+    ^ "let size t = Hashtbl.fold (fun _ _ n -> n + 1) t 0\n"
+  in
+  check_int "a marker that suppresses something is not stale" 0
+    (List.length (Lint.Rules.scan_full ~path:"lib/tcp/z.ml" live))
+
+let with_temp_tree content f =
+  let dir = Filename.temp_file "dlint_tree" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let subdir = Filename.concat (Filename.concat dir "lib") "tcp" in
+  let rec mkdirs d =
+    if not (Sys.file_exists d) then begin
+      mkdirs (Filename.dirname d);
+      Sys.mkdir d 0o755
+    end
+  in
+  mkdirs subdir;
+  let file = Filename.concat subdir "stack.ml" in
+  let oc = open_out file in
+  output_string oc content;
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove file;
+      Sys.rmdir subdir;
+      Sys.rmdir (Filename.concat dir "lib");
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_stale_central_entry () =
+  (* lib/tcp/stack.ml carries a central unaccounted-copy exemption. A
+     scanned tree where that file no longer needs it must flag the
+     entry; one where it still fires must not. *)
+  with_temp_tree "let x = 1\n" (fun dir ->
+      let vs = Lint.Driver.run [ dir ] in
+      Alcotest.(check (list string)) "clean file makes the entry stale"
+        [ Lint.Rules.rule_unused ] (rules_of vs));
+  with_temp_tree "let f b = Bytes.blit b 0 b 0 4\n" (fun dir ->
+      check_int "entry still in use: suppressed and not stale" 0
+        (List.length (Lint.Driver.run [ dir ])))
+
+let test_json_report () =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  let vs = Lint.Rules.scan_string ~path:"lib/tcp/bad.ml" bad_source in
+  Lint.Driver.report_json fmt vs;
+  Format.pp_print_flush fmt ();
+  let out = Buffer.contents buf in
+  check_bool "count present" true
+    (String.length out >= 10 && String.sub out 0 10 = "{\"count\":6");
+  check_bool "rule id serialized" true
+    (let needle = "\"rule\":\"poly-compare-buffer\"" in
+     let n = String.length needle in
+     let rec find i = i + n <= String.length out && (String.sub out i n = needle || find (i + 1)) in
+     find 0);
+  let empty = Buffer.create 64 in
+  let fmt = Format.formatter_of_buffer empty in
+  Lint.Driver.report_json fmt [];
+  Format.pp_print_flush fmt ();
+  check_bool "empty run serializes to a zero count" true
+    (String.length (Buffer.contents empty) >= 11
+    && String.sub (Buffer.contents empty) 0 11 = "{\"count\":0,")
+
+let test_violations_carry_columns () =
+  let vs = Lint.Rules.scan_string ~path:"lib/tcp/bad.ml" bad_source in
+  List.iter (fun v -> check_bool "1-based column" true (v.Lint.Rules.col >= 1)) vs;
+  match vs with
+  | first :: _ -> check_int "Random.self_init column" 10 first.Lint.Rules.col
+  | [] -> Alcotest.fail "expected violations"
+
 let test_selfcheck_two_runs_identical () =
   let r = Harness.Selfcheck.run ~seed:7L ~count:8 () in
   check_bool "digests and metrics identical across same-seed runs" true
@@ -125,6 +301,17 @@ let suite =
     Alcotest.test_case "Det sorted helpers pass" `Quick test_sorted_helpers_pass;
     Alcotest.test_case "allowlist lookup" `Quick test_allowlist_lookup;
     Alcotest.test_case "allowlist entries well-formed" `Quick test_allowlist_is_well_formed;
+    Alcotest.test_case "ownership: free after push" `Quick test_ownership_free_after_push;
+    Alcotest.test_case "ownership: double free" `Quick test_ownership_double_free;
+    Alcotest.test_case "ownership: leaked buffer" `Quick test_ownership_leaked_buffer;
+    Alcotest.test_case "ownership: dropped token" `Quick test_ownership_dropped_token;
+    Alcotest.test_case "ownership: clean idioms pass" `Quick test_ownership_clean_idioms;
+    Alcotest.test_case "ownership: inline allow honoured" `Quick
+      test_ownership_respects_inline_allow;
+    Alcotest.test_case "stale inline dlint-allow marker" `Quick test_stale_inline_marker;
+    Alcotest.test_case "stale central allowlist entry" `Quick test_stale_central_entry;
+    Alcotest.test_case "json report format" `Quick test_json_report;
+    Alcotest.test_case "violations carry columns" `Quick test_violations_carry_columns;
     Alcotest.test_case "selfcheck: same seed, same fingerprint" `Quick
       test_selfcheck_two_runs_identical;
   ]

@@ -206,6 +206,50 @@ let test_sanitizer_uaf_protected_slot_not_poisoned () =
   Memory.Heap.os_decref b;
   check_bool "poisoned once fully released" true (Bytes.get data off = '\xde')
 
+let test_sanitizer_deferred_free_lifecycle () =
+  (* Deferred free under the sanitizer, end to end: between the app's
+     free and the last os_decref the slot stays live and un-poisoned,
+     the stats ledger counts it as uaf_protected, and the poison byte
+     lands exactly at release. *)
+  let h = make_sanitized () in
+  let b = Memory.Heap.alloc_of_string ~site:"test.defer" h "in-retransmit-queue" in
+  Memory.Heap.os_incref b;
+  Memory.Heap.os_incref b;
+  Memory.Heap.free b;
+  check_bool "app reference dropped" true (not (Memory.Heap.app_live b));
+  check_bool "slot still live while deferred" true (Memory.Heap.is_slot_live b);
+  check_int "two libOS references" 2 (Memory.Heap.os_refs b);
+  check_int "counted as uaf_protected" 1 (Memory.Heap.stats h).uaf_protected;
+  check_int "not yet counted as freed slot" 1 (Memory.Heap.live_objects h);
+  Alcotest.(check string) "payload intact under sanitizer" "in-retransmit-queue"
+    (Memory.Heap.to_string b);
+  check_bool "no poison while deferred" true
+    (Bytes.get (Memory.Heap.data b) (Memory.Heap.offset b) <> Memory.Heap.poison_byte);
+  Memory.Heap.os_decref b;
+  check_bool "still live under one remaining ref" true (Memory.Heap.is_slot_live b);
+  Memory.Heap.os_decref b;
+  check_bool "poisoned at final release" true
+    (Bytes.get (Memory.Heap.data b) (Memory.Heap.offset b) = Memory.Heap.poison_byte);
+  check_int "slot returned" 0 (Memory.Heap.live_objects h)
+
+let test_sanitizer_deferred_os_write_is_not_a_canary_violation () =
+  (* The libOS may legitimately rewrite payload it still holds after
+     the app free (e.g. patching headers for a retransmit): that write
+     happens before poisoning, so recycling the slot must stay clean. *)
+  let h = make_sanitized () in
+  let b = Memory.Heap.alloc_of_string ~site:"test.defer-write" h "retransmit-me" in
+  Memory.Heap.os_incref b;
+  Memory.Heap.free b;
+  Bytes.set (Memory.Heap.data b) (Memory.Heap.offset b) 'R';
+  Memory.Heap.os_decref b;
+  let b2 = Memory.Heap.alloc_of_string ~site:"test.defer-write2" h "recycled" in
+  Alcotest.(check string) "recycled slot canary-clean" "recycled"
+    (Memory.Heap.to_string b2);
+  Memory.Heap.free b2;
+  match Memory.Heap.sanitizer_report h with
+  | None -> Alcotest.fail "sanitizing heap must produce a report"
+  | Some r -> check_int "no canary violations" 0 r.canary_violations
+
 let test_sanitizer_leak_and_double_free_report () =
   let h = make_sanitized () in
   let a = Memory.Heap.alloc ~site:"tcp.rx" h 64 in
@@ -288,6 +332,10 @@ let suite =
       test_sanitizer_catches_write_after_free;
     Alcotest.test_case "sanitizer defers poison while libOS holds ref" `Quick
       test_sanitizer_uaf_protected_slot_not_poisoned;
+    Alcotest.test_case "sanitizer deferred-free lifecycle" `Quick
+      test_sanitizer_deferred_free_lifecycle;
+    Alcotest.test_case "sanitizer tolerates libOS write during deferral" `Quick
+      test_sanitizer_deferred_os_write_is_not_a_canary_violation;
     Alcotest.test_case "sanitizer leak and double-free report" `Quick
       test_sanitizer_leak_and_double_free_report;
     Alcotest.test_case "no sanitizer report when off" `Quick test_sanitizer_off_no_report;
