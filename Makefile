@@ -1,4 +1,4 @@
-.PHONY: all build test lint selfcheck check bench clean
+.PHONY: all build test lint selfcheck check bench bench-smoke clean
 
 all: build
 
@@ -15,12 +15,28 @@ selfcheck:
 	dune build @selfcheck
 
 # Everything CI runs: build + tests (incl. lint) + determinism
-# selfcheck with the ownership oracle armed.
+# selfcheck with the ownership oracle armed + a quick wall-clock bench
+# whose output schema is validated.
 check:
 	dune build @check
+	$(MAKE) bench-smoke
 
 bench:
 	dune exec bench/main.exe
+
+# Quick wall-clock run (full 10k-conn churn, shortened echo) + schema
+# check on BENCH_pr3.json + a determinism selfcheck. Fails if the bench
+# crashes, a key goes missing, or selfcheck regresses.
+bench-smoke:
+	dune exec bench/main.exe -- wallclock quick
+	@for key in '"pr"' '"mode"' '"echo"' '"churn"' '"wall_s"' \
+	  '"events_per_sec"' '"frames_per_sec"' '"gc_alloc_mb"' \
+	  '"baseline"' '"echo_us_per_op"' '"speedup_churn"'; do \
+	  grep -q "$$key" BENCH_pr3.json \
+	    || { echo "bench-smoke: BENCH_pr3.json missing key $$key" >&2; exit 1; }; \
+	done
+	@echo "bench-smoke: BENCH_pr3.json schema OK"
+	dune build @selfcheck
 
 clean:
 	dune clean

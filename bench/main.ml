@@ -427,6 +427,9 @@ let () =
   | "ablation" -> run_ablation ()
   | "robustness" -> run_robustness ()
   | "micro" -> run_micro ()
+  | "wallclock" ->
+      let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "quick" in
+      Wallclock.run ~quick ()
   | other ->
       prerr_endline ("unknown experiment: " ^ other);
       exit 1

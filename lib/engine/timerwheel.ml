@@ -1,0 +1,188 @@
+(* Hierarchical timing wheel, 64 slots per level, 1 ns per tick.
+
+   Level l covers deadlines whose bits above [bits*(l+1)] agree with the
+   wheel's current time: an entry lives at the level of the highest
+   6-bit group in which its deadline differs from [last], in the slot
+   given by that group. Advancing time drains every slot the clock
+   crosses; entries not yet due re-bucket relative to the new time
+   (cascading), so each entry moves at most [levels] times over its
+   lifetime.
+
+   Determinism: every entry carries an insertion sequence number and
+   [expire] sorts the due set by (deadline, seq) before firing — bucket
+   order (which depends on cascade history) never leaks into firing
+   order. Cancellation is lazy (a mark), so cancel never restructures
+   buckets; dead entries are dropped when their bucket is next touched.
+
+   The cached minimum keeps [next_deadline] exact and O(1) on the hot
+   path: it is maintained on [add], invalidated only when an expiry
+   fires entries or when the cached entry itself is cancelled, and
+   lazily recomputed by a bounded scan (first occupied slot per level —
+   within one level, occupied slots ahead of the clock's slot are in
+   increasing-deadline order, so that slot holds the level's minimum). *)
+
+let bits = 6
+let slots = 1 lsl bits
+let mask = slots - 1
+
+(* 11 * 6 = 66 bits: covers the full 63-bit non-negative int range. *)
+let levels = 11
+
+type 'a handle = {
+  deadline : int;
+  seq : int;
+  payload : 'a;
+  mutable live : bool;
+}
+
+type 'a t = {
+  mutable last : int; (* virtual time the wheel has expired up to *)
+  mutable seq : int;
+  mutable size : int; (* live entries *)
+  buckets : 'a handle list array; (* levels * slots, unordered within *)
+  mutable cached : 'a handle option; (* min live entry when [cache_valid] *)
+  mutable cache_valid : bool;
+}
+
+let create ?(start = 0) () =
+  {
+    last = start;
+    seq = 0;
+    size = 0;
+    buckets = Array.make (levels * slots) [];
+    cached = None;
+    cache_valid = true;
+  }
+
+let size t = t.size
+let handle_deadline e = e.deadline
+let handle_live e = e.live
+
+(* The highest 6-bit group where [deadline] disagrees with [t.last]. *)
+let level_of t deadline =
+  let diff = deadline lxor t.last in
+  let rec go l =
+    if l >= levels - 1 then levels - 1
+    else if diff lsr (bits * (l + 1)) = 0 then l
+    else go (l + 1)
+  in
+  go 0
+
+let bucket_index t deadline =
+  let l = level_of t deadline in
+  (l * slots) + ((deadline lsr (bits * l)) land mask)
+
+let insert t e =
+  let i = bucket_index t e.deadline in
+  t.buckets.(i) <- e :: t.buckets.(i)
+
+let add t ~deadline payload =
+  let deadline = if deadline < t.last then t.last else deadline in
+  let e = { deadline; seq = t.seq; payload; live = true } in
+  t.seq <- t.seq + 1;
+  t.size <- t.size + 1;
+  insert t e;
+  if t.cache_valid then begin
+    match t.cached with
+    | Some m when m.deadline <= deadline -> ()
+    | _ -> t.cached <- Some e
+  end;
+  e
+
+let cancel t e =
+  if e.live then begin
+    e.live <- false;
+    t.size <- t.size - 1;
+    match t.cached with
+    | Some m when m == e ->
+        t.cached <- None;
+        t.cache_valid <- false
+    | _ -> ()
+  end
+
+(* First occupied slot per level, scanning outward from the clock's own
+   slot; prune dead entries from buckets we touch along the way. *)
+let recompute_min t =
+  let best = ref None in
+  for l = 0 to levels - 1 do
+    let cl = (t.last lsr (bits * l)) land mask in
+    let found = ref false in
+    let k = ref 0 in
+    while (not !found) && !k < slots do
+      let i = (l * slots) + ((cl + !k) land mask) in
+      (match t.buckets.(i) with
+      | [] -> ()
+      | entries ->
+          let pruned = List.filter (fun e -> e.live) entries in
+          t.buckets.(i) <- pruned;
+          List.iter
+            (fun e ->
+              match !best with
+              | Some b when b.deadline < e.deadline
+                            || (b.deadline = e.deadline && b.seq <= e.seq) ->
+                  ()
+              | _ -> best := Some e)
+            pruned;
+          if pruned <> [] then found := true);
+      incr k
+    done
+  done;
+  t.cached <- !best;
+  t.cache_valid <- true
+
+let next_deadline t =
+  if t.size = 0 then None
+  else begin
+    if not t.cache_valid then recompute_min t;
+    match t.cached with Some e -> Some e.deadline | None -> None
+  end
+
+let expire t ~now f =
+  let now = if now < t.last then t.last else now in
+  let old_last = t.last in
+  t.last <- now;
+  let due = ref [] in
+  (* Drain every slot the clock crossed, at every level. Due entries
+     collect; not-due entries re-bucket relative to the new [last]. Any
+     entry with deadline <= now necessarily sits in a crossed slot
+     (its slot bits lie between old and new clock bits at its level). *)
+  for l = 0 to levels - 1 do
+    let shift = bits * l in
+    let old_i = old_last lsr shift and new_i = now lsr shift in
+    let count = if new_i - old_i >= slots then slots else new_i - old_i + 1 in
+    for k = 0 to count - 1 do
+      let i = (l * slots) + ((old_i + k) land mask) in
+      match t.buckets.(i) with
+      | [] -> ()
+      | entries ->
+          t.buckets.(i) <- [];
+          List.iter
+            (fun e ->
+              if e.live then
+                if e.deadline <= now then due := e :: !due else insert t e)
+            entries
+    done
+  done;
+  match !due with
+  | [] -> () (* nothing fired: the live set is unchanged, cache stays valid *)
+  | due ->
+      t.cached <- None;
+      t.cache_valid <- false;
+      let due =
+        List.sort
+          (fun e1 e2 ->
+            if e1.deadline <> e2.deadline then compare e1.deadline e2.deadline
+            else compare e1.seq e2.seq)
+          due
+      in
+      (* A callback may cancel a later due entry (e.g. closing a
+         connection disarms its other timer): the live check is
+         re-done per entry at fire time. *)
+      List.iter
+        (fun e ->
+          if e.live then begin
+            e.live <- false;
+            t.size <- t.size - 1;
+            f e.payload
+          end)
+        due

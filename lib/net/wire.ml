@@ -5,21 +5,16 @@ let fail msg = raise (Malformed msg)
 let need b off n =
   if off < 0 || off + n > Bytes.length b then fail "truncated"
 
-let get_u8 b off = Char.code (Bytes.get b off)
-let set_u8 b off v = Bytes.set b off (Char.chr (v land 0xff))
+(* Accessors ride the stdlib's single-load primitives
+   (Bytes.get_uint16_be and friends compile to fixed-width loads plus a
+   byte swap) instead of assembling words one Char.code at a time. *)
 
-let get_u16 b off = (get_u8 b off lsl 8) lor get_u8 b (off + 1)
-
-let set_u16 b off v =
-  set_u8 b off (v lsr 8);
-  set_u8 b (off + 1) v
-
-let get_u32 b off = (get_u16 b off lsl 16) lor get_u16 b (off + 2)
-
-let set_u32 b off v =
-  set_u16 b off ((v lsr 16) land 0xffff);
-  set_u16 b (off + 2) (v land 0xffff)
-
+let get_u8 b off = Bytes.get_uint8 b off
+let set_u8 b off v = Bytes.set_uint8 b off (v land 0xff)
+let get_u16 b off = Bytes.get_uint16_be b off
+let set_u16 b off v = Bytes.set_uint16_be b off (v land 0xffff)
+let get_u32 b off = Int32.to_int (Bytes.get_int32_be b off) land 0xffff_ffff
+let set_u32 b off v = Bytes.set_int32_be b off (Int32.of_int v)
 let get_u48 b off = (get_u16 b off lsl 32) lor get_u32 b (off + 2)
 
 let set_u48 b off v =
@@ -30,15 +25,29 @@ let fold_ones_complement sum =
   let rec fold s = if s > 0xffff then fold ((s land 0xffff) + (s lsr 16)) else s in
   fold sum
 
+(* Word-wise ones'-complement sum: accumulate four big-endian 16-bit
+   words per iteration (the accumulator has 63 bits of headroom, so
+   carries cannot overflow before the final fold), then mop up the
+   trailing words and the odd byte. Byte-for-byte compatible with the
+   RFC 1071 byte-pair definition. *)
 let checksum ?(init = 0) b off len =
   let sum = ref init in
   let last = off + len in
   let i = ref off in
-  while !i + 1 < last do
-    sum := !sum + get_u16 b !i;
+  while !i + 8 <= last do
+    sum :=
+      !sum
+      + Bytes.get_uint16_be b !i
+      + Bytes.get_uint16_be b (!i + 2)
+      + Bytes.get_uint16_be b (!i + 4)
+      + Bytes.get_uint16_be b (!i + 6);
+    i := !i + 8
+  done;
+  while !i + 2 <= last do
+    sum := !sum + Bytes.get_uint16_be b !i;
     i := !i + 2
   done;
-  if !i < last then sum := !sum + (get_u8 b !i lsl 8);
+  if !i < last then sum := !sum + (Bytes.get_uint8 b !i lsl 8);
   lnot (fold_ones_complement !sum) land 0xffff
 
 let pseudo_sum ~src ~dst ~proto ~len =

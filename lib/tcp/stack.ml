@@ -73,7 +73,7 @@ type conn = {
   mutable fin_seq : Seqnum.t option;
   cc : Cc.t;
   rto : Rto.t;
-  mutable rto_deadline : int option;
+  mutable rto_timer : timer option;
   mutable dupacks : int;
   mutable retransmit_count : int;
   mutable syn_retries : int;
@@ -86,7 +86,7 @@ type conn = {
   mutable use_sack : bool; (* negotiated on both SYNs *)
   mutable ts_recent : int;
   mutable ack_pending : bool;
-  mutable time_wait_deadline : int option;
+  mutable tw_timer : timer option;
   (* --- push completion tracking --- *)
   push_remaining : (int, int) Hashtbl.t;
   (* --- passive-open bookkeeping --- *)
@@ -106,6 +106,12 @@ and udp_socket = {
   udp_q : (Net.Addr.endpoint * Memory.Heap.buffer) Queue.t;
 }
 
+(* A wheel entry's payload: which connection, and which of its two
+   timers ([true] = TIME_WAIT, [false] = RTO / handshake). The firing
+   callback needs both because the wheel owns the schedule — the
+   connection only holds cancellable handles. *)
+and timer = (conn * bool) Engine.Timerwheel.handle
+
 and event =
   | Udp_readable of udp_socket
   | Accept_ready of listener
@@ -124,6 +130,8 @@ and t = {
   conns : (int * Net.Addr.Ip.t * int, conn) Hashtbl.t; (* local port, remote ip, remote port *)
   listeners : (int, listener) Hashtbl.t;
   udp_socks : (int, udp_socket) Hashtbl.t;
+  timers : (conn * bool) Engine.Timerwheel.t;
+  ack_q : conn Queue.t; (* conns with [ack_pending], in arming order *)
   mutable next_ephemeral : int;
   mutable next_conn_uid : int;
   mutable retransmit_total : int;
@@ -139,6 +147,13 @@ let create ?(config = default_config) ~iface ~heap ~prng ~events () =
     conns = Hashtbl.create 64;
     listeners = Hashtbl.create 8;
     udp_socks = Hashtbl.create 8;
+    (* Start at virtual 0 even if created mid-run: the wheel only ever
+       advances (deadlines clamp upward), and catching up to the current
+       clock on the first [expire] is one bounded slot walk. Reading the
+       clock here would also break trace-driven harnesses that tie the
+       clock closure to the not-yet-constructed driver. *)
+    timers = Engine.Timerwheel.create ();
+    ack_q = Queue.create ();
     next_ephemeral = 49152;
     next_conn_uid = 1;
     retransmit_total = 0;
@@ -273,6 +288,16 @@ let send_ack conn =
   emit_segment conn ~seq:conn.snd_nxt ~syn:false ~ack_flag:true ~fin:false ~rst:false
     ~payload:None
 
+(* Delayed-ack dirty tracking: a connection enters the stack-wide FIFO
+   exactly when its flag flips to pending, so [flush_acks] visits only
+   dirty connections, in arming order. [send_ack] clears the flag, which
+   turns any still-queued entry into a pop-and-skip no-op. *)
+let mark_ack_pending conn =
+  if not conn.ack_pending then begin
+    conn.ack_pending <- true;
+    Queue.add conn conn.stack.ack_q
+  end
+
 let send_data_segment conn seg =
   let t = conn.stack in
   if seg.first_tx < 0 then seg.first_tx <- now t;
@@ -314,7 +339,34 @@ let send_rst_for t ~src_ip ~th ~seg_len =
       ignore
         (Net.Tcp_wire.write b off header ~payload_len:0 ~src_ip:(Iface.ip t.iface) ~dst_ip:src_ip))
 
-(* ---------- timers ---------- *)
+(* ---------- timers ----------
+
+   Both per-connection timers live on the stack's {!Engine.Timerwheel}:
+   arming replaces (cancels) the previous handle, so at most one RTO and
+   one TIME_WAIT entry are live per connection and a fired entry is
+   always the connection's current one. *)
+
+let cancel_rto conn =
+  match conn.rto_timer with
+  | Some h ->
+      Engine.Timerwheel.cancel conn.stack.timers h;
+      conn.rto_timer <- None
+  | None -> ()
+
+let arm_rto_at conn deadline =
+  cancel_rto conn;
+  conn.rto_timer <- Some (Engine.Timerwheel.add conn.stack.timers ~deadline (conn, false))
+
+let cancel_time_wait conn =
+  match conn.tw_timer with
+  | Some h ->
+      Engine.Timerwheel.cancel conn.stack.timers h;
+      conn.tw_timer <- None
+  | None -> ()
+
+let arm_time_wait_at conn deadline =
+  cancel_time_wait conn;
+  conn.tw_timer <- Some (Engine.Timerwheel.add conn.stack.timers ~deadline (conn, true))
 
 let arm_rto conn =
   let t = conn.stack in
@@ -329,7 +381,7 @@ let arm_rto conn =
            | None -> false)
         || ((not (Queue.is_empty conn.unsent)) && conn.snd_wnd = 0)
   in
-  conn.rto_deadline <- (if need then Some (now t + Rto.rto conn.rto) else None)
+  if need then arm_rto_at conn (now t + Rto.rto conn.rto) else cancel_rto conn
 
 (* ---------- transmission ---------- *)
 
@@ -409,7 +461,7 @@ let make_conn t ~local ~remote ~state ~parent_listener =
     fin_seq = None;
     cc = Cc.create t.config.cc ~mss:t.config.mss ~now:(now t);
     rto = Rto.create ~min_rto:t.config.min_rto_ns ~max_rto:t.config.max_rto_ns ();
-    rto_deadline = None;
+    rto_timer = None;
     dupacks = 0;
     retransmit_count = 0;
     syn_retries = 0;
@@ -421,7 +473,7 @@ let make_conn t ~local ~remote ~state ~parent_listener =
     use_sack = false;
     ts_recent = 0;
     ack_pending = false;
-    time_wait_deadline = None;
+    tw_timer = None;
     push_remaining = Hashtbl.create 4;
     parent_listener;
   }
@@ -435,8 +487,10 @@ let release_tx_resources conn =
 
 let destroy conn =
   release_tx_resources conn;
-  conn.rto_deadline <- None;
-  conn.time_wait_deadline <- None;
+  cancel_rto conn;
+  cancel_time_wait conn;
+  (* Any queued delayed-ack entry becomes a no-op. *)
+  conn.ack_pending <- false;
   Hashtbl.remove conn.stack.conns (conn_key conn)
 
 let to_closed conn ~reset =
@@ -452,8 +506,8 @@ let to_closed conn ~reset =
 
 let enter_time_wait conn =
   conn.state <- Time_wait;
-  conn.rto_deadline <- None;
-  conn.time_wait_deadline <- Some (now conn.stack + conn.stack.config.time_wait_ns)
+  cancel_rto conn;
+  arm_time_wait_at conn (now conn.stack + conn.stack.config.time_wait_ns)
 
 let tcp_listen ?(backlog = 128) t ~port =
   if Hashtbl.mem t.listeners port then invalid_arg "Stack.tcp_listen: port in use";
@@ -481,7 +535,7 @@ let tcp_connect t ~dst =
   Hashtbl.replace t.conns (conn_key conn) conn;
   send_syn conn;
   conn.snd_nxt <- Seqnum.add conn.iss 1;
-  conn.rto_deadline <- Some (now t + t.config.syn_rto_ns);
+  arm_rto_at conn (now t + t.config.syn_rto_ns);
   conn
 
 let tcp_send conn ?(push_id = 0) bufs =
@@ -765,7 +819,7 @@ let process_payload conn th payload_str seg_len =
         else send_ack conn
       end
       else if had_payload then begin
-        if advanced then conn.ack_pending <- true
+        if advanced then mark_ack_pending conn
           (* In-order data: cumulative ack at the end of the poll burst. *)
         else send_ack conn (* duplicate or out-of-order: dup-ack now *)
       end
@@ -791,7 +845,7 @@ let handle_existing conn th payload_str seg_len =
             establish conn ~irs:th.Net.Tcp_wire.seq ~options:th.Net.Tcp_wire.options;
             conn.snd_wnd <- th.Net.Tcp_wire.window (* SYN windows are unscaled *);
             conn.state <- Established_st;
-            conn.rto_deadline <- None;
+            cancel_rto conn;
             send_ack conn;
             t.events (Established conn)
           end
@@ -802,7 +856,7 @@ let handle_existing conn th payload_str seg_len =
           conn.snd_una <- th.Net.Tcp_wire.ack;
           conn.snd_wnd <- th.Net.Tcp_wire.window lsl conn.peer_wscale;
           conn.state <- Established_st;
-          conn.rto_deadline <- None;
+          cancel_rto conn;
           (match conn.parent_listener with
           | Some l ->
               l.syn_pending <- max 0 (l.syn_pending - 1);
@@ -823,7 +877,7 @@ let handle_existing conn th payload_str seg_len =
         (* A retransmitted FIN: re-ack and restart the 2MSL clock. *)
         if th.Net.Tcp_wire.fin then begin
           send_ack conn;
-          conn.time_wait_deadline <- Some (now t + t.config.time_wait_ns)
+          arm_time_wait_at conn (now t + t.config.time_wait_ns)
         end
     | Closed_st -> ()
 
@@ -842,7 +896,7 @@ let handle_syn_for_listener t l th ~src_ip =
   Hashtbl.replace t.conns (conn_key conn) conn;
   send_syn_ack conn;
   conn.snd_nxt <- Seqnum.add conn.iss 1;
-  conn.rto_deadline <- Some (now t + t.config.syn_rto_ns)
+  arm_rto_at conn (now t + t.config.syn_rto_ns)
   end
 
 let handle_tcp t header b off =
@@ -867,12 +921,17 @@ let handle_tcp t header b off =
 
 (* ---------- input and timers ---------- *)
 
-(* Delayed ACKs for every connection, in (local port, remote ip, remote
-   port) order — Hashtbl order would make segment emission order depend
-   on hashing. *)
+(* Delayed ACKs, visiting only the connections whose flag flipped since
+   the last flush, in arming order (FIFO) — never a table scan. Arming
+   order follows segment-processing order, which is itself
+   deterministic, so emission order cannot depend on hashing. A conn
+   whose flag was already cleared (early [send_ack], or teardown) pops
+   as a no-op. *)
 let flush_acks t =
-  Engine.Det.hashtbl_iter_sorted ~compare:Stdlib.compare t.conns (fun _ conn ->
-      if conn.ack_pending then send_ack conn)
+  while not (Queue.is_empty t.ack_q) do
+    let conn = Queue.pop t.ack_q in
+    if conn.ack_pending then send_ack conn
+  done
 
 let input t frame =
   match Iface.input t.iface frame with
@@ -881,20 +940,7 @@ let input t frame =
       if header.Net.Ipv4.protocol = Net.Ipv4.protocol_udp then handle_udp t header b off
       else if header.Net.Ipv4.protocol = Net.Ipv4.protocol_tcp then handle_tcp t header b off
 
-let conn_deadline conn =
-  match (conn.rto_deadline, conn.time_wait_deadline) with
-  | Some a, Some b -> Some (min a b)
-  | (Some _ as d), None | None, (Some _ as d) -> d
-  | None, None -> None
-
-let next_timer t =
-  Engine.Det.hashtbl_fold_sorted ~compare:Stdlib.compare t.conns
-    (fun _ conn acc ->
-      match (conn_deadline conn, acc) with
-      | Some d, Some a -> Some (min d a)
-      | (Some _ as d), None -> d
-      | None, acc -> acc)
-    None
+let next_timer t = Engine.Timerwheel.next_deadline t.timers
 
 let handshake_timeout conn =
   let t = conn.stack in
@@ -906,7 +952,7 @@ let handshake_timeout conn =
     | Syn_received -> send_syn_ack conn
     | Established_st | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack | Time_wait
     | Closed_st -> ());
-    conn.rto_deadline <- Some (now t + (t.config.syn_rto_ns lsl min conn.syn_retries 10))
+    arm_rto_at conn (now t + (t.config.syn_rto_ns lsl min conn.syn_retries 10))
   end
 
 let rto_fire conn =
@@ -922,24 +968,19 @@ let rto_fire conn =
 
 let on_timer t =
   flush_acks t;
-  let current = now t in
-  let expired =
-    Engine.Det.hashtbl_fold_sorted ~compare:Stdlib.compare t.conns
-      (fun _ conn acc ->
-        match conn_deadline conn with Some d when d <= current -> conn :: acc | _ -> acc)
-      []
-  in
-  List.iter
-    (fun conn ->
-      match conn.time_wait_deadline with
-      | Some d when d <= current -> to_closed conn ~reset:false
-      | _ ->
-          (match conn.rto_deadline with
-          | Some d when d <= current ->
-              conn.rto_deadline <- None;
-              rto_fire conn
-          | _ -> ()))
-    expired
+  (* The wheel walks only the slots the clock crossed and fires only
+     due entries, in (deadline, insertion-seq) order. A fired entry is
+     necessarily the connection's current handle (arming always cancels
+     the previous one), so clearing the field here is sound. *)
+  Engine.Timerwheel.expire t.timers ~now:(now t) (fun (conn, is_time_wait) ->
+      if is_time_wait then begin
+        conn.tw_timer <- None;
+        to_closed conn ~reset:false
+      end
+      else begin
+        conn.rto_timer <- None;
+        rto_fire conn
+      end)
 
 (* ---------- introspection ---------- *)
 

@@ -79,17 +79,24 @@ val input : t -> string -> unit
 (** Process one received Ethernet frame. *)
 
 val next_timer : t -> int option
-(** Earliest pending timer deadline (ns), if any. *)
+(** Earliest pending timer deadline (ns), if any. O(1): an exact peek
+    into the stack's timer wheel ([Engine.Timerwheel]), so pollers and
+    [Runtime.maybe_park] can call it every iteration for free. *)
 
 val on_timer : t -> unit
 (** Fire every timer whose deadline is at or before the current clock
-    (also flushes pending cumulative acks). *)
+    (also flushes pending cumulative acks). Cost is proportional to the
+    timers actually due — an idle call with nothing pending does no
+    per-connection work. Ties fire in arming order, matching the event
+    queue's (time, insertion-seq) discipline. *)
 
 val flush_acks : t -> unit
-(** Emit one cumulative ack per connection with in-order data received
-    since the last flush. Drivers call this after each input burst;
-    coalescing acks is what keeps ack processing off the bulk-transfer
-    critical path. *)
+(** Emit one cumulative ack per connection that received in-order data
+    since the last flush. Dirty-tracked: connections enqueue themselves
+    (once) when their ack first becomes pending, so a flush walks only
+    those connections, in arming order — never the whole table. Drivers
+    call this after each input burst; coalescing acks is what keeps ack
+    processing off the bulk-transfer critical path. *)
 
 (** {1 UDP} *)
 

@@ -270,6 +270,184 @@ let test_sim_teardown_hooks () =
   Engine.Sim.teardown sim;
   Alcotest.(check (list string)) "second teardown is a no-op" [ "second"; "first" ] !order
 
+(* --- Eventq / Timerwheel property tests (PR 3) ---
+
+   The determinism contract both structures share: entries come out in
+   (time, insertion-sequence) order, no matter how adds, pops and
+   cancels interleave. The wheel is additionally checked against a
+   naive sorted-scan oracle — the exact algorithm the TCP stack used
+   before the wheel replaced it. *)
+
+let test_eventq_interleaved =
+  (* None = pop, Some dt = add at (current virtual time + dt). Times are
+     monotone like the simulator's: each pop advances "now". *)
+  QCheck.Test.make ~name:"eventq interleaved add/pop in (time, seq) order" ~count:300
+    QCheck.(list (option (int_bound 1_000)))
+    (fun ops ->
+      let q = Engine.Eventq.create () in
+      let model = ref [] in
+      (* (time, id), insertion order *)
+      let now = ref 0 in
+      let next_id = ref 0 in
+      let popped = ref [] in
+      let ok = ref true in
+      let pop_one () =
+        match Engine.Eventq.pop q with
+        | None -> ok := !ok && !model = []
+        | Some (time, fn) ->
+            fn ();
+            now := max !now time;
+            let best =
+              List.fold_left
+                (fun acc (t, i) ->
+                  match acc with
+                  | Some (bt, bi) when bt < t || (bt = t && bi < i) -> acc
+                  | _ -> Some (t, i))
+                None !model
+            in
+            (match (best, !popped) with
+            | Some (bt, bi), id :: _ ->
+                ok := !ok && time = bt && id = bi;
+                model := List.filter (fun (t, i) -> (t, i) <> (bt, bi)) !model
+            | _, _ -> ok := false)
+      in
+      List.iter
+        (function
+          | Some dt ->
+              let id = !next_id in
+              incr next_id;
+              Engine.Eventq.add q ~time:(!now + dt) (fun () -> popped := id :: !popped);
+              model := (!now + dt, id) :: !model
+          | None -> pop_one ())
+        ops;
+      while !model <> [] && !ok do
+        pop_one ()
+      done;
+      !ok)
+
+(* Shared driver: applies (kind, arg) ops to a wheel and to a naive
+   sorted-scan oracle; returns the firing log [(now, id); ...] and
+   whether every intermediate check held. *)
+let wheel_vs_oracle ops =
+  let w = Engine.Timerwheel.create () in
+  let handles = ref [] in
+  (* (id, handle), newest first — fired/cancelled ones included *)
+  let oracle = ref [] in
+  (* (deadline, id, alive ref) *)
+  let now = ref 0 in
+  let next_id = ref 0 in
+  let log = ref [] in
+  let ok = ref true in
+  let oracle_min () =
+    List.fold_left
+      (fun acc (d, _, alive) ->
+        if !alive then match acc with Some m when m <= d -> acc | _ -> Some d else acc)
+      None !oracle
+  in
+  let advance dt =
+    now := !now + dt;
+    let fired_w = ref [] in
+    Engine.Timerwheel.expire w ~now:!now (fun id -> fired_w := id :: !fired_w);
+    let due = List.filter (fun (d, _, alive) -> !alive && d <= !now) !oracle in
+    let due = List.sort (fun (d1, i1, _) (d2, i2, _) -> compare (d1, i1) (d2, i2)) due in
+    let fired_o = List.map (fun (_, i, alive) -> alive := false; i) due in
+    ok := !ok && List.rev !fired_w = fired_o;
+    List.iter (fun i -> log := (!now, i) :: !log) fired_o
+  in
+  List.iter
+    (fun (kind, arg) ->
+      (match kind with
+      | 0 ->
+          let d = !now + arg in
+          let id = !next_id in
+          incr next_id;
+          handles := (id, Engine.Timerwheel.add w ~deadline:d id) :: !handles;
+          oracle := (d, id, ref true) :: !oracle
+      | 1 -> (
+          match !handles with
+          | [] -> ()
+          | hs ->
+              let id, h = List.nth hs (arg mod List.length hs) in
+              Engine.Timerwheel.cancel w h;
+              List.iter (fun (_, i, alive) -> if i = id then alive := false) !oracle)
+      | _ -> advance arg);
+      (* The peek must be the exact live minimum after every op. *)
+      ok := !ok && Engine.Timerwheel.next_deadline w = oracle_min ())
+    ops;
+  advance 5_000_000;
+  (* drain everything left *)
+  ok := !ok && Engine.Timerwheel.size w = 0 && Engine.Timerwheel.next_deadline w = None;
+  (List.rev !log, !ok)
+
+let wheel_ops_gen =
+  (* kind: 0 = add (arg: delay), 1 = cancel (arg: which handle),
+     2 = advance+expire (arg: dt). Delays exercise several wheel levels
+     (0..200k ns spans levels 0-3). *)
+  QCheck.(list (pair (int_bound 2) (int_bound 200_000)))
+
+let test_wheel_matches_oracle =
+  QCheck.Test.make ~name:"timerwheel expiry matches sorted-scan oracle" ~count:300
+    wheel_ops_gen
+    (fun ops ->
+      let _, ok = wheel_vs_oracle ops in
+      ok)
+
+let test_wheel_digest_stable =
+  (* Same schedule, two independent runs: the firing log — folded into a
+     Trace — must digest identically (the property `demi --selfcheck`
+     leans on once the TCP stack runs its timers off the wheel). *)
+  QCheck.Test.make ~name:"timerwheel same-seed trace digests equal" ~count:100
+    wheel_ops_gen
+    (fun ops ->
+      let digest_of () =
+        let tr = Engine.Trace.create () in
+        let log, ok = wheel_vs_oracle ops in
+        List.iter
+          (fun (at, id) ->
+            Engine.Trace.record tr ~now:at ~category:"wheel" (string_of_int id))
+          log;
+        (Engine.Trace.digest tr, ok)
+      in
+      let d1, ok1 = digest_of () in
+      let d2, ok2 = digest_of () in
+      ok1 && ok2 && String.equal d1 d2)
+
+let test_wheel_cancel_no_fire () =
+  let w = Engine.Timerwheel.create () in
+  let h1 = Engine.Timerwheel.add w ~deadline:100 "a" in
+  let h2 = Engine.Timerwheel.add w ~deadline:100 "b" in
+  let _h3 = Engine.Timerwheel.add w ~deadline:200 "c" in
+  Engine.Timerwheel.cancel w h1;
+  Engine.Timerwheel.cancel w h1;
+  (* idempotent *)
+  check_int "two live" 2 (Engine.Timerwheel.size w);
+  check_bool "h2 live" true (Engine.Timerwheel.handle_live h2);
+  check_bool "h1 dead" false (Engine.Timerwheel.handle_live h1);
+  (match Engine.Timerwheel.next_deadline w with
+  | Some d -> check_int "min survives cancel of tied entry" 100 d
+  | None -> Alcotest.fail "expected a deadline");
+  let fired = ref [] in
+  Engine.Timerwheel.expire w ~now:500 (fun p -> fired := p :: !fired);
+  Alcotest.(check (list string)) "only live entries fire, in order" [ "b"; "c" ]
+    (List.rev !fired);
+  check_int "empty after drain" 0 (Engine.Timerwheel.size w)
+
+let test_wheel_readd_during_expire () =
+  (* A callback re-arming itself (the RTO backoff pattern) must not fire
+     again within the same expire call, even if the new deadline is
+     already due. *)
+  let w = Engine.Timerwheel.create () in
+  let fires = ref 0 in
+  let rec payload () =
+    incr fires;
+    if !fires = 1 then ignore (Engine.Timerwheel.add w ~deadline:150 payload)
+  in
+  ignore (Engine.Timerwheel.add w ~deadline:100 payload);
+  Engine.Timerwheel.expire w ~now:200 (fun f -> f ());
+  check_int "re-armed entry deferred" 1 !fires;
+  Engine.Timerwheel.expire w ~now:200 (fun f -> f ());
+  check_int "fires on the next expire" 2 !fires
+
 let suite =
   [
     Alcotest.test_case "clock pretty-printing" `Quick test_clock_pp;
@@ -295,4 +473,9 @@ let suite =
     Alcotest.test_case "trace thunks are lazy" `Quick test_trace_thunk_lazy;
     QCheck_alcotest.to_alcotest test_prng_bounds;
     QCheck_alcotest.to_alcotest test_prng_float_unit;
+    QCheck_alcotest.to_alcotest test_eventq_interleaved;
+    QCheck_alcotest.to_alcotest test_wheel_matches_oracle;
+    QCheck_alcotest.to_alcotest test_wheel_digest_stable;
+    Alcotest.test_case "timerwheel cancel is exact" `Quick test_wheel_cancel_no_fire;
+    Alcotest.test_case "timerwheel re-add during expire" `Quick test_wheel_readd_during_expire;
   ]

@@ -194,7 +194,7 @@ module Pair = struct
     | Tcp.Stack.Established _ -> "established"
     | Tcp.Stack.Readable _ -> "readable"
     | Tcp.Stack.Push_completed (_, id) -> Printf.sprintf "push_completed:%d" id
-    | Tcp.Stack.Closed _ -> "closed"
+    | Tcp.Stack.Closed c -> Printf.sprintf "closed:%d" (Tcp.Stack.conn_id c)
     | Tcp.Stack.Reset _ -> "reset"
 
   let make ?(latency = 2_000) ?(config = Tcp.Stack.default_config) () =
@@ -738,6 +738,87 @@ let test_options_negotiated () =
   | Some srtt -> check_bool "rtt measured" true (srtt >= 2 * 2_000)
   | None -> Alcotest.fail "no rtt sample"
 
+(* --- timer-wheel semantics at the stack level (PR 3) --- *)
+
+let test_rto_backoff_rearm () =
+  let p = Pair.make () in
+  let ca, _cb = Pair.connect p ~port:7 in
+  (* Black-hole every data-bearing frame towards B: only the RTO can
+     drive progress, and each firing must re-arm with a longer timeout. *)
+  p.Pair.drop <- (fun side frame -> side = Pair.B && String.length frame > 80);
+  ignore (Pair.send_string p Pair.A ca (String.make 200 'v'));
+  (* Backed-off firings land near rto, 3*rto, 7*rto, ... *)
+  Pair.run p ~horizon:65_000_000;
+  check_bool "multiple RTO firings" true (Tcp.Stack.conn_retransmits ca >= 3);
+  check_bool "still established" true (Tcp.Stack.conn_state ca = Tcp.Stack.Established_st);
+  (match Tcp.Stack.next_timer p.Pair.a with
+  | Some d ->
+      check_bool "re-armed after each fire, with backoff" true
+        (d > p.Pair.clock
+        && d - p.Pair.clock >= 2 * Tcp.Stack.(default_config.min_rto_ns))
+  | None -> Alcotest.fail "RTO not re-armed after firing")
+
+let test_syn_retry_cap_resets () =
+  let p = Pair.make () in
+  (* Nothing ever reaches B: the SYN must back off and eventually give up. *)
+  p.Pair.drop <- (fun side _ -> side = Pair.B);
+  let ca = Tcp.Stack.tcp_connect p.Pair.a ~dst:(Net.Addr.endpoint (Net.Addr.Ip.of_index 2) 7) in
+  Pair.run p;
+  check_bool "gave up into Closed" true (Tcp.Stack.conn_state ca = Tcp.Stack.Closed_st);
+  check_bool "reset event emitted" true
+    (List.exists (fun (_, e) -> e = "a:reset") p.Pair.events);
+  check_bool "wheel empty after give-up" true (Tcp.Stack.next_timer p.Pair.a = None);
+  check_int "no live connections" 0 (Tcp.Stack.live_connections p.Pair.a)
+
+let test_time_wait_shared_deadline_order () =
+  (* Four connections whose TIME_WAIT deadlines coincide exactly: the
+     wheel must expire them at the same virtual instant, in arming
+     (= uid) order — same tie-break as the event queue. *)
+  let p = Pair.make () in
+  let conns = List.map (fun port -> Pair.connect p ~port) [ 7; 8; 9; 10 ] in
+  List.iter (fun (ca, _) -> Tcp.Stack.tcp_close ca) conns;
+  Pair.run p (* A sides in FIN_WAIT_2, B sides see EOF *);
+  List.iter (fun (_, cb) -> Tcp.Stack.tcp_close cb) conns;
+  Pair.run p;
+  List.iter
+    (fun (ca, cb) ->
+      check_bool "a closed" true (Tcp.Stack.conn_state ca = Tcp.Stack.Closed_st);
+      check_bool "b closed" true (Tcp.Stack.conn_state cb = Tcp.Stack.Closed_st))
+    conns;
+  let a_closed =
+    List.filter_map
+      (fun (at, e) ->
+        if String.length e > 9 && String.sub e 0 9 = "a:closed:" then
+          Some (at, int_of_string (String.sub e 9 (String.length e - 9)))
+        else None)
+      (List.rev p.Pair.events)
+  in
+  check_int "all four TIME_WAIT expiries observed" 4 (List.length a_closed);
+  (match a_closed with
+  | (t0, _) :: rest -> List.iter (fun (ti, _) -> check_int "shared deadline" t0 ti) rest
+  | [] -> ());
+  let ids = List.map snd a_closed in
+  check_bool "ties fire in creation (uid) order" true (List.sort compare ids = ids)
+
+let test_abort_cancels_timers () =
+  let p = Pair.make () in
+  let ca, _cb = Pair.connect p ~port:7 in
+  (* Arm A's RTO by sending into a black hole, then abort: the pending
+     entry must be cancelled immediately, and never fire afterwards. *)
+  p.Pair.drop <- (fun side frame -> side = Pair.B && String.length frame > 80);
+  ignore (Pair.send_string p Pair.A ca (String.make 200 'x'));
+  check_bool "rto armed" true (Tcp.Stack.next_timer p.Pair.a <> None);
+  Tcp.Stack.tcp_abort ca;
+  check_bool "abort cancels the pending RTO" true (Tcp.Stack.next_timer p.Pair.a = None);
+  Pair.run p (* deliver the RST to B and go quiescent *);
+  let events_before = List.length p.Pair.events in
+  p.Pair.clock <- p.Pair.clock + 50_000_000 (* well past the old deadline *);
+  Tcp.Stack.on_timer p.Pair.a;
+  Tcp.Stack.on_timer p.Pair.b;
+  check_int "no stale timer fires" events_before (List.length p.Pair.events);
+  check_bool "both wheels empty" true
+    (Tcp.Stack.next_timer p.Pair.a = None && Tcp.Stack.next_timer p.Pair.b = None)
+
 let suite =
   [
     Alcotest.test_case "seqnum wraparound" `Quick test_seqnum_wrap;
@@ -780,4 +861,9 @@ let suite =
     Alcotest.test_case "udp unknown port dropped" `Quick test_udp_unknown_port_dropped;
     Alcotest.test_case "deterministic replay" `Quick test_determinism;
     Alcotest.test_case "rtt measured via handshake options" `Quick test_options_negotiated;
+    Alcotest.test_case "rto backoff re-arms on the wheel" `Quick test_rto_backoff_rearm;
+    Alcotest.test_case "syn retry cap resets" `Quick test_syn_retry_cap_resets;
+    Alcotest.test_case "time_wait shared-deadline ordering" `Quick
+      test_time_wait_shared_deadline_order;
+    Alcotest.test_case "abort cancels pending timers" `Quick test_abort_cancels_timers;
   ]
