@@ -1,4 +1,4 @@
-.PHONY: all build test lint selfcheck check bench bench-smoke clean
+.PHONY: all build test lint selfcheck check bench bench-smoke trace-smoke clean
 
 all: build
 
@@ -20,6 +20,7 @@ selfcheck:
 check:
 	dune build @check
 	$(MAKE) bench-smoke
+	$(MAKE) trace-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -37,6 +38,17 @@ bench-smoke:
 	done
 	@echo "bench-smoke: BENCH_pr3.json schema OK"
 	dune build @selfcheck
+
+# Demitrace end to end: one traced echo per libOS. `demi trace` itself
+# checks the observer-effect-free contract (identical digests and RTTs
+# with spans on vs off), validates the Chrome JSON structurally, and
+# checks the per-component breakdown sums to the RTT — it exits 1 on
+# any violation.
+trace-smoke:
+	dune exec bin/demi.exe -- trace --flavor catnap --chrome DEMITRACE.json
+	dune exec bin/demi.exe -- trace --flavor catnip --chrome DEMITRACE.json
+	dune exec bin/demi.exe -- trace --flavor catmint --chrome DEMITRACE.json
+	@echo "trace-smoke: OK"
 
 clean:
 	dune clean

@@ -67,6 +67,22 @@ let fig9_cmd =
             (Harness.Fig_throughput.fig9 ~rates ~duration_ms ()))
       $ rates $ duration)
 
+let trace_capacity_arg =
+  Arg.(
+    value
+    & opt int 65_536
+    & info [ "trace-capacity" ] ~docv:"N"
+        ~doc:"Event-trace ring capacity (raise when a run reports dropped events).")
+
+let flavor_arg =
+  Arg.(
+    value
+    & opt flavor_conv Demikernel.Boot.Catnip_os
+    & info [ "flavor" ] ~docv:"LIBOS" ~doc:"catnap | catnip | catmint.")
+
+let msg_size_arg =
+  Arg.(value & opt int 64 & info [ "msg-size" ] ~docv:"BYTES" ~doc:"Echo payload size.")
+
 let echo_cmd =
   let flavor =
     Arg.(
@@ -92,13 +108,13 @@ let echo_cmd =
   Cmd.v
     (Cmd.info "echo" ~doc:"Run one echo measurement and print the distribution.")
     Term.(
-      const (fun count flavor msg_size persist cost trace ->
+      const (fun count flavor msg_size persist cost trace trace_capacity ->
           set_count count;
           if trace then begin
             (* Traced runs rebuild the world by hand so we can hold the
                Sim.t; keep them short. *)
             let sim = Engine.Sim.create () in
-            let tracer = Engine.Sim.enable_trace sim in
+            let tracer = Engine.Sim.enable_trace ~capacity:trace_capacity sim in
             let fabric = Net.Fabric.create sim ~cost () in
             let server = Demikernel.Boot.make sim fabric ~index:1 ~with_disk:persist flavor in
             let client = Demikernel.Boot.make sim fabric ~index:2 flavor in
@@ -127,7 +143,89 @@ let echo_cmd =
               Engine.Clock.pp (Metrics.Histogram.p50 hist) Engine.Clock.pp
               (Metrics.Histogram.p99 hist)
           end)
-      $ count_arg $ flavor $ msg_size $ persist $ profile $ trace_flag)
+      $ count_arg $ flavor $ msg_size $ persist $ profile $ trace_flag $ trace_capacity_arg)
+
+(* `demi trace`: Demitrace end to end. Runs the echo scenario twice from
+   the same seed — spans off (control), then spans on — and checks the
+   observer-effect-free contract: identical trace digests and identical
+   client RTTs. Structurally validates the Chrome JSON export and checks
+   that the per-component breakdown sums to the RTT exactly. Any
+   violation exits 1, so `make trace-smoke` is a single invocation. *)
+let trace_cmd =
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE" ~doc:"Write a Chrome trace-event JSON file.")
+  in
+  let trace_count =
+    Arg.(value & opt int 16 & info [ "count" ] ~docv:"N" ~doc:"Echos to run.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Span tracing: per-component breakdown, Chrome export, observer-effect check.")
+    Term.(
+      const (fun flavor msg_size count chrome trace_capacity ->
+          let open Harness.Fig_breakdown in
+          let off = echo ~with_spans:false ~trace_capacity ~msg_size ~count flavor in
+          let on = echo ~with_spans:true ~trace_capacity ~msg_size ~count flavor in
+          let failures = ref 0 in
+          let check what ok =
+            if ok then Format.printf "ok: %s@." what
+            else begin
+              Format.printf "FAIL: %s@." what;
+              incr failures
+            end
+          in
+          check "trace digest identical, spans on vs off" (String.equal off.digest on.digest);
+          check "client RTT identical, spans on vs off" (off.rtt = on.rtt);
+          let b = on.breakdown in
+          let sum = List.fold_left (fun acc (_, ns) -> acc + ns) b.other b.components in
+          check "breakdown components + other = end-to-end RTT"
+            (sum = b.total && b.total = on.rtt);
+          let json =
+            Harness.Chrome_trace.export
+              ~extra:[ ("demitrace", breakdown_json b) ]
+              on.spans
+          in
+          (match Harness.Chrome_trace.validate json with
+          | Ok n -> Format.printf "ok: chrome trace valid (%d events)@." n
+          | Error why -> check (Printf.sprintf "chrome trace valid: %s" why) false);
+          (match chrome with
+          | Some path ->
+              let oc = open_out path in
+              output_string oc json;
+              close_out oc;
+              Format.printf "wrote %s@." path
+          | None -> ());
+          print_table [ on ];
+          if !failures > 0 then Stdlib.exit 1)
+      $ flavor_arg $ msg_size_arg $ trace_count $ chrome $ trace_capacity_arg)
+
+let stats_cmd =
+  let stats_count =
+    Arg.(value & opt int 64 & info [ "count" ] ~docv:"N" ~doc:"Echos to run.")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Run one echo and dump the deterministic metrics registry.")
+    Term.(
+      const (fun flavor msg_size count ->
+          Metrics.Registry.dump (Harness.Stats.echo ~msg_size ~count flavor))
+      $ flavor_arg $ msg_size_arg $ stats_count)
+
+let table5_cmd =
+  let table5_count =
+    Arg.(value & opt int 16 & info [ "count" ] ~docv:"N" ~doc:"Echos per flavor.")
+  in
+  Cmd.v
+    (Cmd.info "table5" ~doc:"Per-component latency breakdown of one echo RTT, per libOS.")
+    Term.(
+      const (fun msg_size count ->
+          Harness.Fig_breakdown.print_table
+            (List.map
+               (fun flavor -> Harness.Fig_breakdown.echo ~msg_size ~count flavor)
+               [ Demikernel.Boot.Catnap_os; Demikernel.Boot.Catnip_os; Demikernel.Boot.Catmint_os ]))
+      $ msg_size_arg $ table5_count)
 
 let run_selfcheck ~seed ~count =
   let r = Harness.Selfcheck.run ~seed ~count () in
@@ -188,6 +286,9 @@ let cmds =
         Harness.Loc.print ~title:"Table 2: library OS sizes" (Harness.Loc.table2 ());
         Harness.Loc.print ~title:"Table 3: application sizes" (Harness.Loc.table3 ()));
     echo_cmd;
+    trace_cmd;
+    stats_cmd;
+    table5_cmd;
     selfcheck_cmd;
   ]
 

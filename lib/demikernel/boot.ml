@@ -59,7 +59,7 @@ let make sim fabric ~index ?name ?tcp_config ?catmint_window ?(with_disk = false
   match flavor with
   | Catnap_os ->
       let nic = Net.Dpdk_sim.create fabric ~mac ~ip () in
-      let kernel = Oskernel.Kernel.create sim ~cost ~nic ?ssd () in
+      let kernel = Oskernel.Kernel.create sim ~name:(name ^ "-kernel") ~cost ~nic ?ssd () in
       let cn = Catnap.create rt ~kernel in
       let api = Runtime.make_api rt (Catnap.ops cn) in
       {

@@ -28,6 +28,7 @@ let stack t = t.stack
 let host t = Runtime.host t.rt
 let cost t = (host t).Host.cost
 let charge t ns = Host.charge (host t) ns
+let charge_proto t ns = Host.charge_as (host t) Engine.Span.Proto ns
 
 (* ---------- completion plumbing driven by stack events ---------- *)
 
@@ -176,7 +177,7 @@ let fast_path t slot () =
         charge t (cost t).Net.Cost.libos_poll_ns;
         List.iter
           (fun frame ->
-            charge t (rx_cost t frame);
+            charge_proto t (rx_cost t frame);
             Tcp.Stack.input t.stack frame)
           frames;
         Tcp.Stack.flush_acks t.stack;
@@ -231,7 +232,7 @@ let op_accept t qd =
 let op_connect t qd dst =
   match find t qd with
   | Unbound Pdpix.Tcp ->
-      charge t (cost t).Net.Cost.tcp_tx_ns;
+      charge_proto t (cost t).Net.Cost.tcp_tx_ns;
       let conn = Tcp.Stack.tcp_connect t.stack ~dst in
       let qt = Runtime.fresh_token t.rt in
       let ce =
@@ -252,7 +253,7 @@ let op_close t qd =
   | Connection ce ->
       Tcp.Stack.tcp_close ce.conn;
       fail_waiters t ce.pop_waiters "queue closed";
-      charge t (cost t).Net.Cost.tcp_tx_ns
+      charge_proto t (cost t).Net.Cost.tcp_tx_ns
   | Udp_bound (_, waiters) | Listening (_, waiters) -> fail_waiters t waiters "queue closed"
   | Unbound _ | Bound_tcp _ -> ());
   Hashtbl.remove t.qds qd
@@ -268,7 +269,7 @@ let op_push t qd sga =
           let bytes = Pdpix.sga_length sga in
           let mss = (Tcp.Stack.default_config).Tcp.Stack.mss in
           let nsegs = max 1 ((bytes + mss - 1) / mss) in
-          charge t ((cost t).Net.Cost.tcp_push_ns + (nsegs * (cost t).Net.Cost.tcp_tx_ns));
+          charge_proto t ((cost t).Net.Cost.tcp_push_ns + (nsegs * (cost t).Net.Cost.tcp_tx_ns));
           let qt = Runtime.fresh_token t.rt in
           Tcp.Stack.tcp_send ce.conn ~push_id:qt sga;
           qt)
@@ -278,7 +279,7 @@ let op_push t qd sga =
 let op_pushto t qd dst sga =
   match find t qd with
   | Udp_bound (sock, _) ->
-      charge t (cost t).Net.Cost.udp_tx_ns;
+      charge_proto t (cost t).Net.Cost.udp_tx_ns;
       (* UDP datagrams are a single buffer on the wire; coalesce the sga
          (zero-copy for the single-buffer common case). *)
       (match sga with
@@ -316,6 +317,8 @@ let create rt ~nic ?(config = Tcp.Stack.default_config) () =
         nic;
         stack =
           Tcp.Stack.create ~config
+            ~trace:(fun category msg ->
+              Engine.Sim.trace_event host.Host.sim ~category msg)
             ~iface:
               (Tcp.Iface.create ~mac:(Net.Dpdk_sim.mac nic) ~ip:(Net.Dpdk_sim.ip nic)
                  ~clock:(fun () -> Host.now host)

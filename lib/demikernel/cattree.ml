@@ -43,6 +43,7 @@ let slice_size t = Net.Ssd_sim.capacity t.ssd / 16
 let host t = Runtime.host t.rt
 let cost t = (host t).Host.cost
 let charge t ns = Host.charge (host t) ns
+let charge_storage t ns = Host.charge_as (host t) Engine.Span.Storage ns
 
 let bytes_persisted t = t.persisted
 
@@ -109,7 +110,7 @@ let read_sync t ~off ~len =
   let cell = ref None in
   let id = fresh_io t in
   Hashtbl.replace t.inflight id (Sync_read { cell; waiter = Dsched.self sched });
-  charge t (cost t).Net.Cost.ssd_submit_ns;
+  charge_storage t (cost t).Net.Cost.ssd_submit_ns;
   Net.Ssd_sim.submit_read t.ssd ~id ~off ~len;
   let rec await () =
     match !cell with
@@ -191,7 +192,7 @@ let op_push t qd sga =
     let framed = Bytes.create (4 + len) in
     Net.Wire.set_u32 framed 0 len;
     Bytes.blit_string payload 0 framed 4 len;
-    charge t (cost t).Net.Cost.ssd_submit_ns;
+    charge_storage t (cost t).Net.Cost.ssd_submit_ns;
     let id = fresh_io t in
     let qt = Runtime.fresh_token t.rt in
     Hashtbl.replace t.inflight id (Write_op { token = qt; len });
@@ -211,7 +212,7 @@ let op_pop t qd =
          paper's logging workloads never read past the tail. *)
       Runtime.completed_token t.rt (Pdpix.Failed "cattree: read at log tail")
   | Some (off, len) ->
-      charge t (cost t).Net.Cost.ssd_submit_ns;
+      charge_storage t (cost t).Net.Cost.ssd_submit_ns;
       log.read_cursor <- off + 4 + len;
       let id = fresh_io t in
       let qt = Runtime.fresh_token t.rt in

@@ -125,7 +125,7 @@ let run_slice t coro =
   coro.state <- Running;
   t.current <- Some coro;
   t.switches <- t.switches + 1;
-  Engine.Sim.trace_event t.host.Host.sim ~category:"sched" (fun () ->
+  Engine.Sim.trace_event t.host.Host.sim ~category:Engine.Trace.Sched (fun () ->
       Printf.sprintf "%s: dispatch %s" t.host.Host.name coro.name);
   (match (coro.body, coro.cont) with
   | Some body, _ ->
@@ -163,7 +163,7 @@ let run t =
       drain_wakers t;
       match pick t with
       | Some coro ->
-          Host.charge t.host switch_cost;
+          Host.charge_as t.host Engine.Span.Sched switch_cost;
           run_slice t coro;
           loop ()
       | None ->

@@ -10,10 +10,19 @@ let create sim ~name ~cost ~heap_mode =
   Engine.Sim.at_teardown sim (fun () -> Memory.Heap.log_teardown heap);
   { sim; name; cost; heap }
 
-let charge t ns = if ns > 0 then Engine.Fiber.sleep t.sim ns
+let charge_as t comp ns =
+  if ns > 0 then begin
+    (* Attribute before sleeping: the interval is [now, now+ns], exactly
+       the stretch the sleep is about to cover. The note never charges
+       or schedules, so tracing cannot perturb the simulation. *)
+    Engine.Sim.span_note t.sim ~comp ~owner:t.name ~dur:ns;
+    Engine.Fiber.sleep t.sim ns
+  end
+
+let charge t ns = charge_as t Engine.Span.Libos ns
 
 let charge_copy t n =
   Memory.Heap.note_copy t.heap n;
-  charge t (Net.Cost.copy_cost_ns t.cost n)
+  charge_as t Engine.Span.Copy (Net.Cost.copy_cost_ns t.cost n)
 
 let now t = Engine.Sim.now t.sim

@@ -16,7 +16,13 @@ val create :
 
 val charge : t -> int -> unit
 (** Spend [ns] of CPU time. Must be called from a fiber (or a Demikernel
-    coroutine) running on this host. *)
+    coroutine) running on this host. Attributed to [Span.Libos]. *)
+
+val charge_as : t -> Engine.Span.component -> int -> unit
+(** [charge], attributed to a specific Demitrace component. Every charge
+    belongs wholly to one component — callers must never split an
+    existing charge in two (two sleeps interleave differently than
+    one). *)
 
 val charge_copy : t -> int -> unit
 (** Spend the CPU cost of copying [n] bytes and record it against the

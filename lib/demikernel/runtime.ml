@@ -44,6 +44,15 @@ let fresh_token t =
   let qt = t.next_token in
   t.next_token <- t.next_token + 1;
   Hashtbl.replace t.tokens qt { result = None; waiter = None };
+  (* Demitrace op span: opens at submission (every op mints its token at
+     submission time), closes in [complete]. The kind is a placeholder
+     until the PDPIX wrapper labels it — instantly-completed ops close
+     before the wrapper even returns. *)
+  (match Engine.Sim.spans t.host.Host.sim with
+  | Some s ->
+      Engine.Span.open_op s ~key:qt ~kind:"op" ~owner:t.host.Host.name
+        ~now:(Host.now t.host)
+  | None -> ());
   qt
 
 let find_token t qt =
@@ -55,6 +64,11 @@ let complete t qt result =
   let ts = find_token t qt in
   assert (match ts.result with None -> true | Some _ -> false);
   ts.result <- Some result;
+  (match Engine.Sim.spans t.host.Host.sim with
+  | Some s ->
+      let ok = match result with Pdpix.Failed _ -> false | _ -> true in
+      Engine.Span.close_op s ~key:qt ~owner:t.host.Host.name ~now:(Host.now t.host) ~ok
+  | None -> ());
   match ts.waiter with Some h -> Dsched.wake t.sched h | None -> ()
 
 let completed_token t result =
@@ -222,6 +236,15 @@ let combine ~net ~storage =
 
 let make_api t ops =
   let libcall () = Host.charge t.host t.host.Host.cost.Net.Cost.libos_sched_ns in
+  (* Label the op span minted for this call with the PDPIX op kind.
+     [label_op] works on closed spans too, covering ops that complete
+     inline. *)
+  let labelled kind qt =
+    (match Engine.Sim.spans t.host.Host.sim with
+    | Some s -> Engine.Span.label_op s ~key:qt ~owner:t.host.Host.name kind
+    | None -> ());
+    qt
+  in
   let with_memq qd ~memq ~other =
     match Hashtbl.find_opt t.memqs qd with Some q -> memq q | None -> other qd
   in
@@ -232,8 +255,8 @@ let make_api t ops =
         ops.op_socket proto);
     bind = (fun qd ep -> libcall (); ops.op_bind qd ep);
     listen = (fun qd ~backlog -> libcall (); ops.op_listen qd backlog);
-    accept = (fun qd -> libcall (); ops.op_accept qd);
-    connect = (fun qd ep -> libcall (); ops.op_connect qd ep);
+    accept = (fun qd -> libcall (); labelled "accept" (ops.op_accept qd));
+    connect = (fun qd ep -> libcall (); labelled "connect" (ops.op_connect qd ep));
     close =
       (fun qd ->
         libcall ();
@@ -250,18 +273,19 @@ let make_api t ops =
     push =
       (fun qd sga ->
         libcall ();
-        with_memq qd ~memq:(fun q -> memq_push t q sga) ~other:(fun qd -> ops.op_push qd sga));
-    pushto = (fun qd ep sga -> libcall (); ops.op_pushto qd ep sga);
+        labelled "push"
+          (with_memq qd ~memq:(fun q -> memq_push t q sga) ~other:(fun qd -> ops.op_push qd sga)));
+    pushto = (fun qd ep sga -> libcall (); labelled "pushto" (ops.op_pushto qd ep sga));
     pop =
       (fun qd ->
         libcall ();
-        with_memq qd ~memq:(fun q -> memq_pop t q) ~other:ops.op_pop);
+        labelled "pop" (with_memq qd ~memq:(fun q -> memq_pop t q) ~other:ops.op_pop));
     wait = (fun qt -> libcall (); wait t qt);
     wait_any = (fun qts -> libcall (); wait_any t qts);
     wait_any_t = (fun qts ~timeout_ns -> libcall (); wait_any_timeout t qts ~timeout_ns);
     wait_all = (fun qts -> libcall (); wait_all t qts);
     yield = (fun () -> Dsched.yield t.sched);
-    spin = (fun ns -> Host.charge t.host ns);
+    spin = (fun ns -> Host.charge_as t.host Engine.Span.App ns);
     alloc =
       (fun size ->
         Host.charge t.host t.host.Host.cost.Net.Cost.alloc_ns;

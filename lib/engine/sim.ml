@@ -5,6 +5,7 @@ type t = {
   mutable stopped : bool;
   mutable processed : int;
   mutable tracer : Trace.t option;
+  mutable spans : Span.t option;
   mutable teardown_hooks : (unit -> unit) list; (* newest first *)
 }
 
@@ -16,6 +17,7 @@ let create ?(seed = 1L) () =
     stopped = false;
     processed = 0;
     tracer = None;
+    spans = None;
     teardown_hooks = [];
   }
 
@@ -71,6 +73,15 @@ let enable_trace ?capacity t =
   | None ->
       let tr = Trace.create ?capacity () in
       t.tracer <- Some tr;
+      (* Drops were silently counted before; surface them once the run
+         is over so a truncated --trace timeline is never mistaken for
+         the whole story. *)
+      at_teardown t (fun () ->
+          let n = Trace.dropped tr in
+          if n > 0 then
+            Format.eprintf
+              "trace report: %d event(s) dropped from the ring (raise with --trace-capacity)@."
+              n);
       tr
 
 let trace t = t.tracer
@@ -79,3 +90,24 @@ let trace_event t ~category msg =
   match t.tracer with
   | Some tr -> Trace.record tr ~now:t.now ~category (msg ())
   | None -> ()
+
+let enable_spans ?capacity t =
+  match t.spans with
+  | Some s -> s
+  | None ->
+      let s = Span.create ?capacity () in
+      t.spans <- Some s;
+      at_teardown t (fun () -> Span.log_teardown s);
+      s
+
+let spans t = t.spans
+
+let span_interval ?key ?label t ~comp ~owner ~t0 ~t1 =
+  match t.spans with
+  | None -> ()
+  | Some s -> Span.note ?key ?label s ~comp ~owner ~t0 ~t1
+
+let span_note ?key ?label t ~comp ~owner ~dur =
+  match t.spans with
+  | None -> ()
+  | Some s -> Span.note ?key ?label s ~comp ~owner ~t0:t.now ~t1:(t.now + dur)

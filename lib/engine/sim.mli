@@ -47,10 +47,49 @@ val teardown : t -> unit
 (** {1 Tracing} *)
 
 val enable_trace : ?capacity:int -> t -> Trace.t
-(** Attach (or return the existing) event trace. *)
+(** Attach (or return the existing) event trace. On first attach a
+    teardown hook is registered that warns (stderr) when ring events
+    were dropped. *)
 
 val trace : t -> Trace.t option
 
-val trace_event : t -> category:string -> (unit -> string) -> unit
+val trace_event : t -> category:Trace.category -> (unit -> string) -> unit
 (** Record a trace event; the thunk is forced only when tracing is
     enabled, so call sites cost one branch otherwise. *)
+
+(** {1 Spans (Demitrace)} *)
+
+val enable_spans : ?capacity:int -> t -> Span.t
+(** Attach (or return the existing) span recorder. On first attach a
+    teardown hook is registered that reports op spans left open (leaks),
+    mirroring the heap sanitizer's report. The recorder is a pure
+    observer: enabling it must not change the event interleaving, the
+    clock, or {!Trace.digest}. *)
+
+val spans : t -> Span.t option
+
+val span_interval :
+  ?key:int ->
+  ?label:string ->
+  t ->
+  comp:Span.component ->
+  owner:string ->
+  t0:Clock.t ->
+  t1:Clock.t ->
+  unit
+(** Attribute the absolute virtual interval [\[t0, t1\]] to [comp]; one
+    branch when spans are disabled. Use for asynchronous stretches
+    (device HW time, wire time) whose endpoints are known when the work
+    is scheduled. *)
+
+val span_note :
+  ?key:int ->
+  ?label:string ->
+  t ->
+  comp:Span.component ->
+  owner:string ->
+  dur:Clock.t ->
+  unit
+(** Attribute [\[now, now + dur\]] to [comp] — the shape of every
+    synchronous cost-model charge ([Host.charge_as] calls this just
+    before sleeping the charged duration). *)

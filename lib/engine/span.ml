@@ -1,0 +1,132 @@
+type component =
+  | App
+  | Sched
+  | Libos
+  | Proto
+  | Device
+  | Wire
+  | Kernel
+  | Copy
+  | Softirq
+  | Storage
+
+let component_name = function
+  | App -> "app"
+  | Sched -> "sched"
+  | Libos -> "libos"
+  | Proto -> "proto"
+  | Device -> "device"
+  | Wire -> "wire"
+  | Kernel -> "kernel"
+  | Copy -> "copy"
+  | Softirq -> "softirq"
+  | Storage -> "storage"
+
+let components =
+  [ App; Sched; Libos; Proto; Device; Wire; Kernel; Copy; Softirq; Storage ]
+
+let component_index = function
+  | App -> 0
+  | Sched -> 1
+  | Libos -> 2
+  | Proto -> 3
+  | Device -> 4
+  | Wire -> 5
+  | Kernel -> 6
+  | Copy -> 7
+  | Softirq -> 8
+  | Storage -> 9
+
+type interval = {
+  comp : component;
+  owner : string;
+  key : int option;
+  label : string;
+  t0 : Clock.t;
+  t1 : Clock.t;
+}
+
+type op = {
+  op_key : int;
+  mutable op_kind : string;
+  op_owner : string;
+  opened_at : Clock.t;
+  mutable closed_at : Clock.t option;
+  mutable op_ok : bool;
+}
+
+type t = {
+  capacity : int;
+  mutable intervals : interval list; (* newest first *)
+  mutable kept : int;
+  mutable dropped : int;
+  totals : int array; (* per-component virtual ns, indexed by component_index *)
+  ops : (string * int, op) Hashtbl.t; (* keyed by (owner, qtoken): qtokens are per-host *)
+  mutable op_order : op list; (* newest first *)
+  mutable op_count : int;
+}
+
+let create ?(capacity = 262_144) () =
+  {
+    capacity;
+    intervals = [];
+    kept = 0;
+    dropped = 0;
+    totals = Array.make (List.length components) 0;
+    ops = Hashtbl.create 256;
+    op_order = [];
+    op_count = 0;
+  }
+
+let note ?key ?(label = "") t ~comp ~owner ~t0 ~t1 =
+  assert (t1 >= t0);
+  let idx = component_index comp in
+  t.totals.(idx) <- t.totals.(idx) + (t1 - t0);
+  if t.kept < t.capacity then begin
+    t.intervals <- { comp; owner; key; label; t0; t1 } :: t.intervals;
+    t.kept <- t.kept + 1
+  end
+  else t.dropped <- t.dropped + 1
+
+let open_op t ~key ~kind ~owner ~now =
+  let op =
+    { op_key = key; op_kind = kind; op_owner = owner; opened_at = now; closed_at = None; op_ok = true }
+  in
+  Hashtbl.replace t.ops (owner, key) op;
+  t.op_order <- op :: t.op_order;
+  t.op_count <- t.op_count + 1
+
+let label_op t ~key ~owner kind =
+  match Hashtbl.find_opt t.ops (owner, key) with
+  | Some op -> op.op_kind <- kind
+  | None -> ()
+
+let close_op t ~key ~owner ~now ~ok =
+  match Hashtbl.find_opt t.ops (owner, key) with
+  | Some op when op.closed_at = None ->
+      op.closed_at <- Some now;
+      op.op_ok <- ok
+  | Some _ | None -> ()
+
+let intervals t = List.rev t.intervals
+let ops t = List.rev t.op_order
+let open_ops t = List.filter (fun op -> op.closed_at = None) (ops t)
+let dropped t = t.dropped
+let op_count t = t.op_count
+let total t comp = t.totals.(component_index comp)
+let totals t = List.map (fun c -> (c, total t c)) components
+
+(* Mirrors the heap sanitizer's teardown leak report: every op span
+   opened at push/pop submission must have been closed by a completion
+   (success, failure or timeout-abort) before the world is torn down. *)
+let log_teardown ?(fmt = Format.err_formatter) t =
+  match open_ops t with
+  | [] -> ()
+  | leaked ->
+      Format.fprintf fmt "span report: %d op span(s) still open at teardown@."
+        (List.length leaked);
+      List.iter
+        (fun op ->
+          Format.fprintf fmt "  qtoken %d (%s on %s) opened at %a, never closed@."
+            op.op_key op.op_kind op.op_owner Clock.pp op.opened_at)
+        leaked

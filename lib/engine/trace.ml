@@ -1,12 +1,34 @@
+type category =
+  | Fabric
+  | Device
+  | Sched
+  | Tcp
+  | Kernel
+  | Storage
+  | Libos
+  | App
+  | Custom of string
+
+let category_name = function
+  | Fabric -> "fabric"
+  | Device -> "device"
+  | Sched -> "sched"
+  | Tcp -> "tcp"
+  | Kernel -> "kernel"
+  | Storage -> "storage"
+  | Libos -> "libos"
+  | App -> "app"
+  | Custom s -> s
+
 type t = {
-  ring : (Clock.t * string * string) array;
+  ring : (Clock.t * category * string) array;
   capacity : int;
   mutable next : int;
   mutable count : int; (* total recorded, including dropped *)
 }
 
 let create ?(capacity = 65_536) () =
-  { ring = Array.make capacity (0, "", ""); capacity; next = 0; count = 0 }
+  { ring = Array.make capacity (0, Custom "", ""); capacity; next = 0; count = 0 }
 
 let record t ~now ~category msg =
   t.ring.(t.next) <- (now, category, msg);
@@ -23,7 +45,9 @@ let dropped t = max 0 (t.count - t.capacity)
 
 (* FNV-1a over the retained events plus the total count. Implemented by
    hand (rather than Digest) so the digest is a stable function of the
-   event stream alone — no dependency on marshalling layout. *)
+   event stream alone — no dependency on marshalling layout. Categories
+   hash through their printed name, so [Custom "tcp"] and [Tcp] are the
+   same event stream. *)
 let digest t =
   let h = ref 0xcbf29ce484222325L in
   let prime = 0x100000001b3L in
@@ -38,7 +62,7 @@ let digest t =
   List.iter
     (fun (time, category, msg) ->
       int time;
-      string category;
+      string (category_name category);
       byte 0;
       string msg;
       byte 1)
@@ -49,7 +73,7 @@ let dump ?categories ?last fmt t =
   let evs = events t in
   let evs =
     match categories with
-    | Some cats -> List.filter (fun (_, c, _) -> List.mem c cats) evs
+    | Some cats -> List.filter (fun (_, c, _) -> List.mem (category_name c) cats) evs
     | None -> evs
   in
   let evs =
@@ -62,5 +86,7 @@ let dump ?categories ?last fmt t =
   if dropped t > 0 then Format.fprintf fmt "... %d earlier events dropped ...@." (dropped t);
   List.iter
     (fun (time, category, msg) ->
-      Format.fprintf fmt "%12s  %-7s %s@." (Format.asprintf "%a" Clock.pp time) category msg)
+      Format.fprintf fmt "%12s  %-7s %s@."
+        (Format.asprintf "%a" Clock.pp time)
+        (category_name category) msg)
     evs

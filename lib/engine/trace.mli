@@ -6,15 +6,34 @@
     CLI's [--trace] flag to print a timeline of what the fabric,
     devices and schedulers did. *)
 
+(** Typed event schema: every datapath layer records under its own
+    variant, so filters and exporters can dispatch without string
+    comparisons. [Custom] is the escape hatch for tests and one-off
+    experiment markers. *)
+type category =
+  | Fabric  (** switched-fabric frame delivery / drops *)
+  | Device  (** DPDK / RDMA simulated device queues *)
+  | Sched  (** the ns-scale coroutine scheduler *)
+  | Tcp  (** software TCP stack (retransmits, RTO, TIME_WAIT) *)
+  | Kernel  (** legacy-kernel path (syscalls, softirq) *)
+  | Storage  (** SSD simulation *)
+  | Libos  (** libOS glue (Catnap/Catnip/Catmint/Cattree) *)
+  | App  (** application-level markers *)
+  | Custom of string
+
+val category_name : category -> string
+(** Lowercase stable name ([Custom s] prints as [s]); the digest and
+    [dump] filters operate on these names. *)
+
 type t
 
 val create : ?capacity:int -> unit -> t
 (** Ring capacity defaults to 65536 events; older events are dropped
     (and counted). *)
 
-val record : t -> now:Clock.t -> category:string -> string -> unit
+val record : t -> now:Clock.t -> category:category -> string -> unit
 
-val events : t -> (Clock.t * string * string) list
+val events : t -> (Clock.t * category * string) list
 (** Oldest first. *)
 
 val dropped : t -> int
@@ -26,5 +45,5 @@ val digest : t -> string
     self-check ([demi --selfcheck]) is built on this. *)
 
 val dump : ?categories:string list -> ?last:int -> Format.formatter -> t -> unit
-(** Print the timeline, optionally filtered to [categories] and/or the
-    [last] n events. *)
+(** Print the timeline, optionally filtered to [categories] (matched
+    against {!category_name}) and/or the [last] n events. *)

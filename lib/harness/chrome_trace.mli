@@ -1,0 +1,21 @@
+(** Chrome trace-event JSON export of Demitrace spans, plus a
+    structural validator.
+
+    The exporter maps span owners to Chrome processes and component
+    tracks to threads; overlapping intervals are split across greedy
+    sub-tracks so every thread's B/E duration events are balanced and
+    nest trivially. Timestamps are virtual nanoseconds printed as
+    fractional microseconds (the trace-event unit) with no precision
+    loss. Open the output in [chrome://tracing] or Perfetto. *)
+
+val export : ?extra:(string * string) list -> Engine.Span.t -> string
+(** Render all recorded intervals and completed op spans. [extra] is a
+    list of [(key, raw_json)] pairs appended as top-level fields (used
+    to embed the per-component breakdown). *)
+
+val validate : string -> (int, string) result
+(** Structurally validate trace JSON text: well-formed JSON (checked by
+    a built-in recursive-descent parser — no external deps), a
+    [traceEvents] array whose events carry name/ph/ts/pid/tid, globally
+    non-decreasing [ts], and balanced B/E per (pid, tid) with empty
+    stacks at the end. Returns [Ok event_count] or [Error reason]. *)

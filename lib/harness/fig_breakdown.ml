@@ -1,0 +1,170 @@
+(* Per-component latency attribution for one echo RTT — the repo's
+   version of the paper's Table 5 ("where does each nanosecond of a
+   64-byte echo go?").
+
+   Attribution is a critical-path sweep: the RTT window is cut at every
+   interval boundary, and each elementary segment is charged to exactly
+   one component, so the per-component sums plus the unattributed
+   remainder equal the end-to-end RTT exactly — no double counting of
+   overlapping spans (wire time under a device span, a second host
+   computing while the first waits). When several intervals cover a
+   segment, CPU components win over asynchronous ones (a host charging
+   cycles while a frame is on the wire is the critical path's current
+   occupant), and among CPU intervals the most recently started wins
+   (innermost = most specific). *)
+
+type breakdown = {
+  components : (Engine.Span.component * int) list;
+      (* nonzero components, presentation order *)
+  other : int; (* window time no span covers: queueing, idle waits *)
+  total : int; (* window length; = sum of components + other *)
+}
+
+let is_cpu = function
+  | Engine.Span.Device | Engine.Span.Wire | Engine.Span.Storage -> false
+  | _ -> true
+
+let attribute spans ~w0 ~w1 =
+  let clipped =
+    List.filter_map
+      (fun iv ->
+        let t0 = max iv.Engine.Span.t0 w0 and t1 = min iv.Engine.Span.t1 w1 in
+        if t1 > t0 then Some (iv.Engine.Span.comp, iv.Engine.Span.t0, t0, t1) else None)
+      (Engine.Span.intervals spans)
+  in
+  let cuts =
+    List.sort_uniq compare
+      (w0 :: w1 :: List.concat_map (fun (_, _, t0, t1) -> [ t0; t1 ]) clipped)
+  in
+  let sums = Array.make (List.length Engine.Span.components) 0 in
+  let other = ref 0 in
+  let rec sweep = function
+    | a :: (b :: _ as rest) ->
+        let seg = b - a in
+        let active = List.filter (fun (_, _, t0, t1) -> t0 <= a && t1 >= b) clipped in
+        let winner =
+          List.fold_left
+            (fun best ((comp, orig_t0, _, _) as cand) ->
+              match best with
+              | None -> Some cand
+              | Some (bcomp, borig_t0, _, _) ->
+                  let c = compare (is_cpu comp, orig_t0) (is_cpu bcomp, borig_t0) in
+                  if c > 0 then Some cand
+                  else if c < 0 then best
+                  else if
+                    (* full tie: fixed presentation order keeps the sweep
+                       deterministic whatever the recording order was *)
+                    Engine.Span.component_index comp < Engine.Span.component_index bcomp
+                  then Some cand
+                  else best)
+            None active
+        in
+        (match winner with
+        | Some (comp, _, _, _) ->
+            let i = Engine.Span.component_index comp in
+            sums.(i) <- sums.(i) + seg
+        | None -> other := !other + seg);
+        sweep rest
+    | _ -> ()
+  in
+  sweep cuts;
+  {
+    components =
+      List.filter (fun (_, ns) -> ns > 0)
+        (List.mapi (fun i comp -> (comp, sums.(i))) Engine.Span.components);
+    other = !other;
+    total = w1 - w0;
+  }
+
+let breakdown_json b =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "{\"components\":{";
+  List.iteri
+    (fun i (comp, ns) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":%d" (Engine.Span.component_name comp) ns))
+    b.components;
+  Buffer.add_string buf (Printf.sprintf "},\"other\":%d,\"total\":%d}" b.other b.total);
+  Buffer.contents buf
+
+(* ---------- echo scenario ---------- *)
+
+type run = {
+  flavor : Demikernel.Boot.flavor;
+  rtt : int; (* the client-observed RTT the window came from *)
+  breakdown : breakdown;
+  spans : Engine.Span.t;
+  digest : string; (* trace digest, for spans-on/off equality checks *)
+  rtts : Metrics.Histogram.t;
+}
+
+let flavor_name = function
+  | Demikernel.Boot.Catnap_os -> "catnap"
+  | Demikernel.Boot.Catnip_os -> "catnip"
+  | Demikernel.Boot.Catmint_os -> "catmint"
+
+(* One TCP echo between two hosts of the given flavor, spans enabled
+   (unless [with_spans:false] — the control arm of the observer-effect
+   check). The breakdown window is the last completed RTT: the client's
+   [record] callback fires right after its final clock read, so the
+   window is [now - rtt, now] on the client's clock. *)
+let echo ?(with_spans = true) ?(span_capacity = 262_144) ?(trace_capacity = 65_536)
+    ?(msg_size = 64) ?(count = 16) flavor =
+  let w = Common.make_world () in
+  let trace = Engine.Sim.enable_trace ~capacity:trace_capacity w.Common.sim in
+  let spans =
+    if with_spans then Engine.Sim.enable_spans ~capacity:span_capacity w.Common.sim
+    else Engine.Span.create ()
+  in
+  let server = Demikernel.Boot.make w.Common.sim w.Common.fabric ~index:1 flavor in
+  let client = Demikernel.Boot.make w.Common.sim w.Common.fabric ~index:2 flavor in
+  let window = ref None in
+  let rtts = Metrics.Histogram.create () in
+  Demikernel.Boot.run_app server (Apps.Echo.server ~port:7 ~persist:false);
+  Demikernel.Boot.run_app client
+    (Apps.Echo.client
+       ~dst:(Demikernel.Boot.endpoint server 7)
+       ~msg_size ~count
+       ~record:(fun rtt ->
+         Metrics.Histogram.add rtts rtt;
+         let now = Demikernel.Host.now client.Demikernel.Boot.host in
+         window := Some (now - rtt, now)));
+  Demikernel.Boot.start server;
+  Demikernel.Boot.start client;
+  Common.run_world w;
+  match !window with
+  | None -> failwith "Fig_breakdown.echo: no RTT recorded"
+  | Some (w0, w1) ->
+      {
+        flavor;
+        rtt = w1 - w0;
+        breakdown = attribute spans ~w0 ~w1;
+        spans;
+        digest = Engine.Trace.digest trace;
+        rtts;
+      }
+
+(* Table-5-style report: component rows, one column per run. *)
+let print_table runs =
+  let tbl =
+    Metrics.Table.create ~title:"echo RTT breakdown (last RTT, ns)"
+      ~columns:("component" :: List.map (fun r -> flavor_name r.flavor) runs)
+  in
+  List.iter
+    (fun comp ->
+      let cells =
+        List.map
+          (fun r ->
+            match List.assoc_opt comp r.breakdown.components with
+            | Some ns -> Metrics.Table.cell_i ns
+            | None -> "-")
+          runs
+      in
+      if List.exists (fun c -> c <> "-") cells then
+        Metrics.Table.add_row tbl (Engine.Span.component_name comp :: cells))
+    Engine.Span.components;
+  Metrics.Table.add_row tbl
+    ("other/idle" :: List.map (fun r -> Metrics.Table.cell_i r.breakdown.other) runs);
+  Metrics.Table.add_row tbl
+    ("end-to-end" :: List.map (fun r -> Metrics.Table.cell_i r.breakdown.total) runs);
+  Metrics.Table.print tbl

@@ -1,0 +1,48 @@
+(** Table-5-style latency attribution: where each nanosecond of one
+    echo RTT went, per Demitrace component.
+
+    A critical-path sweep cuts the RTT window at every span boundary and
+    charges each elementary segment to exactly one component (CPU work
+    beats asynchronous device/wire time; the most recently started CPU
+    interval wins), so the component sums plus the unattributed
+    remainder equal the end-to-end RTT {e exactly}. *)
+
+type breakdown = {
+  components : (Engine.Span.component * int) list;
+      (** nonzero components, presentation order *)
+  other : int;  (** window time covered by no span: queueing, idle waits *)
+  total : int;  (** window length = sum of [components] + [other] *)
+}
+
+val attribute : Engine.Span.t -> w0:int -> w1:int -> breakdown
+(** Sweep the recorded intervals clipped to [\[w0, w1\]]. *)
+
+val breakdown_json : breakdown -> string
+(** Raw JSON object, embedded in the Chrome trace's top level. *)
+
+type run = {
+  flavor : Demikernel.Boot.flavor;
+  rtt : int;  (** the client-observed RTT the window came from *)
+  breakdown : breakdown;
+  spans : Engine.Span.t;
+  digest : string;  (** trace digest, for spans-on/off equality checks *)
+  rtts : Metrics.Histogram.t;
+}
+
+val flavor_name : Demikernel.Boot.flavor -> string
+
+val echo :
+  ?with_spans:bool ->
+  ?span_capacity:int ->
+  ?trace_capacity:int ->
+  ?msg_size:int ->
+  ?count:int ->
+  Demikernel.Boot.flavor ->
+  run
+(** One TCP echo between two hosts of [flavor], tracing enabled, spans
+    enabled unless [with_spans:false] (the control arm of the
+    observer-effect check — same seed, same scenario, no recorder). The
+    breakdown window is the last completed RTT on the client's clock. *)
+
+val print_table : run list -> unit
+(** Print the paper-style breakdown table, one column per run. *)

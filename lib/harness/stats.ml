@@ -1,0 +1,75 @@
+(* `demi stats`: populate a deterministic Metrics.Registry from a run.
+
+   Collection is read-only introspection after the simulation has torn
+   down — nothing here touches the clock or the event set. Names follow
+   the registry convention <owner>/<subsystem>/<metric>; the registry
+   iterates name-sorted, so the report is byte-stable across runs of the
+   same seed. *)
+
+let collect_node reg node =
+  let name = node.Demikernel.Boot.host.Demikernel.Host.name in
+  let key sub metric = Printf.sprintf "%s/%s/%s" name sub metric in
+  let hs = Memory.Heap.stats node.Demikernel.Boot.host.Demikernel.Host.heap in
+  Metrics.Registry.set reg (key "heap" "allocations") hs.Memory.Heap.allocations;
+  Metrics.Registry.set reg (key "heap" "frees") hs.Memory.Heap.frees;
+  Metrics.Registry.set reg (key "heap" "live") hs.Memory.Heap.live;
+  Metrics.Registry.set reg (key "heap" "uaf_protected") hs.Memory.Heap.uaf_protected;
+  Metrics.Registry.set reg (key "heap" "bytes_copied") hs.Memory.Heap.bytes_copied;
+  Metrics.Registry.set reg
+    (key "sched" "context_switches")
+    (Demikernel.Dsched.context_switches (Demikernel.Runtime.sched node.Demikernel.Boot.rt));
+  Option.iter
+    (fun nic ->
+      Metrics.Registry.set reg (key "nic" "rx_dropped") (Net.Dpdk_sim.rx_dropped nic))
+    node.Demikernel.Boot.nic;
+  Option.iter
+    (fun catnip ->
+      Metrics.Registry.set reg (key "tcp" "retransmits")
+        (Tcp.Stack.total_retransmits (Demikernel.Catnip.stack catnip)))
+    node.Demikernel.Boot.catnip;
+  Option.iter
+    (fun kernel ->
+      Metrics.Registry.set reg (key "kernel" "syscalls") (Oskernel.Kernel.syscalls kernel))
+    node.Demikernel.Boot.kernel
+
+let collect_fabric reg fabric =
+  let s = Net.Fabric.stats fabric in
+  Metrics.Registry.set reg "fabric/frames_delivered" s.Net.Fabric.frames_delivered;
+  Metrics.Registry.set reg "fabric/frames_dropped" s.Net.Fabric.frames_dropped;
+  Metrics.Registry.set reg "fabric/bytes_carried" s.Net.Fabric.bytes_carried
+
+let collect_spans reg spans =
+  List.iter
+    (fun (comp, ns) ->
+      Metrics.Registry.set reg
+        (Printf.sprintf "span/%s_ns" (Engine.Span.component_name comp))
+        ns)
+    (Engine.Span.totals spans);
+  Metrics.Registry.set reg "span/ops" (Engine.Span.op_count spans);
+  Metrics.Registry.set reg "span/intervals_dropped" (Engine.Span.dropped spans)
+
+(* One TCP echo with spans on; returns the populated registry. *)
+let echo ?(msg_size = 64) ?(count = 64) flavor =
+  let w = Common.make_world () in
+  let spans = Engine.Sim.enable_spans w.Common.sim in
+  let server = Demikernel.Boot.make w.Common.sim w.Common.fabric ~index:1 flavor in
+  let client = Demikernel.Boot.make w.Common.sim w.Common.fabric ~index:2 flavor in
+  let reg = Metrics.Registry.create () in
+  let rtts =
+    Metrics.Registry.histogram reg
+      (Printf.sprintf "%s/echo/rtt_ns" client.Demikernel.Boot.host.Demikernel.Host.name)
+  in
+  Demikernel.Boot.run_app server (Apps.Echo.server ~port:7 ~persist:false);
+  Demikernel.Boot.run_app client
+    (Apps.Echo.client
+       ~dst:(Demikernel.Boot.endpoint server 7)
+       ~msg_size ~count
+       ~record:(Metrics.Histogram.add rtts));
+  Demikernel.Boot.start server;
+  Demikernel.Boot.start client;
+  Common.run_world w;
+  collect_node reg server;
+  collect_node reg client;
+  collect_fabric reg w.Common.fabric;
+  collect_spans reg spans;
+  reg

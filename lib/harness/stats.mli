@@ -1,0 +1,17 @@
+(** `demi stats`: populate a deterministic {!Metrics.Registry} from a
+    finished run. Collection is read-only introspection after teardown;
+    names follow [<owner>/<subsystem>/<metric>] and iteration is
+    name-sorted, so reports are byte-stable for a fixed seed. *)
+
+val collect_node : Metrics.Registry.t -> Demikernel.Boot.node -> unit
+(** Heap, scheduler, NIC, TCP and kernel counters for one host. *)
+
+val collect_fabric : Metrics.Registry.t -> Net.Fabric.t -> unit
+
+val collect_spans : Metrics.Registry.t -> Engine.Span.t -> unit
+(** Per-component virtual-ns totals and op-span counts. *)
+
+val echo :
+  ?msg_size:int -> ?count:int -> Demikernel.Boot.flavor -> Metrics.Registry.t
+(** Run one TCP echo (spans enabled) and return the populated registry,
+    including the client RTT histogram. *)

@@ -4,10 +4,11 @@ let rule_determinism = "determinism-source"
 let rule_hashtbl = "unordered-hashtbl"
 let rule_copy = "unaccounted-copy"
 let rule_poly = "poly-compare-buffer"
+let rule_print = "raw-print-in-datapath"
 let rule_unused = "unused-exemption"
 
 let rule_ids =
-  [ rule_determinism; rule_hashtbl; rule_copy; rule_poly ]
+  [ rule_determinism; rule_hashtbl; rule_copy; rule_poly; rule_print ]
   @ Ownership.rule_ids @ [ rule_unused ]
 
 (* ---------- path classification ---------- *)
@@ -24,6 +25,16 @@ let lib_subdir path =
   go (String.split_on_char '/' path)
 
 let datapath_dirs = [ "tcp"; "demikernel"; "apps"; "net" ]
+
+(* raw-print-in-datapath: hot-path modules must report through the trace
+   ring or Metrics tables, not ad-hoc stdout. Files whose name marks
+   them as trace/dump code are the sanctioned output paths. *)
+let raw_print_dirs = [ "tcp"; "net"; "demikernel"; "engine" ]
+
+let raw_print_exempt_file path =
+  let base = Filename.basename path in
+  Lexer.contains_sub base "trace" || Lexer.contains_sub base "span"
+  || Lexer.contains_sub base "dump"
 let zero_copy_dirs = [ "memory"; "tcp"; "net"; "demikernel" ]
 let poly_compare_dirs = "apps" :: zero_copy_dirs
 
@@ -158,6 +169,8 @@ let hashtbl_tokens = [ "Hashtbl.iter"; "Hashtbl.fold" ]
 let copy_tokens =
   [ "Bytes.blit_string"; "Bytes.blit"; "Bytes.sub_string"; "Bytes.sub"; "Bytes.copy" ]
 
+let raw_print_tokens = [ "Printf.printf"; "print_endline"; "print_string" ]
+
 let accounting_tokens = [ "note_copy"; "charge_copy" ]
 
 let by_position a b =
@@ -224,6 +237,18 @@ let scan_core ~path contents =
                  tok)
         | Some _ | None -> ()
       end;
+      (* raw-print-in-datapath: stdout belongs to the reporting layer *)
+      if in_dirs raw_print_dirs && not (raw_print_exempt_file path) then
+        List.iter
+          (fun tok ->
+            if contains_token line tok then
+              emit ~line:lno ~col:(col_of line tok) ~rule:rule_print
+                (Printf.sprintf
+                   "%s writes raw stdout from datapath code; report through \
+                    Engine.Sim.trace_event or a Metrics table, or add a dlint-allow \
+                    for a deliberate dump path"
+                   tok))
+          raw_print_tokens;
       (* poly-compare-buffer *)
       if in_dirs poly_compare_dirs then begin
         let hit =

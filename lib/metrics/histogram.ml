@@ -73,6 +73,15 @@ let p50 t = quantile t 0.50
 let p99 t = quantile t 0.99
 let p999 t = quantile t 0.999
 
+let to_buckets t =
+  let rec go idx acc =
+    if idx < 0 then acc
+    else
+      let n = t.buckets.(idx) in
+      go (idx - 1) (if n = 0 then acc else (upper_bound_of idx, n) :: acc)
+  in
+  go (bucket_count - 1) []
+
 let merge dst src =
   Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) src.buckets;
   dst.count <- dst.count + src.count;

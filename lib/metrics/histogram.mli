@@ -27,6 +27,11 @@ val p50 : t -> int
 val p99 : t -> int
 val p999 : t -> int
 
+val to_buckets : t -> (int * int) list
+(** The occupied buckets as [(upper_bound, count)] pairs, ascending by
+    bound, zero-count buckets omitted. Counts sum to {!count}; exporters
+    and property tests read the distribution through this. *)
+
 val merge : t -> t -> unit
 (** [merge dst src] folds [src]'s samples into [dst]. *)
 

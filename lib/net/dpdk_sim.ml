@@ -6,6 +6,7 @@ type t = {
   rx_ring : string Queue.t;
   rx_signal : Engine.Condvar.t;
   rx_dropped : int ref;
+  owner : string; (* span owner, precomputed so disabled spans stay allocation-free *)
 }
 
 let create fabric ~mac ~ip ?(rx_ring_size = 1024) () =
@@ -14,10 +15,15 @@ let create fabric ~mac ~ip ?(rx_ring_size = 1024) () =
   let rx_ring = Queue.create () in
   let rx_signal = Engine.Condvar.create sim in
   let rx_dropped = ref 0 in
+  let owner = Format.asprintf "dpdk-%a" Addr.Ip.pp ip in
   let rx frame =
     (* The NIC hardware pipeline runs before the frame is visible to
        software; virtualized profiles add vnet translation. *)
-    Engine.Sim.schedule sim ~delay:(cost.Cost.nic_hw_ns + cost.Cost.vnet_ns) (fun () ->
+    let hw = cost.Cost.nic_hw_ns + cost.Cost.vnet_ns in
+    let t0 = Engine.Sim.now sim in
+    Engine.Sim.span_interval sim ~comp:Engine.Span.Device ~owner ~label:"rx" ~t0
+      ~t1:(t0 + hw);
+    Engine.Sim.schedule sim ~delay:hw (fun () ->
         if Queue.length rx_ring >= rx_ring_size then incr rx_dropped
         else begin
           Queue.add frame rx_ring;
@@ -25,7 +31,7 @@ let create fabric ~mac ~ip ?(rx_ring_size = 1024) () =
         end)
   in
   let port = Fabric.attach fabric ~mac ~rx in
-  { fabric; port; mac; ip; rx_ring; rx_signal; rx_dropped }
+  { fabric; port; mac; ip; rx_ring; rx_signal; rx_dropped; owner }
 
 let mac t = t.mac
 let ip t = t.ip
@@ -41,7 +47,11 @@ let tx_burst t frames =
          event-queue traffic without changing any arrival time. *)
       let cost = Fabric.cost t.fabric in
       let delay = cost.Cost.nic_hw_ns + cost.Cost.vnet_ns in
-      Engine.Sim.schedule (Fabric.sim t.fabric) ~delay (fun () ->
+      let sim = Fabric.sim t.fabric in
+      let t0 = Engine.Sim.now sim in
+      Engine.Sim.span_interval sim ~comp:Engine.Span.Device ~owner:t.owner ~label:"tx" ~t0
+        ~t1:(t0 + delay);
+      Engine.Sim.schedule sim ~delay (fun () ->
           List.iter (fun frame -> Fabric.send t.fabric t.port frame) frames)
 
 let rx_burst t ~max =

@@ -52,7 +52,7 @@ let set_loss t loss = t.loss <- loss
 let deliver t frame dst =
   t.delivered <- t.delivered + 1;
   t.bytes <- t.bytes + String.length frame;
-  Engine.Sim.trace_event t.sim ~category:"fabric" (fun () ->
+  Engine.Sim.trace_event t.sim ~category:Engine.Trace.Fabric (fun () ->
       Format.asprintf "deliver %dB -> %a" (String.length frame) Addr.Mac.pp dst.mac);
   dst.rx frame
 
@@ -65,15 +65,22 @@ let send t src ?(lossless = false) frame =
   (* Store-and-forward: the frame serializes again onto the destination
      link, queueing behind whatever that link is already carrying —
      this is where incast contention lives. *)
+  (* Wire-time attribution: from the instant the frame starts
+     serializing on the source uplink to its arrival at the port —
+     propagation, switching and any store-and-forward queueing
+     included. Dropped frames are not attributed (they never arrive). *)
+  let wire_t0 = depart - Cost.serialization_ns t.cost len in
   let to_port p =
     let start = max at_switch p.rx_free in
     let arrival = start + Cost.serialization_ns t.cost len in
     p.rx_free <- arrival;
+    Engine.Sim.span_interval t.sim ~comp:Engine.Span.Wire ~owner:"fabric" ~t0:wire_t0
+      ~t1:arrival;
     arrival - now
   in
   if (not lossless) && t.loss > 0. && Engine.Prng.bool t.prng t.loss then begin
     t.dropped <- t.dropped + 1;
-    Engine.Sim.trace_event t.sim ~category:"fabric" (fun () ->
+    Engine.Sim.trace_event t.sim ~category:Engine.Trace.Fabric (fun () ->
         Printf.sprintf "drop %dB (injected loss)" len)
   end
   else begin

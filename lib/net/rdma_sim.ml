@@ -14,6 +14,7 @@ type t = {
   mutable rnr_drops : int;
   regions : (int, Bytes.t) Hashtbl.t;
   mutable next_rkey : int;
+  owner : string; (* span owner, precomputed so disabled spans stay allocation-free *)
 }
 
 let max_message_size = 1 lsl 20
@@ -30,6 +31,12 @@ let complete t c =
 
 let sim t = Fabric.sim t.fabric
 let hw_ns t = (Fabric.cost t.fabric).Cost.rdma_hw_ns
+
+let note_hw t label =
+  let s = sim t in
+  let t0 = Engine.Sim.now s in
+  Engine.Sim.span_interval s ~comp:Engine.Span.Device ~owner:t.owner ~label ~t0
+    ~t1:(t0 + hw_ns t)
 
 let frame_of t ~dst ~msgtype body =
   let b = Bytes.create (Eth.size + 1 + String.length body) in
@@ -50,6 +57,7 @@ let post_send t ~dst ~wr_id ~imm payload =
   let frame = frame_of t ~dst ~msgtype:t_send (u32_string [ imm ] payload) in
   (* Device-side transport processing, then the wire; the send
      completion fires once the message has left the device. *)
+  note_hw t "send";
   Engine.Sim.schedule (sim t) ~delay:(hw_ns t) (fun () ->
       Fabric.send t.fabric t.port ~lossless:true frame;
       complete t (Send_done { wr_id }))
@@ -69,6 +77,7 @@ let post_write t ~dst ~wr_id ~rkey ~offset payload =
   let frame =
     frame_of t ~dst ~msgtype:t_write (u32_string [ rkey; offset; wr_id ] payload)
   in
+  note_hw t "write";
   Engine.Sim.schedule (sim t) ~delay:(hw_ns t) (fun () ->
       Fabric.send t.fabric t.port ~lossless:true frame)
 
@@ -117,7 +126,11 @@ let create fabric ~mac ~ip () =
   let sim = Fabric.sim fabric in
   let cost = Fabric.cost fabric in
   let t_ref = ref None in
+  let owner = Format.asprintf "rnic-%a" Addr.Ip.pp ip in
   let rx frame =
+    let t0 = Engine.Sim.now sim in
+    Engine.Sim.span_interval sim ~comp:Engine.Span.Device ~owner ~label:"rx" ~t0
+      ~t1:(t0 + cost.Cost.rdma_hw_ns);
     Engine.Sim.schedule sim ~delay:cost.Cost.rdma_hw_ns (fun () ->
         match !t_ref with Some t -> handle_frame t frame | None -> ())
   in
@@ -134,6 +147,7 @@ let create fabric ~mac ~ip () =
       rnr_drops = 0;
       regions = Hashtbl.create 8;
       next_rkey = 1;
+      owner;
     }
   in
   t_ref := Some t;

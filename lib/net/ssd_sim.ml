@@ -24,7 +24,7 @@ let create sim ~cost ~capacity =
 let capacity t = Bytes.length t.store
 
 let complete t c =
-  Engine.Sim.trace_event t.sim ~category:"ssd" (fun () ->
+  Engine.Sim.trace_event t.sim ~category:Engine.Trace.Storage (fun () ->
       Printf.sprintf "completion id=%d ok=%b" c.id c.ok);
   Queue.add c t.cq;
   Engine.Condvar.broadcast t.cq_signal
@@ -36,6 +36,11 @@ let run_after t ~busy_ns fn =
   let start = max now t.device_free in
   let finish = start + busy_ns in
   t.device_free <- finish;
+  (* The attributed stretch starts when the device picks the command
+     up, not at submission: queueing behind an earlier command is the
+     device's time, and the sum over commands never double-counts. *)
+  Engine.Sim.span_interval t.sim ~comp:Engine.Span.Storage ~owner:"ssd" ~t0:start
+    ~t1:finish;
   Engine.Sim.schedule t.sim ~delay:(finish - now) fn
 
 let submit_write t ~id ~off data =

@@ -8,6 +8,7 @@ type fd_state =
 
 type t = {
   sim : Engine.Sim.t;
+  name : string;
   cost : Net.Cost.t;
   nic : Net.Dpdk_sim.t;
   ssd : Net.Ssd_sim.t option;
@@ -23,8 +24,8 @@ type t = {
 
 type fd = int
 
-let create sim ~cost ~nic ?ssd ?(mode = Posix) () =
-  let heap = Memory.Heap.create ~label:"kernel" ~mode:Memory.Heap.Not_dma () in
+let create sim ?(name = "kernel") ~cost ~nic ?ssd ?(mode = Posix) () =
+  let heap = Memory.Heap.create ~label:name ~mode:Memory.Heap.Not_dma () in
   Engine.Sim.at_teardown sim (fun () -> Memory.Heap.log_teardown heap);
   let iface =
     Tcp.Iface.create ~mac:(Net.Dpdk_sim.mac nic) ~ip:(Net.Dpdk_sim.ip nic)
@@ -40,6 +41,7 @@ let create sim ~cost ~nic ?ssd ?(mode = Posix) () =
   in
   {
     sim;
+    name;
     cost;
     nic;
     ssd;
@@ -57,11 +59,19 @@ let mode t = t.mode
 let heap t = t.heap
 let syscalls t = t.syscalls
 
-let charge t ns = if ns > 0 then Engine.Fiber.sleep t.sim ns
+let charge_as t comp ns =
+  if ns > 0 then begin
+    Engine.Sim.span_note t.sim ~comp ~owner:t.name ~dur:ns;
+    Engine.Fiber.sleep t.sim ns
+  end
+
+(* Default attribution is the kernel-crossing component; per-frame stack
+   processing is softirq time and copies are copies. *)
+let charge t ns = charge_as t Engine.Span.Kernel ns
 
 let charge_copy t n =
   Memory.Heap.note_copy t.heap n;
-  charge t (Net.Cost.copy_cost_ns t.cost n)
+  charge_as t Engine.Span.Copy (Net.Cost.copy_cost_ns t.cost n)
 
 let syscall_cost t =
   match t.mode with Posix -> t.cost.Net.Cost.syscall_ns | Uring -> t.cost.Net.Cost.syscall_ns / 4
@@ -79,7 +89,7 @@ let drain t =
     | frames ->
         List.iter
           (fun frame ->
-            charge t t.cost.Net.Cost.kernel_net_ns;
+            charge_as t Engine.Span.Softirq t.cost.Net.Cost.kernel_net_ns;
             Tcp.Stack.input t.stack frame)
           frames;
         go ()
@@ -139,7 +149,7 @@ let sendto t fd ~dst payload =
       drain t;
       (* Copy user -> kernel, then kernel stack processing. *)
       charge_copy t (String.length payload);
-      charge t t.cost.Net.Cost.kernel_net_ns;
+      charge_as t Engine.Span.Softirq t.cost.Net.Cost.kernel_net_ns;
       let buf = Memory.Heap.alloc_of_string t.heap payload in
       Tcp.Stack.udp_sendto t.stack sock ~dst buf;
       Memory.Heap.free buf
@@ -193,7 +203,7 @@ let send t fd payload =
       enter_syscall t;
       drain t;
       charge_copy t (String.length payload);
-      charge t t.cost.Net.Cost.kernel_net_ns;
+      charge_as t Engine.Span.Softirq t.cost.Net.Cost.kernel_net_ns;
       let buf = Memory.Heap.alloc_of_string t.heap payload in
       Tcp.Stack.tcp_send conn [ buf ];
       Memory.Heap.free buf

@@ -24,6 +24,7 @@ type fd
 
 val create :
   Engine.Sim.t ->
+  ?name:string ->
   cost:Net.Cost.t ->
   nic:Net.Dpdk_sim.t ->
   ?ssd:Net.Ssd_sim.t ->

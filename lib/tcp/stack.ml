@@ -135,9 +135,12 @@ and t = {
   mutable next_ephemeral : int;
   mutable next_conn_uid : int;
   mutable retransmit_total : int;
+  trace : Engine.Trace.category -> (unit -> string) -> unit;
+      (* Demitrace hook; drivers wire it to [Sim.trace_event]. The thunk
+         is only forced when the sim's tracer is enabled. *)
 }
 
-let create ?(config = default_config) ~iface ~heap ~prng ~events () =
+let create ?(config = default_config) ?(trace = fun _ _ -> ()) ~iface ~heap ~prng ~events () =
   {
     config;
     iface;
@@ -157,6 +160,7 @@ let create ?(config = default_config) ~iface ~heap ~prng ~events () =
     next_ephemeral = 49152;
     next_conn_uid = 1;
     retransmit_total = 0;
+    trace;
   }
 
 let now t = Iface.clock t.iface
@@ -501,11 +505,17 @@ let to_closed conn ~reset =
      | None -> ());
   conn.state <- Closed_st;
   destroy conn;
-  if not was_closed then
+  if not was_closed then begin
+    if reset then
+      conn.stack.trace Engine.Trace.Tcp (fun () ->
+          Printf.sprintf "conn %d: reset" conn.uid);
     if reset then conn.stack.events (Reset conn) else conn.stack.events (Closed conn)
+  end
 
 let enter_time_wait conn =
   conn.state <- Time_wait;
+  conn.stack.trace Engine.Trace.Tcp (fun () ->
+      Printf.sprintf "conn %d: TIME_WAIT" conn.uid);
   cancel_rto conn;
   arm_time_wait_at conn (now conn.stack + conn.stack.config.time_wait_ns)
 
@@ -638,6 +648,8 @@ let retransmit_head conn =
       seg.retransmitted <- true;
       conn.retransmit_count <- conn.retransmit_count + 1;
       conn.stack.retransmit_total <- conn.stack.retransmit_total + 1;
+      conn.stack.trace Engine.Trace.Tcp (fun () ->
+          Printf.sprintf "conn %d: retransmit seq=%d" conn.uid seg.seg_seq);
       send_data_segment conn seg
   | None -> (
       (* Nothing unacked: the timer was armed for a FIN or a zero-window
@@ -736,6 +748,8 @@ let process_ack conn th ~payload_len =
                 seg.retransmitted <- true;
                 conn.retransmit_count <- conn.retransmit_count + 1;
                 conn.stack.retransmit_total <- conn.stack.retransmit_total + 1;
+                conn.stack.trace Engine.Trace.Tcp (fun () ->
+                    Printf.sprintf "conn %d: fast retransmit seq=%d" conn.uid seg.seg_seq);
                 send_data_segment conn seg
               end)
             conn.unacked
@@ -957,6 +971,7 @@ let handshake_timeout conn =
 
 let rto_fire conn =
   let t = conn.stack in
+  t.trace Engine.Trace.Tcp (fun () -> Printf.sprintf "conn %d: RTO fired" conn.uid);
   match conn.state with
   | Syn_sent | Syn_received -> handshake_timeout conn
   | Established_st | Fin_wait_1 | Fin_wait_2 | Close_wait | Closing | Last_ack ->

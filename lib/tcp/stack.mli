@@ -65,6 +65,7 @@ type tcp_state =
 
 val create :
   ?config:config ->
+  ?trace:(Engine.Trace.category -> (unit -> string) -> unit) ->
   iface:Iface.t ->
   heap:Memory.Heap.t ->
   prng:Engine.Prng.t ->
@@ -73,7 +74,9 @@ val create :
   t
 (** [heap] supplies receive-side buffers (handed to the application with
     ownership, per PDPIX pop semantics). [events] fires synchronously
-    during [input]/[on_timer]/API calls. *)
+    during [input]/[on_timer]/API calls. [trace] (default: drop) receives
+    typed Demitrace events — retransmits, RTO fires, TIME_WAIT entry,
+    resets — as thunks; drivers wire it to {!Engine.Sim.trace_event}. *)
 
 val input : t -> string -> unit
 (** Process one received Ethernet frame. *)

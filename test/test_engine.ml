@@ -198,7 +198,7 @@ let test_prng_float_unit =
 let test_trace_ring () =
   let tr = Engine.Trace.create ~capacity:4 () in
   for i = 1 to 6 do
-    Engine.Trace.record tr ~now:(i * 10) ~category:"t" (string_of_int i)
+    Engine.Trace.record tr ~now:(i * 10) ~category:(Engine.Trace.Custom "t") (string_of_int i)
   done;
   let evs = Engine.Trace.events tr in
   check_int "capacity bounds events" 4 (List.length evs);
@@ -209,12 +209,12 @@ let test_trace_ring () =
 let test_trace_thunk_lazy () =
   let sim = Engine.Sim.create () in
   let forced = ref false in
-  Engine.Sim.trace_event sim ~category:"x" (fun () ->
+  Engine.Sim.trace_event sim ~category:(Engine.Trace.Custom "x") (fun () ->
       forced := true;
       "never");
   check_bool "thunk not forced when tracing off" false !forced;
   let _ = Engine.Sim.enable_trace sim in
-  Engine.Sim.trace_event sim ~category:"x" (fun () ->
+  Engine.Sim.trace_event sim ~category:(Engine.Trace.Custom "x") (fun () ->
       forced := true;
       "recorded");
   check_bool "thunk forced when tracing on" true !forced
@@ -222,20 +222,20 @@ let test_trace_thunk_lazy () =
 let test_trace_digest () =
   let mk () =
     let tr = Engine.Trace.create () in
-    Engine.Trace.record tr ~now:5 ~category:"net" "tx frame";
-    Engine.Trace.record tr ~now:9 ~category:"app" "pop done";
+    Engine.Trace.record tr ~now:5 ~category:(Engine.Trace.Custom "net") "tx frame";
+    Engine.Trace.record tr ~now:9 ~category:Engine.Trace.App "pop done";
     tr
   in
   Alcotest.(check string) "identical streams digest equally"
     (Engine.Trace.digest (mk ()))
     (Engine.Trace.digest (mk ()));
   let extended = mk () in
-  Engine.Trace.record extended ~now:10 ~category:"app" "one more";
+  Engine.Trace.record extended ~now:10 ~category:Engine.Trace.App "one more";
   check_bool "an extra event changes the digest" true
     (Engine.Trace.digest extended <> Engine.Trace.digest (mk ()));
   let reordered = Engine.Trace.create () in
-  Engine.Trace.record reordered ~now:9 ~category:"app" "pop done";
-  Engine.Trace.record reordered ~now:5 ~category:"net" "tx frame";
+  Engine.Trace.record reordered ~now:9 ~category:Engine.Trace.App "pop done";
+  Engine.Trace.record reordered ~now:5 ~category:(Engine.Trace.Custom "net") "tx frame";
   check_bool "event order is part of the digest" true
     (Engine.Trace.digest reordered <> Engine.Trace.digest (mk ()))
 
@@ -404,7 +404,7 @@ let test_wheel_digest_stable =
         let log, ok = wheel_vs_oracle ops in
         List.iter
           (fun (at, id) ->
-            Engine.Trace.record tr ~now:at ~category:"wheel" (string_of_int id))
+            Engine.Trace.record tr ~now:at ~category:(Engine.Trace.Custom "wheel") (string_of_int id))
           log;
         (Engine.Trace.digest tr, ok)
       in

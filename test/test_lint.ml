@@ -90,6 +90,28 @@ let test_sorted_helpers_pass () =
   check_int "Det helpers are the sanctioned spelling" 0
     (List.length (Lint.Rules.scan_string ~path:"lib/demikernel/ok.ml" src))
 
+let test_raw_print_in_datapath () =
+  let src =
+    "let report n = Printf.printf \"%d\" n\n" ^ "let shout () = print_endline \"hot\"\n"
+  in
+  Alcotest.(check (list string))
+    "raw stdout flagged in datapath dirs"
+    [ "raw-print-in-datapath"; "raw-print-in-datapath" ]
+    (rules_of (Lint.Rules.scan_string ~path:"lib/tcp/out.ml" src));
+  Alcotest.(check (list string))
+    "engine hot-path modules are in scope too"
+    [ "raw-print-in-datapath" ]
+    (rules_of (Lint.Rules.scan_string ~path:"lib/engine/sim.ml" "let f () = print_endline \"x\"\n"));
+  check_int "trace/span/dump files are the sanctioned output paths" 0
+    (List.length (Lint.Rules.scan_string ~path:"lib/engine/trace.ml" src));
+  check_int "reporting layers outside the scoped dirs are free to print" 0
+    (List.length (Lint.Rules.scan_string ~path:"lib/metrics/table.ml" src));
+  check_int "inline dlint-allow still works for deliberate dumps" 0
+    (List.length
+       (Lint.Rules.scan_string ~path:"lib/net/x.ml"
+          ("(* dlint-allow: raw-print-in-datapath -- deliberate dump *)\n"
+          ^ "let report n = Printf.printf \"%d\" n\n")))
+
 let test_allowlist_lookup () =
   check_bool "stack.ml copy exemption exists" true
     (Lint.Allowlist.find ~path:"../lib/tcp/stack.ml" ~rule:"unaccounted-copy" <> None);
@@ -299,6 +321,7 @@ let suite =
     Alcotest.test_case "inline dlint-allow annotation" `Quick test_inline_allow_annotation;
     Alcotest.test_case "accounted copy passes" `Quick test_accounted_copy_passes;
     Alcotest.test_case "Det sorted helpers pass" `Quick test_sorted_helpers_pass;
+    Alcotest.test_case "raw print in datapath" `Quick test_raw_print_in_datapath;
     Alcotest.test_case "allowlist lookup" `Quick test_allowlist_lookup;
     Alcotest.test_case "allowlist entries well-formed" `Quick test_allowlist_is_well_formed;
     Alcotest.test_case "ownership: free after push" `Quick test_ownership_free_after_push;

@@ -69,6 +69,66 @@ let test_histogram_quantile_monotone =
       let q99 = Metrics.Histogram.quantile h 0.99 in
       q25 <= q50 && q50 <= q99)
 
+(* --- to_buckets / merge properties (Demitrace exporters read the
+   distribution through to_buckets, so its invariants matter) --- *)
+
+let test_to_buckets_sums_to_count =
+  QCheck.Test.make ~name:"to_buckets counts sum to count, bounds ascending" ~count:200
+    QCheck.(list (int_range 0 100_000_000))
+    (fun samples ->
+      let h = Metrics.Histogram.create () in
+      List.iter (Metrics.Histogram.add h) samples;
+      let buckets = Metrics.Histogram.to_buckets h in
+      let total = List.fold_left (fun acc (_, n) -> acc + n) 0 buckets in
+      let bounds = List.map fst buckets in
+      total = Metrics.Histogram.count h
+      && List.for_all (fun (_, n) -> n > 0) buckets
+      && bounds = List.sort_uniq compare bounds)
+
+let test_merge_associative =
+  QCheck.Test.make ~name:"histogram merge is associative" ~count:100
+    QCheck.(triple (list (int_range 0 1_000_000)) (list (int_range 0 1_000_000))
+              (list (int_range 0 1_000_000)))
+    (fun (xs, ys, zs) ->
+      let fill samples =
+        let h = Metrics.Histogram.create () in
+        List.iter (Metrics.Histogram.add h) samples;
+        h
+      in
+      (* (x <- y) <- z versus x <- (y <- z), compared through the full
+         observable surface: buckets, count, min, max. *)
+      let left = fill xs in
+      Metrics.Histogram.merge left (fill ys);
+      Metrics.Histogram.merge left (fill zs);
+      let yz = fill ys in
+      Metrics.Histogram.merge yz (fill zs);
+      let right = fill xs in
+      Metrics.Histogram.merge right yz;
+      Metrics.Histogram.to_buckets left = Metrics.Histogram.to_buckets right
+      && Metrics.Histogram.count left = Metrics.Histogram.count right
+      && Metrics.Histogram.min left = Metrics.Histogram.min right
+      && Metrics.Histogram.max left = Metrics.Histogram.max right)
+
+let test_registry_kinds_and_order () =
+  let reg = Metrics.Registry.create () in
+  Metrics.Registry.incr reg "b/ops";
+  Metrics.Registry.add reg "b/ops" 2;
+  Metrics.Registry.set reg "a/frames" 7;
+  Metrics.Registry.observe reg "c/rtt" 640;
+  Alcotest.(check (option int)) "counter value" (Some 3) (Metrics.Registry.value reg "b/ops");
+  Alcotest.(check (option int)) "histograms have no counter value" None
+    (Metrics.Registry.value reg "c/rtt");
+  Alcotest.(check (list string))
+    "names sorted regardless of registration order"
+    [ "a/frames"; "b/ops"; "c/rtt" ]
+    (Metrics.Registry.sorted_names reg);
+  Alcotest.check_raises "counter/histogram kind mismatch"
+    (Invalid_argument "Registry: b/ops is a counter") (fun () ->
+      ignore (Metrics.Registry.histogram reg "b/ops"));
+  Alcotest.check_raises "histogram/counter kind mismatch"
+    (Invalid_argument "Registry: c/rtt is a histogram") (fun () ->
+      ignore (Metrics.Registry.counter reg "c/rtt"))
+
 let test_cells () =
   Alcotest.(check string) "ns" "640ns" (Metrics.Table.cell_ns 640);
   Alcotest.(check string) "us" "5.30us" (Metrics.Table.cell_ns 5_300);
@@ -85,5 +145,8 @@ let suite =
     Alcotest.test_case "histogram clear" `Quick test_histogram_clear;
     Alcotest.test_case "histogram clamps negatives" `Quick test_histogram_negative_clamped;
     QCheck_alcotest.to_alcotest test_histogram_quantile_monotone;
+    QCheck_alcotest.to_alcotest test_to_buckets_sums_to_count;
+    QCheck_alcotest.to_alcotest test_merge_associative;
+    Alcotest.test_case "registry kinds and ordering" `Quick test_registry_kinds_and_order;
     Alcotest.test_case "table cell rendering" `Quick test_cells;
   ]
