@@ -1,4 +1,4 @@
-.PHONY: all build test lint selfcheck check bench bench-smoke trace-smoke clean
+.PHONY: all build test lint selfcheck check bench bench-smoke trace-smoke pcap-smoke clean
 
 all: build
 
@@ -21,22 +21,25 @@ check:
 	dune build @check
 	$(MAKE) bench-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) pcap-smoke
 
 bench:
 	dune exec bench/main.exe
 
 # Quick wall-clock run (full 10k-conn churn, shortened echo) + schema
-# check on BENCH_pr3.json + a determinism selfcheck. Fails if the bench
-# crashes, a key goes missing, or selfcheck regresses.
+# check on the bench JSON + a determinism selfcheck. Fails if the bench
+# crashes, a key goes missing, or selfcheck regresses. Output lands in
+# the git-ignored out/ tree (the path is an explicit --out argument).
 bench-smoke:
-	dune exec bench/main.exe -- wallclock quick
+	mkdir -p out
+	dune exec bench/main.exe -- wallclock quick --out out/BENCH_pr3.json
 	@for key in '"pr"' '"mode"' '"echo"' '"churn"' '"wall_s"' \
 	  '"events_per_sec"' '"frames_per_sec"' '"gc_alloc_mb"' \
 	  '"baseline"' '"echo_us_per_op"' '"speedup_churn"'; do \
-	  grep -q "$$key" BENCH_pr3.json \
-	    || { echo "bench-smoke: BENCH_pr3.json missing key $$key" >&2; exit 1; }; \
+	  grep -q "$$key" out/BENCH_pr3.json \
+	    || { echo "bench-smoke: out/BENCH_pr3.json missing key $$key" >&2; exit 1; }; \
 	done
-	@echo "bench-smoke: BENCH_pr3.json schema OK"
+	@echo "bench-smoke: out/BENCH_pr3.json schema OK"
 	dune build @selfcheck
 
 # Demitrace end to end: one traced echo per libOS. `demi trace` itself
@@ -45,10 +48,23 @@ bench-smoke:
 # checks the per-component breakdown sums to the RTT — it exits 1 on
 # any violation.
 trace-smoke:
-	dune exec bin/demi.exe -- trace --flavor catnap --chrome DEMITRACE.json
-	dune exec bin/demi.exe -- trace --flavor catnip --chrome DEMITRACE.json
-	dune exec bin/demi.exe -- trace --flavor catmint --chrome DEMITRACE.json
+	mkdir -p out
+	dune exec bin/demi.exe -- trace --flavor catnap --chrome out/DEMITRACE.json
+	dune exec bin/demi.exe -- trace --flavor catnip --chrome out/DEMITRACE.json
+	dune exec bin/demi.exe -- trace --flavor catmint --chrome out/DEMITRACE.json
 	@echo "trace-smoke: OK"
+
+# Demiscope end to end: one captured echo per libOS. `demi pcap --check`
+# runs the scenario capture-off then capture-on from one seed and fails
+# unless trace digests and RTT distributions are byte-identical (the
+# observer-effect-free contract), then validates the capture with the
+# bundled pure-OCaml libpcap reader. Captures land under out/ and are
+# openable in Wireshark/tshark.
+pcap-smoke:
+	dune exec bin/demi.exe -- pcap --flavor catnap --check --out out/catnap.pcap
+	dune exec bin/demi.exe -- pcap --flavor catnip --check --out out/catnip.pcap
+	dune exec bin/demi.exe -- pcap --flavor catmint --check --out out/catmint.pcap
+	@echo "pcap-smoke: OK"
 
 clean:
 	dune clean

@@ -428,8 +428,17 @@ let () =
   | "robustness" -> run_robustness ()
   | "micro" -> run_micro ()
   | "wallclock" ->
-      let quick = Array.length Sys.argv > 2 && Sys.argv.(2) = "quick" in
-      Wallclock.run ~quick ()
+      (* wallclock [quick] [--out FILE] *)
+      let rest = Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)) in
+      let quick = List.mem "quick" rest in
+      let rec out_of = function
+        | "--out" :: path :: _ -> Some path
+        | _ :: rest -> out_of rest
+        | [] -> None
+      in
+      (match out_of rest with
+      | Some out -> Wallclock.run ~quick ~out ()
+      | None -> Wallclock.run ~quick ())
   | other ->
       prerr_endline ("unknown experiment: " ^ other);
       exit 1

@@ -269,7 +269,7 @@ let sample_json s =
     s.label s.wall_s s.events (per_sec s.events s.wall_s) s.frames
     (per_sec s.frames s.wall_s) s.gc_alloc_mb s.ops
 
-let run ~quick () =
+let run ~quick ?(out = "BENCH_pr3.json") () =
   let echo_count = if quick then 500 else baseline_echo_count in
   let e = echo ~count:echo_count () in
   Printf.printf "wallclock echo : %.3fs  %d events (%.0f/s)  %d frames (%.0f/s)  %.1f MB alloc\n%!"
@@ -289,7 +289,7 @@ let run ~quick () =
   let baseline_echo_us_per_op =
     1e6 *. baseline_echo_wall_s /. float_of_int baseline_echo_count
   in
-  let oc = open_out "BENCH_pr3.json" in
+  let oc = open_out out in
   Printf.fprintf oc
     {|{
   "pr": 3,
@@ -308,5 +308,4 @@ let run ~quick () =
     baseline_echo_us_per_op baseline_churn_conns baseline_churn_wall_s echo_us_per_op
     churn_speedup;
   close_out oc;
-  Printf.printf "wrote BENCH_pr3.json (speedup_churn=%.2fx vs %s)\n%!" churn_speedup
-    baseline_commit
+  Printf.printf "wrote %s (speedup_churn=%.2fx vs %s)\n%!" out churn_speedup baseline_commit

@@ -206,12 +206,187 @@ let stats_cmd =
   let stats_count =
     Arg.(value & opt int 64 & info [ "count" ] ~docv:"N" ~doc:"Echos to run.")
   in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: table | json.")
+  in
   Cmd.v
     (Cmd.info "stats" ~doc:"Run one echo and dump the deterministic metrics registry.")
     Term.(
-      const (fun flavor msg_size count ->
-          Metrics.Registry.dump (Harness.Stats.echo ~msg_size ~count flavor))
-      $ flavor_arg $ msg_size_arg $ stats_count)
+      const (fun flavor msg_size count format ->
+          let reg = Harness.Stats.echo ~msg_size ~count flavor in
+          match format with
+          | `Json -> print_string (Metrics.Registry.to_json reg)
+          | `Table -> Metrics.Registry.dump reg)
+      $ flavor_arg $ msg_size_arg $ stats_count $ format)
+
+(* Artifact outputs (pcaps, timelines, traces) default under out/, which
+   is git-ignored; create parents on demand so a fresh checkout works. *)
+let rec ensure_dir d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    ensure_dir (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let ensure_parent path = ensure_dir (Filename.dirname path)
+
+(* `demi pcap`: capture one echo to a libpcap file. `--check` is the
+   Demiscope observer-effect gate: the same scenario runs capture-off
+   then capture-on from one seed, and the trace digests and RTT
+   distributions must be identical; the capture must also round-trip
+   through the bundled pure-OCaml reader. Any violation exits 1, so
+   `make pcap-smoke` is one invocation per flavor. *)
+let pcap_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Capture path (default out/<flavor>.pcap).")
+  in
+  let lost =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "lost" ] ~docv:"FILE"
+          ~doc:"Also write the damage capture (drops and corruptions).")
+  in
+  let dump =
+    Arg.(value & flag & info [ "dump" ] ~doc:"Print one tcpdump-style line per frame.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Verify capture is observer-effect-free and well-formed; exit 1 on failure.")
+  in
+  let pcap_count =
+    Arg.(value & opt int 16 & info [ "count" ] ~docv:"N" ~doc:"Echos to run.")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.
+      & info [ "loss" ] ~docv:"P" ~doc:"Injected frame-loss probability.")
+  in
+  Cmd.v
+    (Cmd.info "pcap" ~doc:"Capture an echo run to a standard libpcap file (Demiscope).")
+    Term.(
+      const (fun flavor msg_size count loss out lost dump check ->
+          let name =
+            match flavor with
+            | Demikernel.Boot.Catnap_os -> "catnap"
+            | Demikernel.Boot.Catnip_os -> "catnip"
+            | Demikernel.Boot.Catmint_os -> "catmint"
+          in
+          let out = match out with Some p -> p | None -> "out/" ^ name ^ ".pcap" in
+          let on = Harness.Wire_capture.echo ~with_capture:true ~msg_size ~count ~loss flavor in
+          let session =
+            match on.Harness.Wire_capture.capture with
+            | Some s -> s
+            | None -> assert false
+          in
+          ensure_parent out;
+          Net.Pcap.save session.Net.Pcap.wire out;
+          Format.printf "wrote %s (%d frames)@." out
+            (Net.Pcap.frames_written session.Net.Pcap.wire);
+          (match lost with
+          | Some path ->
+              ensure_parent path;
+              Net.Pcap.save session.Net.Pcap.lost path;
+              Format.printf "wrote %s (%d frames)@." path
+                (Net.Pcap.frames_written session.Net.Pcap.lost)
+          | None -> ());
+          if dump then begin
+            match Net.Pcap.parse (Net.Pcap.contents session.Net.Pcap.wire) with
+            | Ok cap ->
+                List.iter
+                  (fun p ->
+                    Format.printf "%9d.%03d %s@."
+                      (p.Net.Pcap.ts_ns / 1000)
+                      (p.Net.Pcap.ts_ns mod 1000)
+                      (Net.Decode.line p.Net.Pcap.frame))
+                  cap.Net.Pcap.packets
+            | Error why -> Format.printf "cannot decode capture: %s@." why
+          end;
+          if check then begin
+            let failures = ref 0 in
+            let checkf what ok =
+              if ok then Format.printf "ok: %s@." what
+              else begin
+                Format.printf "FAIL: %s@." what;
+                incr failures
+              end
+            in
+            let off =
+              Harness.Wire_capture.echo ~with_capture:false ~msg_size ~count ~loss flavor
+            in
+            checkf "trace digest identical, capture on vs off"
+              (String.equal off.Harness.Wire_capture.digest on.Harness.Wire_capture.digest);
+            checkf "RTT distribution identical, capture on vs off"
+              (Harness.Wire_capture.rtt_values off = Harness.Wire_capture.rtt_values on);
+            (match Net.Pcap.parse (Net.Pcap.contents session.Net.Pcap.wire) with
+            | Ok cap ->
+                let n = List.length cap.Net.Pcap.packets in
+                checkf "capture parses with bundled reader" true;
+                checkf "capture is non-empty"
+                  (n > 0 && n = Net.Pcap.frames_written session.Net.Pcap.wire);
+                let mono =
+                  let rec go last = function
+                    | [] -> true
+                    | p :: rest ->
+                        p.Net.Pcap.ts_ns >= last && go p.Net.Pcap.ts_ns rest
+                  in
+                  go 0 cap.Net.Pcap.packets
+                in
+                checkf "capture timestamps monotone" mono
+            | Error why -> checkf (Printf.sprintf "capture parses: %s" why) false);
+            if !failures > 0 then Stdlib.exit 1
+          end)
+      $ flavor_arg $ msg_size_arg $ pcap_count $ loss $ out $ lost $ dump $ check)
+
+(* `demi timeline`: fixed-interval telemetry of one echo run to CSV. *)
+let timeline_cmd =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"CSV path (default out/timeline-<flavor>.csv).")
+  in
+  let interval =
+    Arg.(
+      value & opt int 10
+      & info [ "interval-us" ] ~docv:"US" ~doc:"Sampling interval in microseconds.")
+  in
+  let tl_count =
+    Arg.(value & opt int 64 & info [ "count" ] ~docv:"N" ~doc:"Echos to run.")
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:"Sample fabric/TCP/ring telemetry on a fixed virtual-time grid, to CSV.")
+    Term.(
+      const (fun flavor msg_size count out interval_us ->
+          let name =
+            match flavor with
+            | Demikernel.Boot.Catnap_os -> "catnap"
+            | Demikernel.Boot.Catnip_os -> "catnip"
+            | Demikernel.Boot.Catmint_os -> "catmint"
+          in
+          let out = match out with Some p -> p | None -> "out/timeline-" ^ name ^ ".csv" in
+          let r =
+            Harness.Wire_capture.echo ~with_timeline:true
+              ~timeline_interval_ns:(interval_us * 1000) ~msg_size ~count flavor
+          in
+          let ts =
+            match r.Harness.Wire_capture.timeline with Some ts -> ts | None -> assert false
+          in
+          ensure_parent out;
+          Metrics.Timeseries.save_csv ts out;
+          Format.printf "wrote %s (%d samples, %d columns)@." out
+            (Metrics.Timeseries.length ts)
+            (List.length (Metrics.Timeseries.columns ts)))
+      $ flavor_arg $ msg_size_arg $ tl_count $ out $ interval)
 
 let table5_cmd =
   let table5_count =
@@ -288,6 +463,8 @@ let cmds =
     echo_cmd;
     trace_cmd;
     stats_cmd;
+    pcap_cmd;
+    timeline_cmd;
     table5_cmd;
     selfcheck_cmd;
   ]

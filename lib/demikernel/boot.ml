@@ -59,6 +59,7 @@ let make sim fabric ~index ?name ?tcp_config ?catmint_window ?(with_disk = false
   match flavor with
   | Catnap_os ->
       let nic = Net.Dpdk_sim.create fabric ~mac ~ip () in
+      Net.Fabric.label_port fabric ~mac ~owner:name;
       let kernel = Oskernel.Kernel.create sim ~name:(name ^ "-kernel") ~cost ~nic ?ssd () in
       let cn = Catnap.create rt ~kernel in
       let api = Runtime.make_api rt (Catnap.ops cn) in
@@ -69,6 +70,7 @@ let make sim fabric ~index ?name ?tcp_config ?catmint_window ?(with_disk = false
       }
   | Catnip_os ->
       let nic = Net.Dpdk_sim.create fabric ~mac ~ip () in
+      Net.Fabric.label_port fabric ~mac ~owner:name;
       let cn = Catnip.create rt ~nic ?config:tcp_config () in
       let api = Runtime.make_api rt (with_storage (Catnip.ops cn)) in
       {
@@ -78,6 +80,7 @@ let make sim fabric ~index ?name ?tcp_config ?catmint_window ?(with_disk = false
       }
   | Catmint_os ->
       let rnic = Net.Rdma_sim.create fabric ~mac ~ip () in
+      Net.Fabric.label_port fabric ~mac ~owner:name;
       let cm = Catmint.create rt ~rnic ?window:catmint_window () in
       let api = Runtime.make_api rt (with_storage (Catmint.ops cm)) in
       {

@@ -7,6 +7,9 @@ type t = {
   mutable tracer : Trace.t option;
   mutable spans : Span.t option;
   mutable teardown_hooks : (unit -> unit) list; (* newest first *)
+  mutable sampler : (Clock.t -> unit) option;
+  mutable sampler_interval : Clock.t;
+  mutable sampler_next : Clock.t;
 }
 
 let create ?(seed = 1L) () =
@@ -19,6 +22,9 @@ let create ?(seed = 1L) () =
     tracer = None;
     spans = None;
     teardown_hooks = [];
+    sampler = None;
+    sampler_interval = 0;
+    sampler_next = 0;
   }
 
 let now t = t.now
@@ -50,11 +56,33 @@ let run ?until t =
           | None -> ()
           | Some (time, fn) ->
               t.now <- time;
+              (* Fixed-interval sampling rides the run loop instead of
+                 scheduling its own events: the pending-event set — and
+                 so the interleaving every other component observes — is
+                 byte-identical with sampling on or off. Each boundary
+                 crossed since the last event fires once, before the
+                 event executes, so a sample reads the state as of its
+                 nominal boundary time. *)
+              (match t.sampler with
+              | Some f ->
+                  while t.sampler_next <= t.now do
+                    f t.sampler_next;
+                    t.sampler_next <- t.sampler_next + t.sampler_interval
+                  done
+              | None -> ());
               t.processed <- t.processed + 1;
               fn ();
               loop ())
   in
   loop ()
+
+let set_sampler t ~interval f =
+  assert (interval > 0);
+  t.sampler <- Some f;
+  t.sampler_interval <- interval;
+  t.sampler_next <- t.now + interval
+
+let clear_sampler t = t.sampler <- None
 
 let events_processed t = t.processed
 
@@ -111,3 +139,8 @@ let span_note ?key ?label t ~comp ~owner ~dur =
   match t.spans with
   | None -> ()
   | Some s -> Span.note ?key ?label s ~comp ~owner ~t0:t.now ~t1:(t.now + dur)
+
+let span_wire t ~flow ~src ~dst ~label ~t0 ~t1 ~status =
+  match t.spans with
+  | None -> ()
+  | Some s -> Span.note_wire s ~flow ~src ~dst ~label ~t0 ~t1 ~status

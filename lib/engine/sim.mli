@@ -32,6 +32,20 @@ val run : ?until:Clock.t -> t -> unit
 val events_processed : t -> int
 (** Total events executed, for sanity checks and reporting. *)
 
+(** {1 Fixed-interval sampling (Demiscope timelines)} *)
+
+val set_sampler : t -> interval:Clock.t -> (Clock.t -> unit) -> unit
+(** Install a virtual-time sampler: [f boundary] fires once for every
+    multiple of [interval] the clock crosses, from inside the run loop
+    {e between} events — nothing is scheduled, so the pending-event set
+    and every interleaving are identical with sampling on or off (the
+    observer-effect-free discipline). The callback must only read state;
+    it sees the world as of its nominal boundary time (no event between
+    the boundary and the sample has run yet). Replaces any previous
+    sampler; the first boundary is [now + interval]. *)
+
+val clear_sampler : t -> unit
+
 (** {1 Teardown} *)
 
 val at_teardown : t -> (unit -> unit) -> unit
@@ -93,3 +107,16 @@ val span_note :
 (** Attribute [\[now, now + dur\]] to [comp] — the shape of every
     synchronous cost-model charge ([Host.charge_as] calls this just
     before sleeping the charged duration). *)
+
+val span_wire :
+  t ->
+  flow:int ->
+  src:string ->
+  dst:string ->
+  label:string ->
+  t0:Clock.t ->
+  t1:Clock.t ->
+  status:Span.wire_status ->
+  unit
+(** Record a flow-keyed wire event ({!Span.note_wire}); one branch when
+    spans are disabled. The fabric calls this for every frame journey. *)

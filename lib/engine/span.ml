@@ -55,6 +55,18 @@ type op = {
   mutable op_ok : bool;
 }
 
+type wire_status = Wire_delivered | Wire_dropped of string
+
+type wire_event = {
+  wire_flow : int;
+  wire_src : string;
+  wire_dst : string;
+  wire_label : string;
+  wire_t0 : Clock.t;
+  wire_t1 : Clock.t;
+  wire_status : wire_status;
+}
+
 type t = {
   capacity : int;
   mutable intervals : interval list; (* newest first *)
@@ -64,6 +76,9 @@ type t = {
   ops : (string * int, op) Hashtbl.t; (* keyed by (owner, qtoken): qtokens are per-host *)
   mutable op_order : op list; (* newest first *)
   mutable op_count : int;
+  mutable wire : wire_event list; (* newest first *)
+  mutable wire_kept : int;
+  mutable wire_dropped : int;
 }
 
 let create ?(capacity = 262_144) () =
@@ -76,6 +91,9 @@ let create ?(capacity = 262_144) () =
     ops = Hashtbl.create 256;
     op_order = [];
     op_count = 0;
+    wire = [];
+    wire_kept = 0;
+    wire_dropped = 0;
   }
 
 let note ?key ?(label = "") t ~comp ~owner ~t0 ~t1 =
@@ -87,6 +105,23 @@ let note ?key ?(label = "") t ~comp ~owner ~t0 ~t1 =
     t.kept <- t.kept + 1
   end
   else t.dropped <- t.dropped + 1
+
+let note_wire t ~flow ~src ~dst ~label ~t0 ~t1 ~status =
+  assert (t1 >= t0);
+  if t.wire_kept < t.capacity then begin
+    t.wire <-
+      {
+        wire_flow = flow; wire_src = src; wire_dst = dst; wire_label = label;
+        wire_t0 = t0; wire_t1 = t1; wire_status = status;
+      }
+      :: t.wire;
+    t.wire_kept <- t.wire_kept + 1
+  end
+  else t.wire_dropped <- t.wire_dropped + 1
+
+let wire_events t = List.rev t.wire
+let wire_count t = t.wire_kept
+let wire_dropped t = t.wire_dropped
 
 let open_op t ~key ~kind ~owner ~now =
   let op =

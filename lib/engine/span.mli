@@ -60,6 +60,27 @@ type op = {
   mutable op_ok : bool;  (** false when the completion was [Failed] *)
 }
 
+(** {2 Wire events (Demiscope)}
+
+    One record per frame journey across the fabric, keyed by a
+    deterministic flow id (computed by the network layer — the engine
+    only stores it). [wire_src]/[wire_dst] are the {e host} owner names
+    of the ports involved (empty when unknown, e.g. a frame dropped
+    before its destination was resolved), which is what lets the Chrome
+    exporter join a frame to the op spans it serviced on both ends. *)
+
+type wire_status = Wire_delivered | Wire_dropped of string  (** reason *)
+
+type wire_event = {
+  wire_flow : int;
+  wire_src : string;
+  wire_dst : string;
+  wire_label : string;  (** decoded one-line summary of the frame. *)
+  wire_t0 : Clock.t;  (** first bit onto the source uplink. *)
+  wire_t1 : Clock.t;  (** arrival at the destination port (= [wire_t0] for drops). *)
+  wire_status : wire_status;
+}
+
 type t
 
 val create : ?capacity:int -> unit -> t
@@ -76,6 +97,25 @@ val note :
   t0:Clock.t ->
   t1:Clock.t ->
   unit
+
+val note_wire :
+  t ->
+  flow:int ->
+  src:string ->
+  dst:string ->
+  label:string ->
+  t0:Clock.t ->
+  t1:Clock.t ->
+  status:wire_status ->
+  unit
+(** Record one frame journey. Bounded by the same [capacity] as
+    intervals (see {!wire_dropped}). *)
+
+val wire_events : t -> wire_event list
+(** Oldest first. *)
+
+val wire_count : t -> int
+val wire_dropped : t -> int
 
 val open_op : t -> key:int -> kind:string -> owner:string -> now:Clock.t -> unit
 (** Op spans are keyed by [(owner, key)] — qtokens are only unique per

@@ -12,10 +12,11 @@
 type ev = {
   name : string;
   cat : string;
-  ph : char; (* 'B' | 'E' | 'X' | 'M' *)
+  ph : char; (* 'B' | 'E' | 'X' | 'M' | 's' | 'f' (flow arrows) *)
   ts : int; (* virtual ns *)
   pid : int;
   tid : int;
+  id : int option; (* flow-event binding id ('s'/'f' only) *)
   arg : (string * string) option; (* key, raw json *)
 }
 
@@ -43,6 +44,9 @@ let ev_json e =
     (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%s,\"pid\":%d,\"tid\":%d"
        (escape e.name) (escape e.cat) e.ph (ts_string e.ts) e.pid e.tid);
   if e.ph = 'X' then Buffer.add_string b ",\"dur\":0";
+  (match e.id with Some id -> Buffer.add_string b (Printf.sprintf ",\"id\":%d" id) | None -> ());
+  (* bp:"e" binds the arrow head to the enclosing slice, not the next one. *)
+  if e.ph = 'f' then Buffer.add_string b ",\"bp\":\"e\"";
   (match e.arg with
   | Some (k, raw) -> Buffer.add_string b (Printf.sprintf ",\"args\":{\"%s\":%s}" (escape k) raw)
   | None -> ());
@@ -89,11 +93,13 @@ let export ?(extra = []) spans =
   let pid_of = List.mapi (fun i o -> (o, i + 1)) owners in
   let events = ref [] in
   let emit e = events := e :: !events in
+  (* Where each op slice landed (pid/tid), for anchoring flow arrows. *)
+  let op_slices = ref [] in
   List.iter
     (fun (owner, pid) ->
       emit
         {
-          name = "process_name"; cat = "__metadata"; ph = 'M'; ts = 0; pid; tid = 0;
+          name = "process_name"; cat = "__metadata"; ph = 'M'; ts = 0; pid; tid = 0; id = None;
           arg = Some ("name", Printf.sprintf "\"%s\"" (escape owner));
         };
       let tid = ref 0 in
@@ -101,7 +107,7 @@ let export ?(extra = []) spans =
         incr tid;
         emit
           {
-            name = "thread_name"; cat = "__metadata"; ph = 'M'; ts = 0; pid; tid = !tid;
+            name = "thread_name"; cat = "__metadata"; ph = 'M'; ts = 0; pid; tid = !tid; id = None;
             arg = Some ("name", Printf.sprintf "\"%s\"" (escape name));
           };
         !tid
@@ -132,11 +138,13 @@ let export ?(extra = []) spans =
               Printf.sprintf "%s qt=%d" op.Engine.Span.op_kind op.Engine.Span.op_key
             else Printf.sprintf "%s qt=%d FAILED" op.Engine.Span.op_kind op.Engine.Span.op_key
           in
-          if t1 = t0 then emit { name; cat = "op"; ph = 'X'; ts = t0; pid; tid; arg = None }
+          if t1 = t0 then
+            emit { name; cat = "op"; ph = 'X'; ts = t0; pid; tid; id = None; arg = None }
           else begin
-            emit { name; cat = "op"; ph = 'B'; ts = t0; pid; tid; arg = None };
-            emit { name; cat = "op"; ph = 'E'; ts = t1; pid; tid; arg = None }
-          end)
+            emit { name; cat = "op"; ph = 'B'; ts = t0; pid; tid; id = None; arg = None };
+            emit { name; cat = "op"; ph = 'E'; ts = t1; pid; tid; id = None; arg = None }
+          end;
+          op_slices := (op, pid, tid) :: !op_slices)
         placed_ops;
       (* then one track group per component, in fixed order. *)
       List.iter
@@ -169,15 +177,103 @@ let export ?(extra = []) spans =
                 in
                 let name = if iv.Engine.Span.label = "" then cname else iv.Engine.Span.label in
                 if iv.Engine.Span.t1 = iv.Engine.Span.t0 then
-                  emit { name; cat = cname; ph = 'X'; ts = iv.Engine.Span.t0; pid; tid; arg = None }
+                  emit
+                    {
+                      name; cat = cname; ph = 'X'; ts = iv.Engine.Span.t0; pid; tid; id = None;
+                      arg = None;
+                    }
                 else begin
-                  emit { name; cat = cname; ph = 'B'; ts = iv.Engine.Span.t0; pid; tid; arg = None };
-                  emit { name; cat = cname; ph = 'E'; ts = iv.Engine.Span.t1; pid; tid; arg = None }
+                  emit
+                    {
+                      name; cat = cname; ph = 'B'; ts = iv.Engine.Span.t0; pid; tid; id = None;
+                      arg = None;
+                    };
+                  emit
+                    {
+                      name; cat = cname; ph = 'E'; ts = iv.Engine.Span.t1; pid; tid; id = None;
+                      arg = None;
+                    }
                 end)
               placed
           end)
         Engine.Span.components)
     pid_of;
+  (* Cross-host causal flows: join each wire event to op slices on both
+     hosts. The arrow tail binds inside the latest op the source host
+     had opened by the time the frame hit the wire (a push completes
+     when its segments are queued, which can precede wire departure, so
+     the tail timestamp is clamped into the anchor slice). The head
+     binds inside the op that covers the arrival instant — for an echo,
+     the server's pop. Dropped frames (and frames whose arrival no op
+     covers) emit only the tail: a broken arrow. *)
+  let by_owner = Hashtbl.create 8 in
+  List.iter
+    (fun ((op, _, _) as slice) ->
+      let owner = op.Engine.Span.op_owner in
+      let prev = match Hashtbl.find_opt by_owner owner with Some l -> l | None -> [] in
+      Hashtbl.replace by_owner owner (slice :: prev))
+    !op_slices;
+  let latest_opened_before owner t =
+    match Hashtbl.find_opt by_owner owner with
+    | None -> None
+    | Some slices ->
+        List.fold_left
+          (fun acc ((op, _, _) as slice) ->
+            if op.Engine.Span.opened_at > t then acc
+            else
+              match acc with
+              | Some (best, _, _) when best.Engine.Span.opened_at >= op.Engine.Span.opened_at ->
+                  acc
+              | _ -> Some slice)
+          None slices
+  in
+  let covering owner t =
+    match Hashtbl.find_opt by_owner owner with
+    | None -> None
+    | Some slices ->
+        List.fold_left
+          (fun acc ((op, _, _) as slice) ->
+            if op.Engine.Span.opened_at > t || Option.get op.Engine.Span.closed_at < t then acc
+            else
+              match acc with
+              | Some (best, _, _) when best.Engine.Span.opened_at >= op.Engine.Span.opened_at ->
+                  acc
+              | _ -> Some slice)
+          None slices
+  in
+  let arrow_id = ref 0 in
+  List.iter
+    (fun w ->
+      incr arrow_id;
+      let id = Some !arrow_id in
+      match latest_opened_before w.Engine.Span.wire_src w.Engine.Span.wire_t0 with
+      | None -> () (* unattributed source: nothing to hang the arrow on *)
+      | Some (sop, spid, stid) ->
+          let sclosed = Option.get sop.Engine.Span.closed_at in
+          let ts_s =
+            max sop.Engine.Span.opened_at (min w.Engine.Span.wire_t0 sclosed)
+          in
+          emit
+            {
+              name = w.Engine.Span.wire_label; cat = "flow"; ph = 's'; ts = ts_s; pid = spid;
+              tid = stid; id; arg = None;
+            };
+          (match w.Engine.Span.wire_status with
+          | Engine.Span.Wire_dropped _ -> () (* broken arrow: tail only *)
+          | Engine.Span.Wire_delivered -> (
+              match covering w.Engine.Span.wire_dst w.Engine.Span.wire_t1 with
+              | None -> ()
+              | Some (dop, dpid, dtid) ->
+                  let ts_f =
+                    max dop.Engine.Span.opened_at
+                      (min w.Engine.Span.wire_t1 (Option.get dop.Engine.Span.closed_at))
+                  in
+                  emit
+                    {
+                      name = w.Engine.Span.wire_label; cat = "flow"; ph = 'f'; ts = ts_f;
+                      pid = dpid; tid = dtid; id; arg = None;
+                    })))
+    (Engine.Span.wire_events spans);
   (* Global order: metadata first, then by ts; on ties E before B so a
      span ending at t closes before the next one starting at t opens. *)
   let rank e = match e.ph with 'M' -> 0 | 'E' -> 1 | _ -> 2 in
@@ -359,8 +455,11 @@ let parse_json s =
 let field obj k = match obj with Obj kvs -> List.assoc_opt k kvs | _ -> None
 
 (* Structural validation: well-formed JSON, a traceEvents array whose
-   events carry the required fields, globally monotone ts, and balanced
-   B/E per (pid, tid) with an empty stack at the end. *)
+   events carry the required fields, globally monotone ts, balanced
+   B/E per (pid, tid) with an empty stack at the end, and flow arrows
+   ('s'/'f') carrying numeric ids with every head ('f') preceded by its
+   tail ('s'). A tail with no head is legal — that is how a dropped
+   frame renders. *)
 let validate text =
   try
     let root = parse_json text in
@@ -371,6 +470,7 @@ let validate text =
       | None -> raise (Bad "no traceEvents field")
     in
     let stacks = Hashtbl.create 16 in
+    let flows = Hashtbl.create 16 in
     let last_ts = ref neg_infinity in
     let count = ref 0 in
     List.iter
@@ -404,6 +504,20 @@ let validate text =
                 raise
                   (Bad (Printf.sprintf "event %d (%s): E without matching B on %d/%d" !count name pid tid)))
         | "M" | "X" -> ()
+        | "s" | "t" | "f" -> (
+            let id =
+              match field e "id" with
+              | Some (Num f) -> int_of_float f
+              | _ -> raise (Bad (Printf.sprintf "event %d (%s): flow event without id" !count name))
+            in
+            match ph with
+            | "s" -> Hashtbl.replace flows id ()
+            | _ ->
+                if not (Hashtbl.mem flows id) then
+                  raise
+                    (Bad
+                       (Printf.sprintf "event %d (%s): flow %s id=%d with no preceding s" !count
+                          name ph id)))
         | ph -> raise (Bad (Printf.sprintf "event %d (%s): unknown phase %s" !count name ph)))
       events;
     let unbalanced = Hashtbl.fold (fun _ s acc -> acc + List.length s) stacks 0 in

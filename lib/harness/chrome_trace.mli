@@ -9,13 +9,20 @@
     loss. Open the output in [chrome://tracing] or Perfetto. *)
 
 val export : ?extra:(string * string) list -> Engine.Span.t -> string
-(** Render all recorded intervals and completed op spans. [extra] is a
-    list of [(key, raw_json)] pairs appended as top-level fields (used
-    to embed the per-component breakdown). *)
+(** Render all recorded intervals and completed op spans, plus Demiscope
+    causal flows: each wire event becomes a flow arrow ([ph:"s"] /
+    [ph:"f"], one id per frame journey) from the op slice the source
+    host had open when the frame hit the wire to the op slice covering
+    its arrival — for an echo, client push → server pop. Dropped frames
+    emit only the tail: a broken arrow. [extra] is a list of
+    [(key, raw_json)] pairs appended as top-level fields (used to embed
+    the per-component breakdown). *)
 
 val validate : string -> (int, string) result
 (** Structurally validate trace JSON text: well-formed JSON (checked by
     a built-in recursive-descent parser — no external deps), a
     [traceEvents] array whose events carry name/ph/ts/pid/tid, globally
-    non-decreasing [ts], and balanced B/E per (pid, tid) with empty
-    stacks at the end. Returns [Ok event_count] or [Error reason]. *)
+    non-decreasing [ts], balanced B/E per (pid, tid) with empty stacks
+    at the end, and flow arrows carrying numeric ids whose heads follow
+    their tails (a tail alone is legal: a dropped frame). Returns
+    [Ok event_count] or [Error reason]. *)

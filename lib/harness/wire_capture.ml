@@ -1,0 +1,93 @@
+(* Demiscope echo harness: the Fig_breakdown scenario with wire-level
+   instruments attached. Everything here must be a pure observer — the
+   taps and sampler read state the simulation was producing anyway, so
+   `echo ~with_capture:true` and `echo ~with_capture:false` from one
+   seed must yield byte-identical trace digests (checked by
+   `make pcap-smoke` and the tests). *)
+
+type run = {
+  flavor : Demikernel.Boot.flavor;
+  digest : string;
+  rtts : Metrics.Histogram.t;
+  capture : Net.Pcap.session option;
+  spans : Engine.Span.t option;
+  timeline : Metrics.Timeseries.t option;
+  fabric_stats : Net.Fabric.stats;
+}
+
+let echo ?(with_capture = false) ?(with_spans = false) ?(with_timeline = false)
+    ?(timeline_interval_ns = 10_000) ?(msg_size = 64) ?(count = 16) ?(loss = 0.) flavor =
+  let w = Common.make_world ~loss () in
+  let trace = Engine.Sim.enable_trace w.Common.sim in
+  let spans =
+    if with_spans then Some (Engine.Sim.enable_spans w.Common.sim) else None
+  in
+  let capture = if with_capture then Some (Net.Pcap.tap w.Common.fabric) else None in
+  let server = Demikernel.Boot.make w.Common.sim w.Common.fabric ~index:1 flavor in
+  let client = Demikernel.Boot.make w.Common.sim w.Common.fabric ~index:2 flavor in
+  let timeline =
+    if not with_timeline then None
+    else begin
+      let ts = Metrics.Timeseries.create ~interval_ns:timeline_interval_ns in
+      Metrics.Timeseries.counter ts "fabric_bytes" (fun () ->
+          (Net.Fabric.stats w.Common.fabric).Net.Fabric.bytes_carried);
+      Metrics.Timeseries.counter ts "fabric_frames" (fun () ->
+          (Net.Fabric.stats w.Common.fabric).Net.Fabric.frames_delivered);
+      Metrics.Timeseries.counter ts "fabric_drops" (fun () ->
+          (Net.Fabric.stats w.Common.fabric).Net.Fabric.frames_dropped);
+      (match server.Demikernel.Boot.nic with
+      | Some nic ->
+          Metrics.Timeseries.gauge ts "server_rx_ring" (fun () -> Net.Dpdk_sim.rx_pending nic)
+      | None -> ());
+      (match client.Demikernel.Boot.nic with
+      | Some nic ->
+          Metrics.Timeseries.gauge ts "client_rx_ring" (fun () -> Net.Dpdk_sim.rx_pending nic)
+      | None -> ());
+      (match server.Demikernel.Boot.rnic with
+      | Some rnic ->
+          Metrics.Timeseries.gauge ts "server_cq" (fun () -> Net.Rdma_sim.cq_pending rnic)
+      | None -> ());
+      (match client.Demikernel.Boot.catnip with
+      | Some cn ->
+          let stack = Demikernel.Catnip.stack cn in
+          Metrics.Timeseries.gauge ts "client_cwnd" (fun () -> Tcp.Stack.agg_cwnd stack);
+          Metrics.Timeseries.gauge ts "client_inflight" (fun () ->
+              Tcp.Stack.agg_bytes_in_flight stack);
+          Metrics.Timeseries.counter ts "client_rtx" (fun () ->
+              Tcp.Stack.total_retransmits stack)
+      | None -> ());
+      Engine.Sim.set_sampler w.Common.sim ~interval:timeline_interval_ns (fun now ->
+          Metrics.Timeseries.sample ts ~now);
+      Some ts
+    end
+  in
+  let rtts = Metrics.Histogram.create () in
+  Demikernel.Boot.run_app server (Apps.Echo.server ~port:7 ~persist:false);
+  Demikernel.Boot.run_app client
+    (Apps.Echo.client
+       ~dst:(Demikernel.Boot.endpoint server 7)
+       ~msg_size ~count
+       ~record:(Metrics.Histogram.add rtts));
+  Demikernel.Boot.start server;
+  Demikernel.Boot.start client;
+  Common.run_world w;
+  (match capture with Some _ -> Net.Pcap.untap w.Common.fabric | None -> ());
+  Engine.Sim.clear_sampler w.Common.sim;
+  {
+    flavor;
+    digest = Engine.Trace.digest trace;
+    rtts;
+    capture;
+    spans;
+    timeline;
+    fabric_stats = Net.Fabric.stats w.Common.fabric;
+  }
+
+let rtt_values r =
+  [
+    Metrics.Histogram.count r.rtts;
+    Metrics.Histogram.p50 r.rtts;
+    Metrics.Histogram.p99 r.rtts;
+    Metrics.Histogram.p999 r.rtts;
+    Metrics.Histogram.max r.rtts;
+  ]

@@ -1,0 +1,35 @@
+(** Demiscope scenario harness: one TCP echo with any combination of
+    pcap capture, span recording and time-series sampling attached —
+    plus the trace digest and the RTT histogram, so tests and [demi
+    pcap --check] can prove the instruments are pure observers (same
+    seed, capture on vs off, byte-identical digests and RTTs). *)
+
+type run = {
+  flavor : Demikernel.Boot.flavor;
+  digest : string;  (** {!Engine.Trace.digest} of the run's event trace *)
+  rtts : Metrics.Histogram.t;
+  capture : Net.Pcap.session option;  (** [Some] iff [with_capture] *)
+  spans : Engine.Span.t option;  (** [Some] iff [with_spans] *)
+  timeline : Metrics.Timeseries.t option;  (** [Some] iff [with_timeline] *)
+  fabric_stats : Net.Fabric.stats;
+}
+
+val echo :
+  ?with_capture:bool ->
+  ?with_spans:bool ->
+  ?with_timeline:bool ->
+  ?timeline_interval_ns:int ->
+  ?msg_size:int ->
+  ?count:int ->
+  ?loss:float ->
+  Demikernel.Boot.flavor ->
+  run
+(** One echo (client index 2 → server index 1, port 7, default 16
+    messages of 64 B) with the requested instruments attached. All
+    instruments default to off; the bare run is the control arm.
+    [timeline_interval_ns] defaults to 10 µs. *)
+
+val rtt_values : run -> int list
+(** The RTT histogram's percentile fingerprint
+    [(count, p50, p99, p999, max)] as a list — cheap structural
+    equality for on/off comparisons. *)

@@ -42,3 +42,8 @@ val histograms : t -> (string * Histogram.t) list
 val dump : t -> unit
 (** Print counters and histogram summaries as {!Table}s (stdout),
     name-sorted. *)
+
+val to_json : t -> string
+(** The registry as a JSON object:
+    [{"counters": {...}, "histograms": {name: {count,p50,p99,p999,max}}}],
+    name-sorted for deterministic output ([demi stats --format json]). *)

@@ -1,0 +1,84 @@
+type kind = Gauge | Counter
+
+type probe = {
+  name : string;
+  kind : kind;
+  read : unit -> int;
+  mutable last : int; (* previous raw reading, for Counter deltas *)
+}
+
+type t = {
+  interval_ns : Engine.Clock.t;
+  mutable probes : probe list; (* newest first until sealed *)
+  mutable sealed : probe array option; (* registration order, set at first sample *)
+  mutable rows : (Engine.Clock.t * int list) list; (* newest first *)
+  mutable count : int;
+}
+
+let create ~interval_ns =
+  if interval_ns <= 0 then invalid_arg "Timeseries.create: interval must be positive";
+  { interval_ns; probes = []; sealed = None; rows = []; count = 0 }
+
+let interval_ns t = t.interval_ns
+
+let register t name kind read =
+  if t.sealed <> None then
+    invalid_arg (Printf.sprintf "Timeseries: probe %s registered after first sample" name);
+  if List.exists (fun p -> String.equal p.name name) t.probes then
+    invalid_arg (Printf.sprintf "Timeseries: duplicate probe %s" name);
+  let last = match kind with Counter -> read () | Gauge -> 0 in
+  t.probes <- { name; kind; read; last } :: t.probes
+
+let gauge t name read = register t name Gauge read
+let counter t name read = register t name Counter read
+
+let sealed t =
+  match t.sealed with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list (List.rev t.probes) in
+      t.sealed <- Some a;
+      a
+
+let sample t ~now =
+  let probes = sealed t in
+  let values =
+    Array.to_list
+      (Array.map
+         (fun p ->
+           let v = p.read () in
+           match p.kind with
+           | Gauge -> v
+           | Counter ->
+               let delta = v - p.last in
+               p.last <- v;
+               delta)
+         probes)
+  in
+  t.rows <- (now, values) :: t.rows;
+  t.count <- t.count + 1
+
+let columns t = "t_ns" :: Array.to_list (Array.map (fun p -> p.name) (sealed t))
+let rows t = List.rev t.rows
+let length t = t.count
+
+let to_csv t =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (String.concat "," (columns t));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun (ts, values) ->
+      Buffer.add_string b (string_of_int ts);
+      List.iter
+        (fun v ->
+          Buffer.add_char b ',';
+          Buffer.add_string b (string_of_int v))
+        values;
+      Buffer.add_char b '\n')
+    (rows t);
+  Buffer.contents b
+
+let save_csv t path =
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc

@@ -1,0 +1,46 @@
+(** Fixed-interval time-series telemetry (Demiscope timelines).
+
+    A [Timeseries.t] holds a set of named probes — gauges read verbatim,
+    counters reported as per-interval deltas — and a table of samples,
+    one row per virtual-time boundary. It is a passive container: wiring
+    it to the clock is the caller's job, normally via
+    {!Engine.Sim.set_sampler} with the same interval, which fires
+    between events so sampling can never perturb the run.
+
+    Probes must be pure reads of simulation state. Column order is
+    registration order (program order, hence deterministic). *)
+
+type t
+
+val create : interval_ns:Engine.Clock.t -> t
+(** [interval_ns] is recorded for reporting/CSV headers; {!sample}
+    trusts the caller to honour it. *)
+
+val interval_ns : t -> Engine.Clock.t
+
+val gauge : t -> string -> (unit -> int) -> unit
+(** Register an instantaneous-value probe (queue depth, cwnd, ring
+    occupancy). Raises [Invalid_argument] on a duplicate name or after
+    the first {!sample}. *)
+
+val counter : t -> string -> (unit -> int) -> unit
+(** Register a monotone-counter probe; each sample reports the delta
+    since the previous boundary (bytes/frames per interval). The first
+    sample's baseline is the probe's value at registration time. *)
+
+val sample : t -> now:Engine.Clock.t -> unit
+(** Append one row timestamped [now]. *)
+
+val columns : t -> string list
+(** ["t_ns"] followed by probe names in registration order. *)
+
+val rows : t -> (Engine.Clock.t * int list) list
+(** Sampled rows, oldest first, values in {!columns} order. *)
+
+val length : t -> int
+
+val to_csv : t -> string
+(** Header line plus one line per row, LF-terminated. *)
+
+val save_csv : t -> string -> unit
+(** Write {!to_csv} to a file. *)

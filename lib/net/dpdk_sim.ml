@@ -24,7 +24,10 @@ let create fabric ~mac ~ip ?(rx_ring_size = 1024) () =
     Engine.Sim.span_interval sim ~comp:Engine.Span.Device ~owner ~label:"rx" ~t0
       ~t1:(t0 + hw);
     Engine.Sim.schedule sim ~delay:hw (fun () ->
-        if Queue.length rx_ring >= rx_ring_size then incr rx_dropped
+        if Queue.length rx_ring >= rx_ring_size then begin
+          incr rx_dropped;
+          Fabric.nic_drop fabric ~reason:"rx-ring-overflow" frame
+        end
         else begin
           Queue.add frame rx_ring;
           Engine.Condvar.broadcast rx_signal

@@ -3,12 +3,20 @@ type port = {
   rx : string -> unit;
   mutable tx_free : Engine.Clock.t; (* when this port's uplink is next idle *)
   mutable rx_free : Engine.Clock.t; (* when this port's downlink is next idle *)
+  mutable owner : string; (* host name for wire-event attribution; "" until labelled *)
 }
 
 type stats = {
   frames_delivered : int;
   frames_dropped : int;
   bytes_carried : int;
+}
+
+type drop_reason = Loss | Corrupt | No_route | Nic_drop of string
+
+type tap = {
+  tap_deliver : ts:Engine.Clock.t -> string -> unit;
+  tap_drop : ts:Engine.Clock.t -> reason:drop_reason -> string -> unit;
 }
 
 type t = {
@@ -22,6 +30,7 @@ type t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable bytes : int;
+  mutable tap : tap option;
 }
 
 let create sim ~cost ?(loss = 0.) ?(corrupt = 0.) () =
@@ -36,24 +45,61 @@ let create sim ~cost ?(loss = 0.) ?(corrupt = 0.) () =
     delivered = 0;
     dropped = 0;
     bytes = 0;
+    tap = None;
   }
 
 let sim t = t.sim
 let cost t = t.cost
 
 let attach t ~mac ~rx =
-  let port = { mac; rx; tx_free = 0; rx_free = 0 } in
+  let port = { mac; rx; tx_free = 0; rx_free = 0; owner = "" } in
   t.ports <- port :: t.ports;
   Hashtbl.replace t.by_mac mac port;
   port
 
+let label_port t ~mac ~owner =
+  match Hashtbl.find_opt t.by_mac mac with
+  | Some port -> port.owner <- owner
+  | None -> ()
+
 let set_loss t loss = t.loss <- loss
+let set_tap t tap = t.tap <- tap
+
+(* Capture and wire-event hooks are pure observers: they read the frame
+   the fabric was moving anyway and never touch the clock, the PRNG or
+   the event queue — so enabling them cannot change Trace.digest. *)
+
+let on_drop t ?(src = "") ~reason frame =
+  (match t.tap with
+  | Some tap -> tap.tap_drop ~ts:(Engine.Sim.now t.sim) ~reason frame
+  | None -> ());
+  match Engine.Sim.spans t.sim with
+  | None -> ()
+  | Some _ ->
+      let now = Engine.Sim.now t.sim in
+      let flow = match Flow.of_frame frame with Some f -> f | None -> 0 in
+      let reason_name =
+        match reason with
+        | Loss -> "loss"
+        | Corrupt -> "corrupt"
+        | No_route -> "no-route"
+        | Nic_drop why -> why
+      in
+      Engine.Sim.span_wire t.sim ~flow ~src ~dst:"" ~label:(Decode.line frame) ~t0:now ~t1:now
+        ~status:(Engine.Span.Wire_dropped reason_name)
+
+let nic_drop t ~reason frame = on_drop t ~reason:(Nic_drop reason) frame
 
 let deliver t frame dst =
   t.delivered <- t.delivered + 1;
   t.bytes <- t.bytes + String.length frame;
   Engine.Sim.trace_event t.sim ~category:Engine.Trace.Fabric (fun () ->
       Format.asprintf "deliver %dB -> %a" (String.length frame) Addr.Mac.pp dst.mac);
+  (* deliver runs at arrival time, so captures are timestamped in event
+     order — pcap files come out monotone for free. *)
+  (match t.tap with
+  | Some tap -> tap.tap_deliver ~ts:(Engine.Sim.now t.sim) frame
+  | None -> ());
   dst.rx frame
 
 let send t src ?(lossless = false) frame =
@@ -70,31 +116,54 @@ let send t src ?(lossless = false) frame =
      propagation, switching and any store-and-forward queueing
      included. Dropped frames are not attributed (they never arrive). *)
   let wire_t0 = depart - Cost.serialization_ns t.cost len in
-  let to_port p =
-    let start = max at_switch p.rx_free in
-    let arrival = start + Cost.serialization_ns t.cost len in
-    p.rx_free <- arrival;
-    Engine.Sim.span_interval t.sim ~comp:Engine.Span.Wire ~owner:"fabric" ~t0:wire_t0
-      ~t1:arrival;
-    arrival - now
-  in
   if (not lossless) && t.loss > 0. && Engine.Prng.bool t.prng t.loss then begin
     t.dropped <- t.dropped + 1;
     Engine.Sim.trace_event t.sim ~category:Engine.Trace.Fabric (fun () ->
-        Printf.sprintf "drop %dB (injected loss)" len)
+        Printf.sprintf "drop %dB (injected loss)" len);
+    on_drop t ~src:src.owner ~reason:Loss frame
   end
   else begin
+    let corrupted =
+      (not lossless) && t.corrupt > 0. && Engine.Prng.bool t.prng t.corrupt
+      && String.length frame > Eth.size + 1
+    in
     let frame =
       (* Bit rot in flight: flip one byte past the Ethernet header. *)
-      if (not lossless) && t.corrupt > 0. && Engine.Prng.bool t.prng t.corrupt
-         && String.length frame > Eth.size + 1
-      then begin
+      if corrupted then begin
         let b = Bytes.of_string frame in
         let i = Eth.size + Engine.Prng.int t.prng (Bytes.length b - Eth.size) in
         Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x55));
         Bytes.unsafe_to_string b
       end
       else frame
+    in
+    if corrupted then
+      (* The damaged frame still travels (the receiver's checksum turns
+         it into loss), but the damage tap makes the bit rot visible. *)
+      (match t.tap with
+      | Some tap -> tap.tap_drop ~ts:now ~reason:Corrupt frame
+      | None -> ());
+    (* Flow attribution is computed once per send, lazily: decoding
+       costs nothing unless a span recorder is attached. *)
+    let wire_info =
+      match Engine.Sim.spans t.sim with
+      | None -> None
+      | Some _ ->
+          let flow = match Flow.of_frame frame with Some f -> f | None -> 0 in
+          Some (flow, Decode.line frame)
+    in
+    let to_port p =
+      let start = max at_switch p.rx_free in
+      let arrival = start + Cost.serialization_ns t.cost len in
+      p.rx_free <- arrival;
+      (match wire_info with
+      | None -> ()
+      | Some (flow, label) ->
+          Engine.Sim.span_interval t.sim ~key:flow ~label ~comp:Engine.Span.Wire
+            ~owner:"fabric" ~t0:wire_t0 ~t1:arrival;
+          Engine.Sim.span_wire t.sim ~flow ~src:src.owner ~dst:p.owner ~label ~t0:wire_t0
+            ~t1:arrival ~status:Engine.Span.Wire_delivered);
+      arrival - now
     in
     let dst_mac = Wire.get_u48 (Bytes.unsafe_of_string frame) 0 in
     if Addr.Mac.is_broadcast dst_mac then
@@ -106,7 +175,9 @@ let send t src ?(lossless = false) frame =
     else
       match Hashtbl.find_opt t.by_mac dst_mac with
       | Some p -> Engine.Sim.schedule t.sim ~delay:(to_port p) (fun () -> deliver t frame p)
-      | None -> t.dropped <- t.dropped + 1
+      | None ->
+          t.dropped <- t.dropped + 1;
+          on_drop t ~src:src.owner ~reason:No_route frame
   end
 
 let stats t = { frames_delivered = t.delivered; frames_dropped = t.dropped; bytes_carried = t.bytes }

@@ -1,0 +1,23 @@
+(** Deterministic flow identifiers for cross-host causality (Demiscope).
+
+    A flow id names one conversation on the wire — a TCP connection, a
+    UDP port pair, or an RDMA QP pair — and is {e direction-free}: both
+    ends of the conversation, and frames travelling either way, map to
+    the same id, so a client push span and the matching server pop span
+    can be joined by id alone. Ids are pure functions of addresses
+    (FNV-1a over the canonicalized tuple), so they are identical across
+    runs of the same seed and across hosts — no registry, no handshake. *)
+
+val of_endpoints : proto:int -> Addr.endpoint -> Addr.endpoint -> int
+(** [proto] is the IPv4 protocol number ({!Ipv4.protocol_tcp} /
+    {!Ipv4.protocol_udp}); the two endpoints are canonically ordered
+    before hashing, so argument order does not matter. *)
+
+val of_macs : Addr.Mac.t -> Addr.Mac.t -> int
+(** RDMA (RoCE) flows: one id per NIC pair. *)
+
+val of_frame : string -> int option
+(** Derive the id from a raw frame via {!Decode.parse}. [None] for
+    frames that carry no conversation (ARP, malformed, unknown
+    ethertypes) and for non-first IPv4 fragments (no ports on the
+    wire). *)

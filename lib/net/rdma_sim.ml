@@ -89,7 +89,10 @@ let handle_frame t frame =
   if msgtype = t_send then begin
     let imm = Wire.get_u32 b off in
     let payload = Bytes.sub_string b (off + 4) (Bytes.length b - off - 4) in
-    if t.recv_credits = 0 then t.rnr_drops <- t.rnr_drops + 1
+    if t.recv_credits = 0 then begin
+      t.rnr_drops <- t.rnr_drops + 1;
+      Fabric.nic_drop t.fabric ~reason:"rnr" frame
+    end
     else begin
       t.recv_credits <- t.recv_credits - 1;
       complete t (Recv { src_mac = eth.Eth.src; imm; payload })

@@ -1009,3 +1009,15 @@ let conn_bytes_in_flight = bytes_in_flight
 let conn_retransmits conn = conn.retransmit_count
 let conn_recv_queue_bytes conn = conn.recv_q_bytes
 let conn_at_eof conn = conn.eof_delivered_to_q && Queue.is_empty conn.recv_q
+
+(* Aggregate gauges for Demiscope timelines: summed over live
+   connections in sorted-key order (dlint: no raw Hashtbl.fold). *)
+let agg_cwnd t =
+  Engine.Det.hashtbl_fold_sorted ~compare t.conns
+    (fun _ conn acc -> acc + Cc.cwnd conn.cc)
+    0
+
+let agg_bytes_in_flight t =
+  Engine.Det.hashtbl_fold_sorted ~compare t.conns
+    (fun _ conn acc -> acc + bytes_in_flight conn)
+    0

@@ -168,3 +168,10 @@ val live_connections : t -> int
 val total_retransmits : t -> int
 (** Data-segment retransmissions across all connections this stack has
     ever carried. *)
+
+val agg_cwnd : t -> int
+(** Sum of congestion windows over live connections — an aggregate gauge
+    for Demiscope timelines (0 when idle). *)
+
+val agg_bytes_in_flight : t -> int
+(** Sum of unacknowledged bytes over live connections. *)
