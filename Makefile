@@ -1,4 +1,4 @@
-.PHONY: all build test lint selfcheck check bench bench-smoke trace-smoke pcap-smoke clean
+.PHONY: all build test lint selfcheck check bench bench-smoke alloc-smoke trace-smoke pcap-smoke clean
 
 all: build
 
@@ -20,6 +20,7 @@ selfcheck:
 check:
 	dune build @check
 	$(MAKE) bench-smoke
+	$(MAKE) alloc-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) pcap-smoke
 
@@ -32,15 +33,30 @@ bench:
 # the git-ignored out/ tree (the path is an explicit --out argument).
 bench-smoke:
 	mkdir -p out
-	dune exec bench/main.exe -- wallclock quick --out out/BENCH_pr3.json
+	dune exec bench/main.exe -- wallclock quick --out out/BENCH_pr6.json
 	@for key in '"pr"' '"mode"' '"echo"' '"churn"' '"wall_s"' \
 	  '"events_per_sec"' '"frames_per_sec"' '"gc_alloc_mb"' \
-	  '"baseline"' '"echo_us_per_op"' '"speedup_churn"'; do \
-	  grep -q "$$key" out/BENCH_pr3.json \
-	    || { echo "bench-smoke: out/BENCH_pr3.json missing key $$key" >&2; exit 1; }; \
+	  '"baseline"' '"echo_us_per_op"' '"echo_gc_kb_per_op"' \
+	  '"speedup_churn"' '"gc_reduction_echo"' '"gc_reduction_churn"'; do \
+	  grep -q "$$key" out/BENCH_pr6.json \
+	    || { echo "bench-smoke: out/BENCH_pr6.json missing key $$key" >&2; exit 1; }; \
 	done
-	@echo "bench-smoke: out/BENCH_pr3.json schema OK"
+	@echo "bench-smoke: out/BENCH_pr6.json schema OK"
 	dune build @selfcheck
+
+# Demialloc end to end: dlint over the tree (which now includes the
+# alloc-in-hotpath pass), then the determinism selfcheck with the
+# gc-budget oracle armed — every libOS flavor must report measured
+# steady polls (>0) with zero allocation violations.
+alloc-smoke:
+	mkdir -p out
+	dune exec bin/dlint.exe -- lib
+	dune exec bin/demi.exe -- selfcheck | tee out/alloc_smoke.txt
+	@for f in catnip catnap catmint; do \
+	  grep -Eq "gc-budget $$f +steady_polls=[1-9][0-9]* violations=0" out/alloc_smoke.txt \
+	    || { echo "alloc-smoke: $$f has no measured steady polls or has violations" >&2; exit 1; }; \
+	done
+	@echo "alloc-smoke: OK (all flavors steady-poll allocation-free)"
 
 # Demitrace end to end: one traced echo per libOS. `demi trace` itself
 # checks the observer-effect-free contract (identical digests and RTTs

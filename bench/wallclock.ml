@@ -1,11 +1,16 @@
-(* Wall-clock performance harness (PR 3).
+(* Wall-clock performance harness (PR 3; baselines re-anchored for the
+   PR 6 allocation-discipline work).
 
    Everything else in bench/ measures *virtual* time; this mode measures
    how fast the simulator itself runs on the host: real events/sec,
    frames/sec and GC allocation for (a) the standard Catnip echo world
    and (b) a 10k-connection churn scenario that hammers the per-poll
    timer/ack paths (`next_timer` / `on_timer` / `flush_acks`) exactly
-   the way the Catnip fast path does.  Results go to BENCH_pr3.json.
+   the way the Catnip fast path does.  Results go to BENCH_pr6.json.
+   Since PR 6 the headline metric is GC allocation: the Demialloc pass
+   and gc-budget oracle drove the steady-poll paths to zero words, and
+   the gc_reduction keys report the whole-run win against the
+   pre-change tree.
 
    The churn driver is a deterministic two-stack mini-world (same shape
    as test_tcp.ml's Pair harness): stacks joined by a constant-latency
@@ -246,20 +251,22 @@ let churn ?(burst = 64) ~conns:n ~rounds ~msg_size () =
     ops = n;
   }
 
-(* --- Baseline (pre-timer-wheel) reference numbers ---
+(* --- Baseline (pre-Demialloc) reference numbers ---
 
-   Measured with this exact harness on the tree as of commit 193753d
-   ("Add PDPIX buffer-ownership checking..."), i.e. before the timer
-   wheel / ack-FIFO / batched-TX changes, same machine, same settings
-   (echo count=5000, churn conns=10000 rounds=1 burst=64).  They are
-   embedded so the committed bench can always report the speedup of the
-   current tree against the pre-change scan path. *)
+   Measured with this exact harness on the tree as of commit 261ad25
+   (the PR 6 seed, before the hot-path allocation work), same machine,
+   same settings (echo count=5000, churn conns=10000 rounds=1 burst=64).
+   They are embedded so the committed bench can always report the
+   current tree's wall-clock speedup and GC-allocation reduction
+   against the pre-change paths. *)
 
-let baseline_commit = "193753d"
+let baseline_commit = "261ad25"
 let baseline_echo_count = 5_000
-let baseline_echo_wall_s = 0.269
+let baseline_echo_wall_s = 0.1284
+let baseline_echo_gc_mb = 160.1
 let baseline_churn_conns = 10_000
-let baseline_churn_wall_s = 132.176
+let baseline_churn_wall_s = 0.1800
+let baseline_churn_gc_mb = 184.4
 
 let per_sec count wall = if wall > 0. then float_of_int count /. wall else 0.
 
@@ -269,7 +276,7 @@ let sample_json s =
     s.label s.wall_s s.events (per_sec s.events s.wall_s) s.frames
     (per_sec s.frames s.wall_s) s.gc_alloc_mb s.ops
 
-let run ~quick ?(out = "BENCH_pr3.json") () =
+let run ~quick ?(out = "BENCH_pr6.json") () =
   let echo_count = if quick then 500 else baseline_echo_count in
   let e = echo ~count:echo_count () in
   Printf.printf "wallclock echo : %.3fs  %d events (%.0f/s)  %d frames (%.0f/s)  %.1f MB alloc\n%!"
@@ -283,29 +290,46 @@ let run ~quick ?(out = "BENCH_pr3.json") () =
   let churn_speedup =
     if baseline_churn_wall_s > 0. then baseline_churn_wall_s /. c.wall_s else 0.
   in
-  (* Per-echo wall time is the scale-free comparison (quick mode runs
-     fewer echos than the baseline measurement did). *)
+  (* Per-echo wall time / allocation are the scale-free comparisons
+     (quick mode runs fewer echos than the baseline measurement did);
+     churn always runs the full connection count, so its GC ratio is
+     direct. *)
   let echo_us_per_op = 1e6 *. e.wall_s /. float_of_int (max 1 e.ops) in
   let baseline_echo_us_per_op =
     1e6 *. baseline_echo_wall_s /. float_of_int baseline_echo_count
   in
+  let echo_gc_kb_per_op = 1024. *. e.gc_alloc_mb /. float_of_int (max 1 e.ops) in
+  let baseline_echo_gc_kb_per_op =
+    1024. *. baseline_echo_gc_mb /. float_of_int baseline_echo_count
+  in
+  let gc_reduction_echo =
+    if echo_gc_kb_per_op > 0. then baseline_echo_gc_kb_per_op /. echo_gc_kb_per_op else 0.
+  in
+  let gc_reduction_churn =
+    if c.gc_alloc_mb > 0. then baseline_churn_gc_mb /. c.gc_alloc_mb else 0.
+  in
   let oc = open_out out in
   Printf.fprintf oc
     {|{
-  "pr": 3,
+  "pr": 6,
   "mode": "%s",
   "samples": {
 %s,
 %s
   },
-  "baseline": { "commit": "%s", "harness": "this file, pre-change tree", "echo_count": %d, "echo_wall_s": %.4f, "echo_us_per_op": %.2f, "churn_conns": %d, "churn_wall_s": %.4f },
+  "baseline": { "commit": "%s", "harness": "this file, pre-change tree", "echo_count": %d, "echo_wall_s": %.4f, "echo_us_per_op": %.2f, "echo_gc_mb": %.1f, "churn_conns": %d, "churn_wall_s": %.4f, "churn_gc_mb": %.1f },
   "echo_us_per_op": %.2f,
-  "speedup_churn": %.2f
+  "echo_gc_kb_per_op": %.2f,
+  "speedup_churn": %.2f,
+  "gc_reduction_echo": %.2f,
+  "gc_reduction_churn": %.2f
 }
 |}
     (if quick then "quick" else "default")
     (sample_json e) (sample_json c) baseline_commit baseline_echo_count baseline_echo_wall_s
-    baseline_echo_us_per_op baseline_churn_conns baseline_churn_wall_s echo_us_per_op
-    churn_speedup;
+    baseline_echo_us_per_op baseline_echo_gc_mb baseline_churn_conns baseline_churn_wall_s
+    baseline_churn_gc_mb echo_us_per_op echo_gc_kb_per_op churn_speedup gc_reduction_echo
+    gc_reduction_churn;
   close_out oc;
-  Printf.printf "wrote %s (speedup_churn=%.2fx vs %s)\n%!" out churn_speedup baseline_commit
+  Printf.printf "wrote %s (speedup_churn=%.2fx, gc_reduction_churn=%.2fx vs %s)\n%!" out
+    churn_speedup gc_reduction_churn baseline_commit

@@ -1,19 +1,22 @@
-(* dlint: determinism, zero-copy and ownership-protocol lint.
+(* dlint: determinism, zero-copy, ownership-protocol and hot-path
+   allocation lint.
 
-   Usage: dlint [--format human|json] [DIR ...]   (default: lib)
+   Usage: dlint [--format human|json] [--stats] [DIR ...]   (default: lib)
 
    Walks every .ml file under the given roots and rejects violations of
-   the rules in Lint.Rules (including the PDPIX ownership pass) and
-   stale exemptions; exits 1 when any survive the allowlist and inline
-   dlint-allow annotations. Wired into `dune runtest` via the @lint
-   alias. *)
+   the rules in Lint.Rules (including the PDPIX ownership pass and the
+   Demialloc hot-path allocation pass) and stale exemptions; exits 1
+   when any survive the allowlist and inline dlint-allow annotations.
+   --stats appends a per-rule finding-count table. Wired into
+   `dune runtest` via the @lint alias. *)
 
 let usage () =
-  prerr_endline "usage: dlint [--format human|json] [DIR ...]";
+  prerr_endline "usage: dlint [--format human|json] [--stats] [DIR ...]";
   exit 2
 
 let () =
   let json = ref false in
+  let stats = ref false in
   let roots = ref [] in
   let set_format = function
     | "json" -> json := true
@@ -31,6 +34,9 @@ let () =
     | arg :: rest when String.length arg > 9 && String.sub arg 0 9 = "--format=" ->
         set_format (String.sub arg 9 (String.length arg - 9));
         parse rest
+    | "--stats" :: rest ->
+        stats := true;
+        parse rest
     | ("--help" | "-h") :: _ -> usage ()
     | root :: rest ->
         roots := root :: !roots;
@@ -41,4 +47,5 @@ let () =
   let violations = Lint.Driver.run roots in
   if !json then Lint.Driver.report_json Format.std_formatter violations
   else Lint.Driver.report Format.std_formatter violations;
+  if !stats then Lint.Driver.report_stats Format.std_formatter violations;
   if violations <> [] then exit 1

@@ -26,6 +26,7 @@ type chan = {
   mutable connect_token : Pdpix.qtoken option;
   mutable failed : string option;
   mutable flow : Dsched.handle option;
+  mutable stalled : bool; (* on the retry list (sends queued behind the grant window) *)
 }
 
 type listener = { accept_waiters : Pdpix.qtoken Queue.t; ready : chan Queue.t }
@@ -44,6 +45,13 @@ type t = {
   chans : (int, chan) Hashtbl.t;
   listeners : (int, Pdpix.qd) Hashtbl.t; (* port -> qd *)
   mutable next_chan : int;
+  mutable stalled_chans : chan list;
+      (* ascending chan id — the channels with queued sends awaiting
+         grant, retried each poll round. Persistent across polls so the
+         steady-state retry pass allocates nothing (the old per-poll
+         sorted snapshot of every channel was the dominant idle
+         garbage). *)
+  mutable sends : int; (* cumulative data messages posted, ever *)
 }
 
 let host t = Runtime.host t.rt
@@ -70,20 +78,74 @@ let send_data t ch qt payload =
      stretch is attributed to the device-queue component. *)
   charge_dev t ((cost t).Net.Cost.rdma_post_ns + (2 * (cost t).Net.Cost.libos_sched_ns));
   ch.sent <- ch.sent + 1;
+  t.sends <- t.sends + 1;
   Net.Rdma_sim.post_send t.rnic ~dst:ch.peer_mac ~wr_id:qt
     ~imm:(imm_of ~msg:m_data ~chan:ch.peer_chan)
     payload
 
-let flush_pending t ch =
-  let rec go () =
-    if (not (Queue.is_empty ch.pending_sends)) && grant_available ch > 0 && ch.peer_chan >= 0
-    then begin
-      let qt, payload = Queue.pop ch.pending_sends in
-      send_data t ch qt payload;
-      go ()
-    end
-  in
-  if ch.failed = None then go ()
+(* Top-level recursion (not a per-call closure): this runs for every
+   stalled channel on every poll round, and a still-blocked channel —
+   the steady case — must cost nothing. *)
+(* dlint: hotpath *)
+let rec flush_pending_loop t ch =
+  if (not (Queue.is_empty ch.pending_sends)) && grant_available ch > 0 && ch.peer_chan >= 0
+  then begin
+    let qt, payload = Queue.pop ch.pending_sends in
+    send_data t ch qt payload;
+    flush_pending_loop t ch
+  end
+
+(* dlint: hotpath *)
+let flush_pending t ch = if ch.failed = None then flush_pending_loop t ch
+
+(* ---------- the stalled-sender retry list ----------
+
+   Grant updates land silently in credit cells (one-sided writes raise
+   no local completion), so blocked senders must be retried every poll
+   round. The list holds exactly the channels with queued sends, in
+   ascending channel id — the same firing order the old full-table
+   sorted iteration produced — and is only rebuilt when a channel
+   drains or fails, so the no-progress retry pass allocates nothing. *)
+
+let rec insert_stalled ch chans =
+  match chans with
+  | [] -> [ ch ]
+  | c :: rest -> if ch.id < c.id then ch :: chans else c :: insert_stalled ch rest
+
+let mark_stalled t ch =
+  if (not ch.stalled) && ch.failed = None then begin
+    ch.stalled <- true;
+    t.stalled_chans <- insert_stalled ch t.stalled_chans
+  end
+
+(* Flush every listed channel; returns whether any is now drained or
+   failed (and flags it for removal). *)
+(* dlint: hotpath *)
+let rec flush_stalled t chans =
+  match chans with
+  | [] -> false
+  | ch :: rest ->
+      flush_pending t ch;
+      let unstalled = Queue.is_empty ch.pending_sends || ch.failed <> None in
+      if unstalled then ch.stalled <- false;
+      let rest_unstalled = flush_stalled t rest in
+      unstalled || rest_unstalled
+
+(* Returns whether the round made progress (posted a send, or retired a
+   drained/failed channel) — a progress round is a busy poll for the
+   gc-budget oracle. *)
+(* dlint: hotpath *)
+let retry_stalled t =
+  match t.stalled_chans with
+  | [] -> false
+  | chans ->
+      let sends0 = t.sends in
+      if flush_stalled t chans then begin
+        (* dlint-allow: alloc-in-hotpath -- list rebuild only when a sender drained or failed (progress) *)
+        t.stalled_chans <- List.filter (fun ch -> ch.stalled) chans;
+        true
+      end
+      else t.sends > sends0
 
 (* ---------- flow control (§6.2): a per-connection coroutine grants the
    peer more send window by one-sided writes once the application has
@@ -132,6 +194,7 @@ let make_chan t ~qd ~peer_mac =
       connect_token = None;
       failed = None;
       flow = None;
+      stalled = false;
     }
   in
   Hashtbl.replace t.chans id ch;
@@ -257,23 +320,36 @@ let handle_completion t completion =
   | Net.Rdma_sim.Recv { src_mac; imm; payload } -> handle_recv t ~src_mac ~imm ~payload
   | Net.Rdma_sim.Write_done _ -> ()
 
+(* dlint: hotpath *)
+let rec handle_all t completions =
+  match completions with
+  | [] -> ()
+  | c :: rest ->
+      handle_completion t c;
+      handle_all t rest
+
+let gc_site = Memory.Gcbudget.site "catmint.fast_path"
+
+(* Steady means the CQ was empty AND the stalled-sender retry round
+   made no progress; a silent grant arrival turns the round busy (it
+   posts sends, whose doorbell charge performs an effect). *)
+(* dlint: hotpath *)
 let fast_path t slot () =
   let sched = Runtime.sched t.rt in
   let rec loop () =
+    Memory.Gcbudget.enter gc_site;
     (match Net.Rdma_sim.poll_cq t.rnic ~max:16 with
     | [] ->
-        (* Grant updates land silently in credit cells; retry stalled
-           senders on every poll round. *)
-        Engine.Det.hashtbl_iter_sorted ~compare:Int.compare t.chans (fun _ ch ->
-            flush_pending t ch);
+        if retry_stalled t then Memory.Gcbudget.leave_busy gc_site
+        else Memory.Gcbudget.leave_steady gc_site;
         ignore (Runtime.maybe_park t.rt slot);
         Dsched.yield sched
     | completions ->
+        Memory.Gcbudget.leave_busy gc_site;
         Runtime.fp_busy slot;
         charge t (cost t).Net.Cost.libos_poll_ns;
-        List.iter (handle_completion t) completions;
-        Engine.Det.hashtbl_iter_sorted ~compare:Int.compare t.chans (fun _ ch ->
-            flush_pending t ch);
+        handle_all t completions;
+        ignore (retry_stalled t);
         Dsched.yield sched);
     loop ()
   in
@@ -369,7 +445,10 @@ let op_push t qd sga =
           let qt = Runtime.fresh_token t.rt in
           if ch.peer_chan >= 0 && grant_available ch > 0 && Queue.is_empty ch.pending_sends
           then send_data t ch qt payload
-          else Queue.add (qt, payload) ch.pending_sends;
+          else begin
+            Queue.add (qt, payload) ch.pending_sends;
+            mark_stalled t ch
+          end;
           qt)
   | Unbound _ | Bound_tcp _ | Listening _ -> invalid_arg "catmint: push on non-channel"
 
@@ -392,6 +471,8 @@ let create rt ~rnic ?(window = 64) () =
       chans = Hashtbl.create 32;
       listeners = Hashtbl.create 8;
       next_chan = 1;
+      stalled_chans = [];
+      sends = 0;
     }
   in
   (* Pre-post a pool of receive buffers; the fast path reposts one per

@@ -18,89 +18,125 @@ type t = {
   rt : Runtime.t;
   kernel : Oskernel.Kernel.t;
   qds : (Pdpix.qd, entry) Hashtbl.t;
+  mutable service_list : entry list;
+      (* qd-ascending snapshot of [qds], rebuilt only when the table
+         changes: the fast path services it every poll, and re-sorting
+         the table per poll was the dominant steady-state garbage. *)
+  mutable qds_dirty : bool;
+  mutable service_progress : bool;
 }
 
 let host t = Runtime.host t.rt
 
-(* One service pass over every queue with outstanding tokens; returns
-   whether anything completed. Each attempt is a real (charged)
-   non-blocking syscall — the price of Catnap's polling design. *)
-let service t =
-  let progress = ref false in
-  let complete qt c =
-    progress := true;
-    Runtime.complete t.rt qt c
-  in
-  (* Snapshot the table in ascending qd order: servicing an accept
-     inserts new entries (mutating a Hashtbl during iteration is
-     undefined), and hash order would service queues in a
-     seed-dependent sequence. *)
-  let entries =
-    List.rev (Engine.Det.hashtbl_fold_sorted ~compare:Stdlib.compare t.qds
-        (fun _ e acc -> e :: acc) [])
-  in
-  List.iter
-    (fun entry ->
-      match entry with
-      | Udp_sock (fd, waiters) ->
-          let rec go () =
-            if not (Queue.is_empty waiters) then
-              match Oskernel.Kernel.recvfrom t.kernel fd ~block:false with
-              | Some (from, payload) ->
-                  let buf = Memory.Heap.alloc_of_string (host t).Host.heap payload in
-                  complete (Queue.pop waiters) (Pdpix.Popped_from (from, [ buf ]));
-                  go ()
-              | None -> ()
-          in
-          go ()
-      | Listener (fd, waiters) ->
-          let rec go () =
-            if not (Queue.is_empty waiters) then
-              match Oskernel.Kernel.try_accept t.kernel fd with
-              | Some conn_fd ->
-                  let conn_qd = Runtime.fresh_qd t.rt in
-                  Hashtbl.replace t.qds conn_qd
-                    (Connection
-                       { fd = conn_fd; pop_waiters = Queue.create (); connect_token = None });
-                  complete (Queue.pop waiters) (Pdpix.Accepted conn_qd);
-                  go ()
-              | None -> ()
-          in
-          go ()
-      | Connection ce ->
-          (match ce.connect_token with
-          | Some qt -> (
-              match Oskernel.Kernel.connect_status t.kernel ce.fd with
-              | `Ok ->
-                  ce.connect_token <- None;
-                  complete qt Pdpix.Connected
-              | `Refused ->
-                  ce.connect_token <- None;
-                  complete qt (Pdpix.Failed "connection refused")
-              | `Pending -> ())
-          | None -> ());
-          let rec go () =
-            if not (Queue.is_empty ce.pop_waiters) then
-              match Oskernel.Kernel.recv t.kernel ce.fd ~block:false with
-              | Some payload ->
-                  let buf = Memory.Heap.alloc_of_string (host t).Host.heap payload in
-                  complete (Queue.pop ce.pop_waiters) (Pdpix.Popped [ buf ]);
-                  go ()
-              | None ->
-                  if Oskernel.Kernel.at_eof t.kernel ce.fd then begin
-                    complete (Queue.pop ce.pop_waiters) (Pdpix.Popped []);
-                    go ()
-                  end
-          in
-          go ()
-      | Unbound _ | Bound_tcp _ | Log_file _ -> ())
-    entries;
-  !progress
+let complete t qt c =
+  t.service_progress <- true;
+  Runtime.complete t.rt qt c
 
+(* All [qds] mutations go through these so the cached service snapshot
+   is invalidated exactly when the table changes. *)
+let set_qd t qd entry =
+  Hashtbl.replace t.qds qd entry;
+  t.qds_dirty <- true
+
+let remove_qd t qd =
+  Hashtbl.remove t.qds qd;
+  t.qds_dirty <- true
+
+(* Per-queue service loops, top-level (not per-poll closures). Each
+   attempt is a real (charged) non-blocking syscall — the price of
+   Catnap's polling design. *)
+let rec service_udp t fd waiters =
+  if not (Queue.is_empty waiters) then
+    match Oskernel.Kernel.recvfrom t.kernel fd ~block:false with
+    | Some (from, payload) ->
+        let buf = Memory.Heap.alloc_of_string (host t).Host.heap payload in
+        complete t (Queue.pop waiters) (Pdpix.Popped_from (from, [ buf ]));
+        service_udp t fd waiters
+    | None -> ()
+
+let rec service_listener t fd waiters =
+  if not (Queue.is_empty waiters) then
+    match Oskernel.Kernel.try_accept t.kernel fd with
+    | Some conn_fd ->
+        let conn_qd = Runtime.fresh_qd t.rt in
+        set_qd t conn_qd
+          (Connection { fd = conn_fd; pop_waiters = Queue.create (); connect_token = None });
+        complete t (Queue.pop waiters) (Pdpix.Accepted conn_qd);
+        service_listener t fd waiters
+    | None -> ()
+
+let rec service_conn_pops t ce =
+  if not (Queue.is_empty ce.pop_waiters) then
+    match Oskernel.Kernel.recv t.kernel ce.fd ~block:false with
+    | Some payload ->
+        let buf = Memory.Heap.alloc_of_string (host t).Host.heap payload in
+        complete t (Queue.pop ce.pop_waiters) (Pdpix.Popped [ buf ]);
+        service_conn_pops t ce
+    | None ->
+        if Oskernel.Kernel.at_eof t.kernel ce.fd then begin
+          complete t (Queue.pop ce.pop_waiters) (Pdpix.Popped []);
+          service_conn_pops t ce
+        end
+
+let service_entry t entry =
+  match entry with
+  | Udp_sock (fd, waiters) -> service_udp t fd waiters
+  | Listener (fd, waiters) -> service_listener t fd waiters
+  | Connection ce ->
+      (match ce.connect_token with
+      | Some qt -> (
+          match Oskernel.Kernel.connect_status t.kernel ce.fd with
+          | `Ok ->
+              ce.connect_token <- None;
+              complete t qt Pdpix.Connected
+          | `Refused ->
+              ce.connect_token <- None;
+              complete t qt (Pdpix.Failed "connection refused")
+          | `Pending -> ())
+      | None -> ());
+      service_conn_pops t ce
+  | Unbound _ | Bound_tcp _ | Log_file _ -> ()
+
+let rec service_all t entries =
+  match entries with
+  | [] -> ()
+  | e :: rest ->
+      service_entry t e;
+      service_all t rest
+
+(* One service pass over every queue with outstanding tokens; returns
+   whether anything completed. The snapshot is in ascending qd order
+   (servicing an accept inserts new entries — mutating a Hashtbl during
+   iteration is undefined — and hash order would service queues in a
+   seed-dependent sequence) and cached until the table next changes. *)
+let service t =
+  if t.qds_dirty then begin
+    t.qds_dirty <- false;
+    t.service_list <-
+      List.rev
+        (Engine.Det.hashtbl_fold_sorted ~compare:Stdlib.compare t.qds
+           (fun _ e acc -> e :: acc) [])
+  end;
+  t.service_progress <- false;
+  service_all t t.service_list;
+  t.service_progress
+
+let gc_site = Memory.Gcbudget.site "catnap.fast_path"
+
+(* The measured window covers only the kernel drain. [service] stays
+   outside it by design: every attempt is a charged syscall, and a
+   charge performs a [Fiber.sleep] effect whose continuation allocation
+   belongs to the simulation machinery, not the datapath. Steady means
+   the drain pulled no frame and fired no protocol timer. *)
+(* dlint: hotpath *)
 let fast_path t slot () =
   let sched = Runtime.sched t.rt in
   let rec loop () =
+    let a0 = Oskernel.Kernel.activity t.kernel in
+    Memory.Gcbudget.enter gc_site;
     Oskernel.Kernel.poll t.kernel;
+    if Oskernel.Kernel.activity t.kernel = a0 then Memory.Gcbudget.leave_steady gc_site
+    else Memory.Gcbudget.leave_busy gc_site;
     if service t then begin
       Runtime.fp_busy slot;
       Dsched.yield sched
@@ -122,15 +158,15 @@ let find t qd =
 
 let op_socket t proto =
   let qd = Runtime.fresh_qd t.rt in
-  Hashtbl.replace t.qds qd (Unbound proto);
+  set_qd t qd (Unbound proto);
   qd
 
 let op_bind t qd (ep : Net.Addr.endpoint) =
   match find t qd with
   | Unbound Pdpix.Udp ->
       let fd = Oskernel.Kernel.udp_socket t.kernel ~port:ep.Net.Addr.port in
-      Hashtbl.replace t.qds qd (Udp_sock (fd, Queue.create ()))
-  | Unbound Pdpix.Tcp -> Hashtbl.replace t.qds qd (Bound_tcp ep)
+      set_qd t qd (Udp_sock (fd, Queue.create ()))
+  | Unbound Pdpix.Tcp -> set_qd t qd (Bound_tcp ep)
   | Bound_tcp _ | Udp_sock _ | Listener _ | Connection _ | Log_file _ ->
       invalid_arg "catnap: bind on active qd"
 
@@ -138,7 +174,7 @@ let op_listen t qd _backlog =
   match find t qd with
   | Bound_tcp ep ->
       let fd = Oskernel.Kernel.tcp_listen t.kernel ~port:ep.Net.Addr.port in
-      Hashtbl.replace t.qds qd (Listener (fd, Queue.create ()))
+      set_qd t qd (Listener (fd, Queue.create ()))
   | Unbound _ | Udp_sock _ | Listener _ | Connection _ | Log_file _ ->
       invalid_arg "catnap: listen needs a bound TCP qd"
 
@@ -157,8 +193,7 @@ let op_connect t qd dst =
   | Unbound Pdpix.Tcp ->
       let fd = Oskernel.Kernel.connect_start t.kernel ~dst in
       let qt = Runtime.fresh_token t.rt in
-      Hashtbl.replace t.qds qd
-        (Connection { fd; pop_waiters = Queue.create (); connect_token = Some qt });
+      set_qd t qd (Connection { fd; pop_waiters = Queue.create (); connect_token = Some qt });
       qt
   | Unbound Pdpix.Udp | Bound_tcp _ | Udp_sock _ | Listener _ | Connection _ | Log_file _ ->
       invalid_arg "catnap: connect needs an unbound TCP qd"
@@ -168,7 +203,7 @@ let op_close t qd =
   | Connection ce -> Oskernel.Kernel.close t.kernel ce.fd
   | Udp_sock (fd, _) | Listener (fd, _) -> Oskernel.Kernel.close t.kernel fd
   | Unbound _ | Bound_tcp _ | Log_file _ -> ());
-  Hashtbl.remove t.qds qd
+  remove_qd t qd
 
 let op_push t qd sga =
   match find t qd with
@@ -243,7 +278,7 @@ let op_open_log t _path =
   in
   let tail = find_tail 0 in
   let qd = Runtime.fresh_qd t.rt in
-  Hashtbl.replace t.qds qd (Log_file { cursor = 0; tail });
+  set_qd t qd (Log_file { cursor = 0; tail });
   qd
 
 let op_seek t qd off =
@@ -253,9 +288,18 @@ let op_seek t qd off =
       invalid_arg "catnap: seek on non-log qd"
 
 let create rt ~kernel =
-  let t = { rt; kernel; qds = Hashtbl.create 32 } in
+  let t =
+    {
+      rt;
+      kernel;
+      qds = Hashtbl.create 32;
+      service_list = [];
+      qds_dirty = false;
+      service_progress = false;
+    }
+  in
   Runtime.register_io_signal rt (Oskernel.Kernel.rx_signal kernel);
-  Runtime.register_timer_source rt (fun () -> Oskernel.Kernel.next_timer kernel);
+  Runtime.register_timer_source rt (fun () -> Oskernel.Kernel.next_timer_ns kernel);
   ignore (Dsched.spawn (Runtime.sched rt) Dsched.Fast_path ~name:"catnap-fast-path"
        (fast_path t (Runtime.new_fp_slot rt)));
   t

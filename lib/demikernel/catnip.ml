@@ -164,22 +164,46 @@ let rx_cost t frame =
     else c.Net.Cost.dpdk_rx_ns + c.Net.Cost.udp_rx_ns + c.Net.Cost.libos_sched_ns
   else c.Net.Cost.dpdk_rx_ns
 
+(* Deliver a received burst: top-level recursion, not a per-burst
+   closure, so the delivery loop itself adds no allocation beyond what
+   the handlers do. *)
+(* dlint: hotpath *)
+let rec rx_all t frames =
+  match frames with
+  | [] -> ()
+  | frame :: rest ->
+      charge_proto t (rx_cost t frame);
+      Tcp.Stack.input t.stack frame;
+      rx_all t rest
+
+(* The steady-state iteration — empty burst, no timer work — is the
+   measured gc-budget window: it must allocate zero minor-heap words.
+   The window opens before the burst poll and closes before
+   [maybe_park]/[yield], which run effect machinery (continuations
+   allocate by design — that cost is the scheduler's, not the poll
+   loop's). Timer work is detected via the wheel's cumulative
+   [timer_activity] counter: a cascade or a firing makes the poll
+   busy. *)
+(* dlint: hotpath *)
 let fast_path t slot () =
   let sched = Runtime.sched t.rt in
+  let gc_site = Memory.Gcbudget.site "catnip.fast_path" in
   let rec loop () =
+    let activity0 = Tcp.Stack.timer_activity t.stack in
+    Memory.Gcbudget.enter gc_site;
     (match Net.Dpdk_sim.rx_burst t.nic ~max:16 with
     | [] ->
         Tcp.Stack.on_timer t.stack;
+        if Tcp.Stack.timer_activity t.stack = activity0 then
+          Memory.Gcbudget.leave_steady gc_site
+        else Memory.Gcbudget.leave_busy gc_site;
         ignore (Runtime.maybe_park t.rt slot);
         Dsched.yield sched
     | frames ->
+        Memory.Gcbudget.leave_busy gc_site;
         Runtime.fp_busy slot;
         charge t (cost t).Net.Cost.libos_poll_ns;
-        List.iter
-          (fun frame ->
-            charge_proto t (rx_cost t frame);
-            Tcp.Stack.input t.stack frame)
-          frames;
+        rx_all t frames;
         Tcp.Stack.flush_acks t.stack;
         Tcp.Stack.on_timer t.stack;
         Dsched.yield sched);
@@ -338,7 +362,7 @@ let create rt ~nic ?(config = Tcp.Stack.default_config) () =
   in
   let t = Lazy.force t in
   Runtime.register_io_signal rt (Net.Dpdk_sim.rx_signal nic);
-  Runtime.register_timer_source rt (fun () -> Tcp.Stack.next_timer t.stack);
+  Runtime.register_timer_source rt (fun () -> Tcp.Stack.next_timer_ns t.stack);
   ignore (Dsched.spawn (Runtime.sched rt) Dsched.Fast_path ~name:"catnip-fast-path"
        (fast_path t (Runtime.new_fp_slot rt)));
   t

@@ -24,31 +24,46 @@ type t = {
   mutable live : int;
   mutable stopped : bool;
   mutable switches : int;
+  mutable on_wake : int -> unit;
+      (* The waker-drain callback, built once at create: [drain_wakers]
+         runs every scheduler-loop iteration and must not allocate a
+         fresh closure each time. *)
 }
 
 type _ Effect.t += Yield : unit Effect.t | Block : unit Effect.t
-
-let create host =
-  {
-    host;
-    waker = Waker.create ();
-    app_q = Queue.create ();
-    bg_q = Queue.create ();
-    fp_q = Queue.create ();
-    by_slot = Array.make 8 None;
-    current = None;
-    live = 0;
-    stopped = false;
-    switches = 0;
-  }
-
-let host t = t.host
 
 let enqueue t coro =
   match coro.kind with
   | App -> Queue.add coro t.app_q
   | Background -> Queue.add coro t.bg_q
   | Fast_path -> Queue.add coro t.fp_q
+
+let create host =
+  let t =
+    {
+      host;
+      waker = Waker.create ();
+      app_q = Queue.create ();
+      bg_q = Queue.create ();
+      fp_q = Queue.create ();
+      by_slot = Array.make 8 None;
+      current = None;
+      live = 0;
+      stopped = false;
+      switches = 0;
+      on_wake = ignore;
+    }
+  in
+  t.on_wake <-
+    (fun slot ->
+      match t.by_slot.(slot) with
+      | Some coro when coro.state = Blocked ->
+          coro.state <- Ready;
+          enqueue t coro
+      | Some _ | None -> ());
+  t
+
+let host t = t.host
 
 let spawn t kind ?(name = "coroutine") body =
   let slot = Waker.alloc t.waker in
@@ -89,13 +104,8 @@ let has_pending_wakes t = Waker.any_set t.waker
 let stop t = t.stopped <- true
 let context_switches t = t.switches
 
-let drain_wakers t =
-  Waker.drain t.waker (fun slot ->
-      match t.by_slot.(slot) with
-      | Some coro when coro.state = Blocked ->
-          coro.state <- Ready;
-          enqueue t coro
-      | Some _ | None -> ())
+(* dlint: hotpath *)
+let drain_wakers t = Waker.drain t.waker t.on_wake
 
 let handler t coro =
   {
@@ -121,58 +131,79 @@ let handler t coro =
         | _ -> None);
   }
 
+(* The [current] field holds the coro directly during a slice; the
+   trace thunk is built only when a tracer is installed (field read on
+   [Engine.Sim.trace]), so untraced dispatches allocate nothing before
+   entering the continuation. *)
+(* dlint: hotpath *)
 let run_slice t coro =
   coro.state <- Running;
+  (* dlint-allow: alloc-in-hotpath -- current-coro registration, one Some per dispatch slice *)
   t.current <- Some coro;
   t.switches <- t.switches + 1;
-  Engine.Sim.trace_event t.host.Host.sim ~category:Engine.Trace.Sched (fun () ->
-      Printf.sprintf "%s: dispatch %s" t.host.Host.name coro.name);
-  (match (coro.body, coro.cont) with
-  | Some body, _ ->
+  (match Engine.Sim.trace t.host.Host.sim with
+  | None -> ()
+  | Some _ ->
+      Engine.Sim.trace_event t.host.Host.sim ~category:Engine.Trace.Sched
+        (* dlint-allow: alloc-in-hotpath -- tracing-enabled runs trade one thunk per dispatch for observability *)
+        (fun () -> Printf.sprintf "%s: dispatch %s" t.host.Host.name coro.name));
+  (match coro.body with
+  | Some body ->
       coro.body <- None;
       Effect.Deep.match_with body () (handler t coro)
-  | None, Some k ->
-      coro.cont <- None;
-      Effect.Deep.continue k ()
-  | None, None -> assert false);
+  | None -> (
+      match coro.cont with
+      | Some k ->
+          coro.cont <- None;
+          Effect.Deep.continue k ()
+      | None -> assert false));
   t.current <- None
 
 (* Dispatch priority (§5.4): runnable application coroutines, then
    background, then the always-runnable fast-path coroutines, FIFO
    within a class. Queues can hold stale entries for coroutines that
-   were re-enqueued and died; skip those. *)
-let pick t =
-  let rec pick_from q =
-    match Queue.take_opt q with
-    | Some coro when coro.state = Ready -> Some coro
-    | Some _ -> pick_from q (* stale entry for a dead/requeued coroutine *)
-    | None -> None
-  in
-  match pick_from t.app_q with
-  | Some c -> Some c
-  | None -> (
-      match pick_from t.bg_q with
-      | Some c -> Some c
-      | None -> pick_from t.fp_q)
+   were re-enqueued and died; skip those. Dispatches-in-place and
+   returns whether it found work (rather than returning the coroutine
+   in an option) so the per-iteration scheduler step allocates
+   nothing. *)
+(* dlint: hotpath *)
+let rec dispatch_from t q switch_cost =
+  if Queue.is_empty q then false
+  else begin
+    let coro = Queue.pop q in
+    if coro.state = Ready then begin
+      Host.charge_as t.host Engine.Span.Sched switch_cost;
+      run_slice t coro;
+      true
+    end
+    else dispatch_from t q switch_cost (* stale entry for a dead/requeued coroutine *)
+  end
 
+(* dlint: hotpath *)
+let dispatch_one t switch_cost =
+  dispatch_from t t.app_q switch_cost
+  || dispatch_from t t.bg_q switch_cost
+  || dispatch_from t t.fp_q switch_cost
+
+(* dlint: hotpath *)
 let run t =
   t.stopped <- false;
   let switch_cost = t.host.Host.cost.Net.Cost.coroutine_switch_ns in
   let rec loop () =
     if not t.stopped then begin
       drain_wakers t;
-      match pick t with
-      | Some coro ->
-          Host.charge_as t.host Engine.Span.Sched switch_cost;
-          run_slice t coro;
-          loop ()
-      | None ->
-          if t.live = 0 then ()
-          else if Waker.any_set t.waker then loop ()
-          else
-            failwith
-              (Printf.sprintf "Dsched.run: deadlock on host %s (%d blocked coroutines)"
-                 t.host.Host.name t.live)
+      if dispatch_one t switch_cost then loop ()
+      else if t.live = 0 then ()
+      else if Waker.any_set t.waker then loop ()
+      else begin
+        let msg =
+          (* dlint-allow: alloc-in-hotpath -- deadlock error path, raises *)
+          Printf.sprintf "Dsched.run: deadlock on host %s (%d blocked coroutines)"
+            t.host.Host.name t.live
+        in
+        (* dlint-allow: alloc-in-hotpath -- deadlock error path, raises *)
+        failwith msg
+      end
     end
   in
   loop ()

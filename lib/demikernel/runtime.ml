@@ -16,7 +16,7 @@ type t = {
   mutable next_qd : int;
   mutable fp_slots : fp_slot list;
   mutable io_signals : Engine.Condvar.t list;
-  mutable timer_sources : (unit -> int option) list;
+  mutable timer_sources : (unit -> int) list; (* ns; max_int = none *)
   kick : Engine.Condvar.t;
       (* Wakes a parked host fiber for non-device events (coroutine
          timeouts). Always part of [io_signals]. *)
@@ -85,23 +85,33 @@ let fresh_qd t =
    worker blocks on its own coroutine readiness bit, so one completion
    wakes exactly one worker — no thundering herd. --- *)
 
+(* The block/wake loop allocates only at the edges (registration on
+   entry, result delivery on exit), never per wake: the waiter option
+   is hoisted out of the loop and re-used across re-blocks. *)
+(* dlint: hotpath *)
 let wait t qt =
   let ts = find_token t qt in
+  (* dlint-allow: alloc-in-hotpath -- one waiter registration per wait call, not per wake *)
+  let me = Some (Dsched.self t.sched) in
   let rec loop () =
     match ts.result with
     | Some r ->
         Hashtbl.remove t.tokens qt;
         r
     | None ->
-        ts.waiter <- Some (Dsched.self t.sched);
+        ts.waiter <- me;
         Dsched.block t.sched;
         ts.waiter <- None;
         loop ()
   in
   loop ()
 
+(* dlint: hotpath *)
 let wait_any t qts =
-  if Array.length qts = 0 then invalid_arg "wait_any: empty token set";
+  if Array.length qts = 0 then
+    (* dlint-allow: alloc-in-hotpath -- error path, never taken per wake *)
+    invalid_arg "wait_any: empty token set";
+  (* dlint-allow: alloc-in-hotpath -- per-call setup: one state array per wait_any *)
   let states = Array.map (find_token t) qts in
   let rec scan i =
     if i >= Array.length qts then None
@@ -109,45 +119,64 @@ let wait_any t qts =
       match states.(i).result with
       | Some r ->
           Hashtbl.remove t.tokens qts.(i);
+          (* dlint-allow: alloc-in-hotpath -- completion delivery, once per call *)
           Some (i, r)
       | None -> scan (i + 1)
   in
   let me = Dsched.self t.sched in
+  (* dlint-allow: alloc-in-hotpath -- one waiter registration per wait_any call *)
+  let some_me = Some me in
   let rec loop () =
     match scan 0 with
     | Some hit ->
-        Array.iter
-          (fun ts ->
-            match ts.waiter with Some h when h == me -> ts.waiter <- None | Some _ | None -> ())
-          states;
+        for i = 0 to Array.length states - 1 do
+          let ts = states.(i) in
+          (match ts.waiter with
+          | Some h when h == me -> ts.waiter <- None
+          | Some _ | None -> ())
+        done;
         hit
     | None ->
-        Array.iter (fun ts -> ts.waiter <- Some me) states;
+        for i = 0 to Array.length states - 1 do
+          states.(i).waiter <- some_me
+        done;
         Dsched.block t.sched;
         loop ()
   in
   loop ()
 
+(* dlint: hotpath *)
 let wait_any_timeout t qts ~timeout_ns =
-  if Array.length qts = 0 then invalid_arg "wait_any_timeout: empty token set";
+  if Array.length qts = 0 then
+    (* dlint-allow: alloc-in-hotpath -- error path, never taken per wake *)
+    invalid_arg "wait_any_timeout: empty token set";
+  (* dlint-allow: alloc-in-hotpath -- per-call setup: one state array per call *)
   let states = Array.map (find_token t) qts in
   let deadline = Host.now t.host + timeout_ns in
   let me = Dsched.self t.sched in
   (* A timer event wakes us if nothing completes first; spurious wakes
      are harmless because we re-scan. *)
+  (* dlint-allow: alloc-in-hotpath -- per-call setup: one cancel flag per call *)
   let cancelled = ref false in
-  Engine.Sim.schedule t.host.Host.sim ~delay:timeout_ns (fun () ->
+  Engine.Sim.schedule t.host.Host.sim ~delay:timeout_ns
+    (* dlint-allow: alloc-in-hotpath -- per-call setup: one timeout closure per call *)
+    (fun () ->
       if not !cancelled then begin
         Dsched.wake t.sched me;
         (* The host fiber may be parked on device signals; kick it so the
            scheduler loop observes the readiness bit. *)
         Engine.Condvar.broadcast t.kick
       end);
+  (* dlint-allow: alloc-in-hotpath -- one waiter registration per call, not per wake *)
+  let some_me = Some me in
   let cleanup () =
     cancelled := true;
-    Array.iter
-      (fun ts -> match ts.waiter with Some h when h == me -> ts.waiter <- None | _ -> ())
-      states
+    for i = 0 to Array.length states - 1 do
+      let ts = states.(i) in
+      (match ts.waiter with
+      | Some h when h == me -> ts.waiter <- None
+      | Some _ | None -> ())
+    done
   in
   let rec scan i =
     if i >= Array.length qts then None
@@ -155,6 +184,7 @@ let wait_any_timeout t qts ~timeout_ns =
       match states.(i).result with
       | Some r ->
           Hashtbl.remove t.tokens qts.(i);
+          (* dlint-allow: alloc-in-hotpath -- completion delivery, once per call *)
           Some (i, r)
       | None -> scan (i + 1)
   in
@@ -162,6 +192,7 @@ let wait_any_timeout t qts ~timeout_ns =
     match scan 0 with
     | Some hit ->
         cleanup ();
+        (* dlint-allow: alloc-in-hotpath -- completion delivery, once per call *)
         Some hit
     | None ->
         if Host.now t.host >= deadline then begin
@@ -169,7 +200,9 @@ let wait_any_timeout t qts ~timeout_ns =
           None
         end
         else begin
-          Array.iter (fun ts -> ts.waiter <- Some me) states;
+          for i = 0 to Array.length states - 1 do
+            states.(i).waiter <- some_me
+          done;
           Dsched.block t.sched;
           loop ()
         end
@@ -310,14 +343,14 @@ let register_io_signal t cv = t.io_signals <- cv :: t.io_signals
 
 let register_timer_source t fn = t.timer_sources <- fn :: t.timer_sources
 
-let next_deadline t =
+(* Earliest deadline over every registered source; [max_int] = none.
+   Int-based so per-poll deadline peeks allocate nothing. *)
+let next_deadline_ns t =
   List.fold_left
     (fun acc fn ->
-      match (fn (), acc) with
-      | Some d, Some a -> Some (min d a)
-      | (Some _ as d), None -> d
-      | None, acc -> acc)
-    None t.timer_sources
+      let d = fn () in
+      if d < acc then d else acc)
+    max_int t.timer_sources
 
 let maybe_park t slot =
   slot.idle <- true;
@@ -325,9 +358,9 @@ let maybe_park t slot =
   else if List.exists (fun s -> not s.idle) t.fp_slots then false
   else begin
     let timeout =
-      match next_deadline t with
-      | Some deadline -> Some (max 0 (deadline - Host.now t.host))
-      | None -> None
+      match next_deadline_ns t with
+      | d when d = max_int -> None
+      | deadline -> Some (max 0 (deadline - Host.now t.host))
     in
     let _ = Engine.Condvar.wait_many t.host.Host.sim t.io_signals ~timeout in
     Host.charge t.host t.host.Host.cost.Net.Cost.libos_poll_ns;

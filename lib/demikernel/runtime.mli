@@ -85,5 +85,9 @@ type fp_slot
 val new_fp_slot : t -> fp_slot
 val fp_busy : fp_slot -> unit
 val register_io_signal : t -> Engine.Condvar.t -> unit
-val register_timer_source : t -> (unit -> int option) -> unit
+val register_timer_source : t -> (unit -> int) -> unit
+(** The source returns its earliest pending deadline in virtual ns, or
+    [max_int] for none — int-based so the per-poll peek allocates
+    nothing (see [Tcp.Stack.next_timer_ns]). *)
+
 val maybe_park : t -> fp_slot -> bool

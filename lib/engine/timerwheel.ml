@@ -42,6 +42,8 @@ type 'a t = {
   buckets : 'a handle list array; (* levels * slots, unordered within *)
   mutable cached : 'a handle option; (* min live entry when [cache_valid] *)
   mutable cache_valid : bool;
+  mutable due_acc : 'a handle list; (* [expire]'s reusable due accumulator *)
+  mutable activity : int; (* cumulative structural-work counter *)
 }
 
 let create ?(start = 0) () =
@@ -52,9 +54,12 @@ let create ?(start = 0) () =
     buckets = Array.make (levels * slots) [];
     cached = None;
     cache_valid = true;
+    due_acc = [];
+    activity = 0;
   }
 
 let size t = t.size
+let activity t = t.activity
 let handle_deadline e = e.deadline
 let handle_live e = e.live
 
@@ -130,22 +135,77 @@ let recompute_min t =
   t.cached <- !best;
   t.cache_valid <- true
 
-let next_deadline t =
-  if t.size = 0 then None
+(* Allocation-free variant of [next_deadline] for per-poll callers:
+   [max_int] means empty. With a valid cache this is a field read. *)
+(* dlint: hotpath *)
+let next_deadline_ns t =
+  if t.size = 0 then max_int
   else begin
     if not t.cache_valid then recompute_min t;
-    match t.cached with Some e -> Some e.deadline | None -> None
+    match t.cached with Some e -> e.deadline | None -> max_int
   end
 
+let next_deadline t =
+  match next_deadline_ns t with d when d = max_int -> None | d -> Some d
+
+(* Entries from one crossed bucket: due ones collect on [t.due_acc],
+   live not-due ones re-bucket relative to the new [last] (cascading),
+   dead ones drop. A top-level recursion, not a closure, so draining
+   allocates nothing beyond the due conses themselves. *)
+(* dlint: hotpath *)
+let rec drain_crossed t now entries =
+  match entries with
+  | [] -> ()
+  | e :: rest ->
+      if e.live then
+        if e.deadline <= now then
+          (* dlint-allow: alloc-in-hotpath -- due entries exist only on firing (busy) polls *)
+          t.due_acc <- e :: t.due_acc
+        else insert t e;
+      drain_crossed t now rest
+
+(* The firing half of [expire], reached only when something is due (a
+   busy poll — sorting and firing may allocate). Claims the
+   accumulated due set and resets the accumulator before running
+   callbacks. *)
+let fire_due t due f =
+  t.due_acc <- [];
+  t.cached <- None;
+  t.cache_valid <- false;
+  let due =
+    List.sort
+      (fun e1 e2 ->
+        if e1.deadline <> e2.deadline then compare e1.deadline e2.deadline
+        else compare e1.seq e2.seq)
+      due
+  in
+  (* A callback may cancel a later due entry (e.g. closing a
+     connection disarms its other timer): the live check is
+     re-done per entry at fire time. *)
+  List.iter
+    (fun e ->
+      if e.live then begin
+        e.live <- false;
+        t.size <- t.size - 1;
+        t.activity <- t.activity + 1;
+        f e.payload
+      end)
+    due
+
+(* Drain every slot the clock crossed, at every level. Any entry with
+   deadline <= now necessarily sits in a crossed slot (its slot bits
+   lie between old and new clock bits at its level). The steady-state
+   crossing — every crossed slot empty — allocates nothing; [activity]
+   advances whenever structural work happened (a nonempty crossed
+   bucket, an entry fired), so pollers can tell the two apart. Not
+   re-entrant: callbacks must not call [expire] on the same wheel
+   (the due accumulator is shared). *)
+(* dlint: hotpath *)
 let expire t ~now f =
   let now = if now < t.last then t.last else now in
   let old_last = t.last in
   t.last <- now;
-  let due = ref [] in
-  (* Drain every slot the clock crossed, at every level. Due entries
-     collect; not-due entries re-bucket relative to the new [last]. Any
-     entry with deadline <= now necessarily sits in a crossed slot
-     (its slot bits lie between old and new clock bits at its level). *)
+  t.due_acc <- [];
   for l = 0 to levels - 1 do
     let shift = bits * l in
     let old_i = old_last lsr shift and new_i = now lsr shift in
@@ -155,34 +215,11 @@ let expire t ~now f =
       match t.buckets.(i) with
       | [] -> ()
       | entries ->
+          t.activity <- t.activity + 1;
           t.buckets.(i) <- [];
-          List.iter
-            (fun e ->
-              if e.live then
-                if e.deadline <= now then due := e :: !due else insert t e)
-            entries
+          drain_crossed t now entries
     done
   done;
-  match !due with
+  match t.due_acc with
   | [] -> () (* nothing fired: the live set is unchanged, cache stays valid *)
-  | due ->
-      t.cached <- None;
-      t.cache_valid <- false;
-      let due =
-        List.sort
-          (fun e1 e2 ->
-            if e1.deadline <> e2.deadline then compare e1.deadline e2.deadline
-            else compare e1.seq e2.seq)
-          due
-      in
-      (* A callback may cancel a later due entry (e.g. closing a
-         connection disarms its other timer): the live check is
-         re-done per entry at fire time. *)
-      List.iter
-        (fun e ->
-          if e.live then begin
-            e.live <- false;
-            t.size <- t.size - 1;
-            f e.payload
-          end)
-        due
+  | due -> fire_due t due f

@@ -41,7 +41,14 @@ val cancel : 'a t -> 'a handle -> unit
 val next_deadline : 'a t -> int option
 (** Exact earliest live deadline, or [None] when empty. O(1) when the
     cached minimum is valid; otherwise one bounded slot scan
-    (re-validated lazily after an expiry or a cancel of the minimum). *)
+    (re-validated lazily after an expiry or a cancel of the minimum).
+    Allocates the [Some]; per-poll callers should use
+    {!next_deadline_ns}. *)
+
+val next_deadline_ns : 'a t -> int
+(** {!next_deadline} without the option: [max_int] means empty.
+    Allocation-free — this is the form the steady-state poll loops
+    consult every iteration. *)
 
 val expire : 'a t -> now:int -> ('a -> unit) -> unit
 (** Advance the wheel to [now] and fire every live entry with
@@ -49,7 +56,16 @@ val expire : 'a t -> now:int -> ('a -> unit) -> unit
     callback may arm new entries (they fire on a later [expire], even if
     already due) and may cancel not-yet-fired ones (they are skipped).
     Cost: slots crossed since the last call, plus O(k log k) in the k
-    entries fired. *)
+    entries fired. The steady-state crossing (every crossed slot empty)
+    allocates nothing. Not re-entrant: callbacks must not call [expire]
+    on the same wheel. *)
+
+val activity : 'a t -> int
+(** Cumulative structural-work counter: advances whenever [expire]
+    touches a nonempty crossed bucket (cascade) or fires an entry.
+    Unchanged across an [expire] call iff the wheel did nothing — how
+    pollers distinguish a steady (allocation-free) poll from a busy
+    one. *)
 
 (** {1 Introspection (tests)} *)
 

@@ -3,6 +3,7 @@ type fingerprint = {
   events : int;
   metrics : string;
   ownership_violations : int;
+  gc_poll_violations : int;
 }
 type result = { seed : int64; first : fingerprint; second : fingerprint; ok : bool }
 
@@ -16,8 +17,12 @@ let flavor_name = function
   | Demikernel.Boot.Catmint_os -> "catmint"
 
 (* One traced echo scenario with the ownership oracle armed on both
-   ends; returns (trace digest, events, metrics lines, violations). *)
+   ends; returns (trace digest, events, metrics lines, ownership
+   violations, gc-budget violations). *)
 let scenario ~seed ~count flavor =
+  (* Per-scenario window for the gc-budget oracle: counters are global,
+     so zero them here and read them after teardown. *)
+  Memory.Gcbudget.reset ();
   let sim = Engine.Sim.create ~seed () in
   let tracer = Engine.Sim.enable_trace sim in
   let fabric = Net.Fabric.create sim ~cost:Net.Cost.bare_metal () in
@@ -31,7 +36,8 @@ let scenario ~seed ~count flavor =
      (Host registers Heap.log_teardown the same way). *)
   Engine.Sim.at_teardown sim (fun () ->
       Demikernel.Pdpix.log_oracle_teardown server_oracle;
-      Demikernel.Pdpix.log_oracle_teardown client_oracle);
+      Demikernel.Pdpix.log_oracle_teardown client_oracle;
+      Memory.Gcbudget.log_teardown ());
   Demikernel.Boot.run_app server
     ~wrap:(Demikernel.Pdpix.checked server_oracle)
     (Apps.Echo.server ~port:7 ~persist:false);
@@ -52,6 +58,7 @@ let scenario ~seed ~count flavor =
   let heap_of (node : Demikernel.Boot.node) =
     Memory.Heap.stats node.Demikernel.Boot.host.Demikernel.Host.heap
   in
+  let gc_violations = Memory.Gcbudget.total_violations () in
   let metrics =
     String.concat "\n"
       [
@@ -61,30 +68,44 @@ let scenario ~seed ~count flavor =
         heap_line (name ^ "-server") (heap_of server);
         heap_line (name ^ "-client") (heap_of client);
         Printf.sprintf "  ownership %-10s violations=%d" name violations;
+        Printf.sprintf "  gc-budget %-10s steady_polls=%d violations=%d" name
+          (Memory.Gcbudget.total_measured ())
+          gc_violations;
       ]
   in
-  (Engine.Trace.digest tracer, Engine.Sim.events_processed sim, metrics, violations)
+  ( Engine.Trace.digest tracer,
+    Engine.Sim.events_processed sim,
+    metrics,
+    violations,
+    gc_violations )
 
 let fingerprint ~seed ~count =
   let runs =
     List.map
       (scenario ~seed ~count)
-      [ Demikernel.Boot.Catnip_os; Demikernel.Boot.Catmint_os ]
+      [ Demikernel.Boot.Catnip_os; Demikernel.Boot.Catnap_os; Demikernel.Boot.Catmint_os ]
   in
   {
-    digest = String.concat "+" (List.map (fun (d, _, _, _) -> d) runs);
-    events = List.fold_left (fun acc (_, e, _, _) -> acc + e) 0 runs;
-    metrics = String.concat "\n" (List.map (fun (_, _, m, _) -> m) runs);
-    ownership_violations = List.fold_left (fun acc (_, _, _, v) -> acc + v) 0 runs;
+    digest = String.concat "+" (List.map (fun (d, _, _, _, _) -> d) runs);
+    events = List.fold_left (fun acc (_, e, _, _, _) -> acc + e) 0 runs;
+    metrics = String.concat "\n" (List.map (fun (_, _, m, _, _) -> m) runs);
+    ownership_violations = List.fold_left (fun acc (_, _, _, v, _) -> acc + v) 0 runs;
+    gc_poll_violations = List.fold_left (fun acc (_, _, _, _, g) -> acc + g) 0 runs;
   }
 
 let run ?(seed = 42L) ?(count = 64) () =
-  (* Arm the heap sanitizer for the duration: the self-check doubles as
-     an end-to-end exercise of poison/canary/leak reporting. *)
+  (* Arm the heap sanitizer and the gc-budget oracle for the duration:
+     the self-check doubles as an end-to-end exercise of
+     poison/canary/leak reporting AND of the zero-allocation claim for
+     every marked steady-state poll loop. *)
   let prior = Memory.Heap.sanitize_default () in
+  let prior_gc = Memory.Gcbudget.armed () in
   Memory.Heap.set_sanitize_default true;
+  Memory.Gcbudget.set_armed true;
   Fun.protect
-    ~finally:(fun () -> Memory.Heap.set_sanitize_default prior)
+    ~finally:(fun () ->
+      Memory.Heap.set_sanitize_default prior;
+      Memory.Gcbudget.set_armed prior_gc)
     (fun () ->
       let first = fingerprint ~seed ~count in
       let second = fingerprint ~seed ~count in
@@ -94,6 +115,8 @@ let run ?(seed = 42L) ?(count = 64) () =
         && String.equal first.metrics second.metrics
         && first.ownership_violations = 0
         && second.ownership_violations = 0
+        && first.gc_poll_violations = 0
+        && second.gc_poll_violations = 0
       in
       { seed; first; second; ok })
 
@@ -104,11 +127,15 @@ let print fmt r =
   Format.fprintf fmt "%s@." r.first.metrics;
   if r.ok then
     Format.fprintf fmt
-      "selfcheck PASSED: identical trace digests, clean ownership protocol@."
+      "selfcheck PASSED: identical trace digests, clean ownership protocol, \
+       allocation-free steady polls@."
   else begin
     if r.first.ownership_violations + r.second.ownership_violations > 0 then
       Format.fprintf fmt "selfcheck FAILED: %d ownership violation(s)@."
         (r.first.ownership_violations + r.second.ownership_violations)
+    else if r.first.gc_poll_violations + r.second.gc_poll_violations > 0 then
+      Format.fprintf fmt "selfcheck FAILED: %d steady poll(s) allocated@."
+        (r.first.gc_poll_violations + r.second.gc_poll_violations)
     else Format.fprintf fmt "selfcheck FAILED: runs diverged@.";
     Format.fprintf fmt "  second digest %s@." r.second.digest;
     Format.fprintf fmt "  second events %d@." r.second.events;

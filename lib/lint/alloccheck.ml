@@ -1,0 +1,360 @@
+(* Demialloc: the hot-path allocation pass.
+
+   The µs-scale datapath argument (§5.4) rests on allocation-free poll
+   loops: at 1M connections every word allocated per poll is GC
+   pressure the paper's C/Rust stacks never pay. This pass makes the
+   discipline checkable: code opts in with a marker comment and every
+   lexically visible heap-allocation site inside the marked region is
+   reported under the single rule id [alloc-in-hotpath].
+
+   Markers (recognised in comments; string literals cannot spoof them
+   because marker scans run on the strings-masked view). A marker only
+   counts when terminated — followed by nothing but the comment closer
+   or the end of the line — so prose that merely mentions one, like
+   this paragraph, arms nothing:
+
+     dlint: hotpath         -- arms the NEXT top-level [let]/[and]
+                               group (or the group whose binding line
+                               carries the marker) — function-level
+     dlint: hotpath-begin   -- arms the following lines
+     dlint: hotpath-end     -- disarms (region form, for inner loops)
+
+   Sub-rules (reported in the message tag; all share the one rule id,
+   so an inline [dlint-allow] for alloc-in-hotpath or a central
+   allowlist entry covers any of them):
+
+     alloc-call      known allocating stdlib calls (Bytes.create,
+                     sprintf, String.concat, Array.make, ...)
+     string-append   the ^ / ^^ operators
+     list-alloc      :: cons, non-empty [ ... ] / [| ... |] literals,
+                     the @ append operator
+     tuple-alloc     a comma at paren depth >= 1 in expression position
+     record-alloc    { ... } record construction in expression position
+     closure-alloc   fun / function / lazy (closure or thunk creation)
+     combinator      List.map-family combinators (allocate their result
+                     and usually a closure argument)
+     opt-alloc       *_opt calls and the Some constructor (every hit
+                     allocates a fresh option block)
+     ref-alloc       ref cell creation
+     exn-alloc       failwith / invalid_arg / raise ( ... ) — exception
+                     values with payloads are heap blocks
+     boxed-float     float arithmetic (+. -. *. /.) and float_of_int —
+                     results are boxed unless flambda unboxes them
+
+   Known false-negative classes (documented in DESIGN.md §11): partial
+   application (arity is not lexical), variant constructors other than
+   [Some], multi-line literals whose opening token is on a previous
+   line, allocation hidden behind a call into an unmarked function.
+   The pattern/expression split is a line-local heuristic; multi-line
+   match patterns can yield false positives, which is what the
+   [dlint-allow] machinery is for. *)
+
+let rule_id = "alloc-in-hotpath"
+let rule_ids = [ rule_id ]
+
+type finding = { line : int; col : int; message : string }
+
+(* ---------- hot-region computation (on the strings-masked view) ---------- *)
+
+let marker_fn = "dlint: hotpath"
+let marker_begin = "dlint: hotpath-begin"
+let marker_end = "dlint: hotpath-end"
+
+let starts_with p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p
+let starts_toplevel text = starts_with "let " text || starts_with "and " text
+
+(* A marker occurrence counts only when terminated: the marker text
+   followed by optional blanks and then the comment closer or the end
+   of the line. Prose that mentions a marker mid-sentence arms nothing,
+   and [hotpath] never matches inside [hotpath-begin]/[-end] (the next
+   char is '-', not a terminator). *)
+let marker_at line m =
+  let n = String.length line and lm = String.length m in
+  let rec skip j = if j < n && (line.[j] = ' ' || line.[j] = '\t') then skip (j + 1) else j in
+  let rec find i =
+    if i + lm > n then false
+    else if String.sub line i lm = m then begin
+      let j = skip (i + lm) in
+      if j >= n || (j + 1 < n && line.[j] = '*' && line.[j + 1] = ')') then true
+      else find (i + 1)
+    end
+    else find (i + 1)
+  in
+  find 0
+
+(* Function-level markers arm [let-line .. next-toplevel). A marker that
+   never finds a following binding (marker at EOF) arms nothing. *)
+let hot_lines ~masked ~stripped =
+  let n = Array.length stripped in
+  let hot = Array.make n false in
+  let has_marker i m = i < Array.length masked && marker_at masked.(i) m in
+  let in_region = ref false in
+  for i = 0 to n - 1 do
+    if has_marker i marker_end then in_region := false
+    else if has_marker i marker_begin then in_region := true
+    else if !in_region then hot.(i) <- true
+  done;
+  for i = 0 to n - 1 do
+    if has_marker i marker_fn && not (has_marker i marker_begin) && not (has_marker i marker_end)
+    then begin
+      let rec find_let j = if j >= n then None else if starts_toplevel stripped.(j) then Some j else find_let (j + 1) in
+      match find_let i with
+      | None -> () (* marker at EOF or trailing: arms nothing *)
+      | Some j ->
+          hot.(j) <- true;
+          let rec mark k =
+            if k < n && not (starts_toplevel stripped.(k)) then begin
+              hot.(k) <- true;
+              mark (k + 1)
+            end
+          in
+          mark (j + 1)
+    end
+  done;
+  hot
+
+(* ---------- expression vs pattern position (line-local heuristic) ---------- *)
+
+(* Is position [i] on [line] an expression (allocating) rather than a
+   pattern (free)? The nearest significant delimiter to the left of [i]
+   decides — a left-to-right scan tracking the last one seen:
+   - '|' (a match arm, not || / [| / |] / |>), "with", "fun",
+     "function", "let"/"and" open pattern position (arm patterns,
+     binder parameters, binding lhs);
+   - "->", a standalone '=' (not <=, >=, <>, ==, :=, +=-style) and
+     "when" (guards are expressions) switch back to expression
+     position.
+   With no delimiter at all the line is an expression continuation.
+   This handles single-line matches (`... with None -> 0 | Some _ -> 1`
+   keeps the arm's [Some] in pattern position) that a
+   whole-line-shape rule would misclassify. *)
+let expression_pos line i =
+  let n = String.length line in
+  let stop = min i n in
+  let expr = ref true in
+  let j = ref 0 in
+  while !j < stop do
+    let c = line.[!j] in
+    if Lexer.is_ident_char c && (!j = 0 || not (Lexer.is_ident_char line.[!j - 1])) then begin
+      let w = Lexer.word_at line !j in
+      (match w with
+      | "with" | "fun" | "function" | "let" | "and" -> expr := false
+      | "when" -> expr := true
+      | _ -> ());
+      j := !j + String.length w
+    end
+    else begin
+      (if
+         c = '|'
+         && (!j = 0 || (line.[!j - 1] <> '|' && line.[!j - 1] <> '['))
+         && (!j + 1 >= n || (line.[!j + 1] <> '|' && line.[!j + 1] <> ']' && line.[!j + 1] <> '>'))
+       then expr := false
+       else if c = '-' && !j + 1 < n && line.[!j + 1] = '>' then expr := true
+       else if
+         c = '='
+         && (!j = 0 || not (List.mem line.[!j - 1] [ '<'; '>'; '!'; ':'; '='; '+'; '-'; '*'; '/' ]))
+         && (!j + 1 >= n || line.[!j + 1] <> '=')
+       then expr := true);
+      incr j
+    end
+  done;
+  !expr
+
+(* ---------- sub-rule scanners (on the stripped view) ---------- *)
+
+let alloc_call_tokens =
+  [
+    "Bytes.create"; "Bytes.make"; "Bytes.init"; "Bytes.of_string"; "Bytes.to_string";
+    "Bytes.sub_string"; "Bytes.extend"; "Bytes.cat"; "Bytes.concat"; "String.make";
+    "String.init"; "String.concat"; "String.sub"; "String.cat"; "String.split_on_char";
+    "String.map"; "String.trim"; "Printf.sprintf"; "Format.sprintf"; "Format.asprintf";
+    "Printf.ksprintf"; "Buffer.create"; "Buffer.contents"; "Array.make"; "Array.init";
+    "Array.append"; "Array.of_list"; "Array.to_list"; "Array.copy"; "Array.sub";
+    "Array.concat"; "List.init"; "Hashtbl.create"; "Hashtbl.copy"; "Queue.create";
+    "string_of_int"; "string_of_float"; "Int64.to_string"; "Int32.to_string";
+    "Digest.string"; "Digest.to_hex";
+  ]
+
+let combinator_tokens =
+  [
+    "List.map"; "List.mapi"; "List.rev_map"; "List.filter"; "List.filter_map";
+    "List.concat_map"; "List.concat"; "List.append"; "List.rev"; "List.sort";
+    "List.sort_uniq"; "List.stable_sort"; "List.split"; "List.combine"; "List.of_seq";
+    "List.to_seq"; "List.flatten"; "Array.map"; "Array.mapi"; "Array.to_seq";
+    "Hashtbl.fold";
+  ]
+
+let float_op_tokens = [ "+."; "-."; "*."; "/."; "float_of_int"; "Float.of_int" ]
+
+(* First dot-qualified identifier on the line whose final component ends
+   in "_opt" — such calls allocate a fresh [Some] on every hit. *)
+let opt_call line =
+  let n = String.length line in
+  let rec go i =
+    if i >= n then None
+    else if
+      Lexer.is_ident_char line.[i]
+      && (i = 0 || not (Lexer.is_ident_char line.[i - 1] || line.[i - 1] = '.'))
+    then begin
+      let w = Lexer.word_at line i in
+      let lw = String.length w in
+      if lw > 4 && String.sub w (lw - 4) 4 = "_opt" then Some (i, w) else go (i + lw)
+    end
+    else go (i + 1)
+  in
+  go 0
+
+(* First comma at paren depth >= 1 — tuple construction in OCaml. *)
+let tuple_comma line =
+  let n = String.length line in
+  let rec at i depth =
+    if i >= n then None
+    else
+      match line.[i] with
+      | '(' -> at (i + 1) (depth + 1)
+      | ')' -> at (i + 1) (max 0 (depth - 1))
+      | ',' when depth >= 1 -> Some i
+      | _ -> at (i + 1) depth
+  in
+  at 0 0
+
+(* Non-empty list / array literal: '[' that is not an attribute ([@/[%),
+   not string indexing (s.[i]), and not immediately closed. *)
+let list_literal line =
+  let n = String.length line in
+  let rec at i =
+    if i >= n then None
+    else if line.[i] = '[' && (i = 0 || line.[i - 1] <> '.') then begin
+      let j = i + 1 in
+      if j < n && (line.[j] = '@' || line.[j] = '%') then at (j + 1)
+      else begin
+        let rec skip k = if k < n && line.[k] = ' ' then skip (k + 1) else k in
+        if j < n && line.[j] = '|' then
+          (* array literal: [| ... |]; [||] is the empty (static) array *)
+          if skip (j + 1) < n && line.[skip (j + 1)] = '|' then at (j + 1) else Some i
+        else if skip j < n && line.[skip j] = ']' then at (j + 1)
+        else Some i
+      end
+    end
+    else at (i + 1)
+  in
+  at 0
+
+(* '@' list append: skip @@ (application, no alloc) and [@attributes]. *)
+let append_op line =
+  let n = String.length line in
+  let rec at i =
+    if i >= n then None
+    else if
+      line.[i] = '@'
+      && (i = 0 || (line.[i - 1] <> '@' && line.[i - 1] <> '['))
+      && (i + 1 >= n || line.[i + 1] <> '@')
+    then Some i
+    else at (i + 1)
+  in
+  at 0
+
+let caret line =
+  let n = String.length line in
+  let rec at i = if i >= n then None else if line.[i] = '^' then Some i else at (i + 1) in
+  at 0
+
+(* "raise" applied to a parenthesised payload; a bare [raise Exit] is a
+   static exception value and allocation-free. *)
+let raise_payload line =
+  match Lexer.token_index line "raise" with
+  | None -> None
+  | Some i ->
+      let n = String.length line in
+      let rec skip j = if j < n && line.[j] = ' ' then skip (j + 1) else j in
+      let j = skip (i + 5) in
+      if j < n && line.[j] = '(' then Some i else None
+
+let sub_tag_message tag what =
+  Printf.sprintf
+    "%s in a dlint:hotpath region [%s]; steady-state polls must not allocate — hoist it \
+     out of the loop, restructure allocation-free, or justify with dlint-allow: \
+     alloc-in-hotpath"
+    what tag
+
+(* ---------- the scan ---------- *)
+
+(* [masked] is the strings-masked view (comments kept — markers live
+   there); [stripped] is the fully stripped view token scans use. *)
+let scan ~masked stripped =
+  let hot = hot_lines ~masked ~stripped in
+  let out = ref [] in
+  let emit idx col tag what =
+    out := { line = idx + 1; col = col + 1; message = sub_tag_message tag what } :: !out
+  in
+  Array.iteri
+    (fun idx line ->
+      if hot.(idx) then begin
+        (match List.find_opt (fun tok -> Lexer.contains_token line tok) alloc_call_tokens with
+        | Some tok ->
+            let col = match Lexer.token_index line tok with Some c -> c | None -> 0 in
+            emit idx col "alloc-call" (tok ^ " allocates its result")
+        | None -> ());
+        (match List.find_opt (fun tok -> Lexer.contains_token line tok) combinator_tokens with
+        | Some tok ->
+            let col = match Lexer.token_index line tok with Some c -> c | None -> 0 in
+            emit idx col "combinator" (tok ^ " allocates its result list/array")
+        | None -> ());
+        (match caret line with
+        | Some c -> emit idx c "string-append" "the ^ operator allocates a fresh string"
+        | None -> ());
+        (match List.find_opt (fun tok -> Lexer.contains_sub line tok) float_op_tokens with
+        | Some tok ->
+            emit idx 0 "boxed-float" ("float operation " ^ tok ^ " boxes its result")
+        | None -> ());
+        (match opt_call line with
+        | Some (c, w) -> emit idx c "opt-alloc" (w ^ " allocates a fresh Some per hit")
+        | None -> ());
+        (match Lexer.token_index line "Some" with
+        | Some c when expression_pos line c ->
+            emit idx c "opt-alloc" "Some constructor application allocates an option block"
+        | Some _ | None -> ());
+        (match Lexer.token_index line "ref" with
+        | Some c when expression_pos line c -> emit idx c "ref-alloc" "ref allocates a cell"
+        | Some _ | None -> ());
+        List.iter
+          (fun tok ->
+            match Lexer.token_index line tok with
+            | Some c -> emit idx c "closure-alloc" (tok ^ " creates a closure per evaluation")
+            | None -> ())
+          [ "fun"; "function"; "lazy" ];
+        (match
+           ( Lexer.token_index line "failwith",
+             Lexer.token_index line "invalid_arg",
+             raise_payload line )
+         with
+        | Some c, _, _ -> emit idx c "exn-alloc" "failwith allocates a Failure exception"
+        | None, Some c, _ ->
+            emit idx c "exn-alloc" "invalid_arg allocates an Invalid_argument exception"
+        | None, None, Some c -> emit idx c "exn-alloc" "raise with a payload allocates"
+        | None, None, None -> ());
+        if not (Lexer.contains_token line "type") then begin
+          (match tuple_comma line with
+          | Some c when expression_pos line c ->
+              emit idx c "tuple-alloc" "tuple construction allocates a block"
+          | Some _ | None -> ());
+          match Lexer.token_index line "{" with
+          | Some c when expression_pos line c ->
+              emit idx c "record-alloc" "record construction allocates a block"
+          | Some _ | None -> ()
+        end;
+        (match list_literal line with
+        | Some c when expression_pos line c ->
+            emit idx c "list-alloc" "non-empty list/array literal allocates"
+        | Some _ | None -> ());
+        (match Lexer.token_index line "::" with
+        | Some c when expression_pos line c ->
+            emit idx c "list-alloc" ":: allocates a cons cell"
+        | Some _ | None -> ());
+        (match append_op line with
+        | Some c when expression_pos line c ->
+            emit idx c "list-alloc" "@ allocates the appended prefix"
+        | Some _ | None -> ())
+      end)
+    stripped;
+  List.rev !out

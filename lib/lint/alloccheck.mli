@@ -1,0 +1,26 @@
+(** Demialloc: the [alloc-in-hotpath] lint pass.
+
+    Flags lexically visible heap-allocation sites inside regions marked
+    [(* dlint: hotpath *)] (arms the next top-level binding) or
+    [(* dlint: hotpath-begin *)] / [(* dlint: hotpath-end *)] (explicit
+    region, for inner loops). Sub-rules — allocating stdlib calls,
+    [^] string append, list/array/tuple/record construction, closure
+    creation, [List.map]-family combinators, [*_opt]/[Some] option
+    allocation, [ref] cells, exception payloads and boxed floats — all
+    report under the single rule id {!rule_id}, so one
+    [dlint-allow: alloc-in-hotpath] (or a central {!Allowlist} entry)
+    covers any of them. See DESIGN.md §11 for what counts as an
+    allocation site and the known false-negative classes. *)
+
+val rule_id : string
+(** ["alloc-in-hotpath"]. *)
+
+val rule_ids : string list
+
+type finding = { line : int; col : int; message : string }
+
+val scan : masked:string array -> string array -> finding list
+(** [scan ~masked stripped]: [masked] is the {!Lexer.mask_strings} view
+    (comments kept — the markers live there, and string literals cannot
+    spoof them); [stripped] is the {!Lexer.strip_comments_and_strings}
+    view the token scans run on. Findings are in line order. *)

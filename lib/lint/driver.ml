@@ -64,6 +64,18 @@ let run roots =
         })
       stale
 
+(* Per-rule finding counts over every known rule id (zeroes included),
+   in rule_ids order — the [dlint --stats] table. *)
+let stats violations =
+  let count rule =
+    List.length (List.filter (fun (v : Rules.violation) -> v.rule = rule) violations)
+  in
+  List.map (fun rule -> (rule, count rule)) Rules.rule_ids
+
+let report_stats fmt violations =
+  Format.fprintf fmt "per-rule findings:@.";
+  List.iter (fun (rule, n) -> Format.fprintf fmt "  %-22s %d@." rule n) (stats violations)
+
 let report fmt violations =
   List.iter (fun v -> Format.fprintf fmt "%a@." Rules.pp_violation v) violations;
   match List.length violations with

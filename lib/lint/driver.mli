@@ -18,6 +18,13 @@ val run : string list -> Rules.violation list
     matched no finding. This is what [bin/dlint] (and so the [@lint]
     alias) runs. *)
 
+val stats : Rules.violation list -> (string * int) list
+(** Per-rule finding counts over every known rule id (zeroes included),
+    in {!Rules.rule_ids} order. *)
+
+val report_stats : Format.formatter -> Rules.violation list -> unit
+(** The [dlint --stats] table: one [rule count] line per known rule. *)
+
 val report : Format.formatter -> Rules.violation list -> unit
 (** Print one [file:line:col: [rule] message] diagnostic per violation
     and a summary line. *)

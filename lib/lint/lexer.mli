@@ -6,6 +6,12 @@ val strip_comments_and_strings : string -> string
 (** Replace comment bodies and string/char literal contents with spaces
     (newlines preserved), so token scans can't match inside them. *)
 
+val mask_strings : string -> string
+(** Replace string/char literal contents with spaces but KEEP comment
+    text (comments are still tracked, so quotes inside them never open
+    a literal). This is the view marker scans use: [dlint: hotpath]
+    lives in comments, yet must not be spoofable from a string. *)
+
 val is_ident_char : char -> bool
 
 val token_index : string -> string -> int option

@@ -9,7 +9,7 @@ let rule_unused = "unused-exemption"
 
 let rule_ids =
   [ rule_determinism; rule_hashtbl; rule_copy; rule_poly; rule_print ]
-  @ Ownership.rule_ids @ [ rule_unused ]
+  @ Ownership.rule_ids @ Alloccheck.rule_ids @ [ rule_unused ]
 
 (* ---------- path classification ---------- *)
 
@@ -269,6 +269,16 @@ let scan_core ~path contents =
         emit ~line:f.Ownership.line ~col:f.Ownership.col ~rule:f.Ownership.rule
           f.Ownership.message)
       (Ownership.scan lines);
+  (* hot-path allocation pass: markers are opt-in, so it runs everywhere.
+     The masked view (strings blanked, comments kept) is where the
+     markers live — a marker inside a string literal cannot arm a
+     region. *)
+  let masked = Array.of_list (String.split_on_char '\n' (Lexer.mask_strings contents)) in
+  List.iter
+    (fun (f : Alloccheck.finding) ->
+      emit ~line:f.Alloccheck.line ~col:f.Alloccheck.col ~rule:Alloccheck.rule_id
+        f.Alloccheck.message)
+    (Alloccheck.scan ~masked lines);
   (List.sort by_position !out, unused ())
 
 let scan_string ~path contents = fst (scan_core ~path contents)

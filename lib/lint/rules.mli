@@ -27,7 +27,11 @@
     PDPIX ownership-protocol rules ([free-after-push],
     [double-free-path], [leaked-buffer], [dropped-token]) in the
     buffer-handling directories ([lib/tcp], [lib/demikernel],
-    [lib/apps], [lib/baselines], [lib/harness]).
+    [lib/apps], [lib/baselines], [lib/harness]), and the {!Alloccheck}
+    pass contributes [alloc-in-hotpath]: heap-allocation sites inside
+    regions opted in with [(* dlint: hotpath *)] /
+    [(* dlint: hotpath-begin/end *)] markers (any directory — marking
+    is the opt-in).
 
     Scanning is purely lexical: comments and string/char literals are
     stripped first, so a banned name inside a docstring does not trip

@@ -18,6 +18,7 @@ type t = {
   fds : (int, fd_state) Hashtbl.t;
   mutable next_fd : int;
   mutable syscalls : int;
+  mutable rx_frames : int; (* frames drained through the stack, ever *)
   mutable log_tail : int;
   mutable next_io_id : int;
 }
@@ -51,6 +52,7 @@ let create sim ?(name = "kernel") ~cost ~nic ?ssd ?(mode = Posix) () =
     fds = Hashtbl.create 16;
     next_fd = 3;
     syscalls = 0;
+    rx_frames = 0;
     log_tail = 0;
     next_io_id = 1;
   }
@@ -81,22 +83,38 @@ let enter_syscall t =
   charge t (syscall_cost t)
 
 (* Pull pending frames through the kernel network stack, charging stack
-   processing per packet, then run protocol timers. *)
+   processing per packet, then run protocol timers. Top-level recursion
+   rather than per-call inner closures: [drain] runs on every Catnap
+   poll, and the empty-ring (steady) pass must allocate nothing. *)
+(* dlint: hotpath *)
+let rec rx_all t frames =
+  match frames with
+  | [] -> ()
+  | frame :: rest ->
+      charge_as t Engine.Span.Softirq t.cost.Net.Cost.kernel_net_ns;
+      t.rx_frames <- t.rx_frames + 1;
+      Tcp.Stack.input t.stack frame;
+      rx_all t rest
+
+(* dlint: hotpath *)
+let rec drain_bursts t =
+  match Net.Dpdk_sim.rx_burst t.nic ~max:32 with
+  | [] -> ()
+  | frames ->
+      rx_all t frames;
+      drain_bursts t
+
+(* dlint: hotpath *)
 let drain t =
-  let rec go () =
-    match Net.Dpdk_sim.rx_burst t.nic ~max:32 with
-    | [] -> ()
-    | frames ->
-        List.iter
-          (fun frame ->
-            charge_as t Engine.Span.Softirq t.cost.Net.Cost.kernel_net_ns;
-            Tcp.Stack.input t.stack frame)
-          frames;
-        go ()
-  in
-  go ();
+  drain_bursts t;
   Tcp.Stack.flush_acks t.stack;
   Tcp.Stack.on_timer t.stack
+
+(* Cumulative kernel-datapath activity: bumps when a frame is drained or
+   a protocol timer fires. A poll that leaves it unchanged did no work —
+   the steady-state discriminator for the gc-budget oracle. *)
+(* dlint: hotpath *)
+let activity t = t.rx_frames + Tcp.Stack.timer_activity t.stack
 
 (* Sleep until [ready] holds, draining on every wakeup. Blocking callers
    pay interrupt + scheduler latency per wakeup; polling callers don't
@@ -131,10 +149,11 @@ let alloc_fd t state =
   Hashtbl.replace t.fds fd state;
   fd
 
+(* [Hashtbl.find] + handler, not [find_opt]: every syscall resolves its
+   fd, and the option wrapper would be one word of garbage per call. *)
 let fd_state t fd =
-  match Hashtbl.find_opt t.fds fd with
-  | Some s -> s
-  | None -> invalid_arg (Printf.sprintf "Kernel: bad fd %d" fd)
+  try Hashtbl.find t.fds fd
+  with Not_found -> invalid_arg (Printf.sprintf "Kernel: bad fd %d" fd)
 
 (* ---------- UDP ---------- *)
 
@@ -291,6 +310,9 @@ let connect_status t fd =
 let rx_signal t = Net.Dpdk_sim.rx_signal t.nic
 
 let next_timer t = Tcp.Stack.next_timer t.stack
+
+(* dlint: hotpath *)
+let next_timer_ns t = Tcp.Stack.next_timer_ns t.stack
 
 (* ---------- durable log ---------- *)
 

@@ -102,6 +102,16 @@ val connect_status : t -> fd -> [ `Pending | `Ok | `Refused ]
 val rx_signal : t -> Engine.Condvar.t
 val next_timer : t -> int option
 
+val next_timer_ns : t -> int
+(** {!next_timer} without the option: [max_int] means none.
+    Allocation-free, for per-poll deadline peeks. *)
+
+val activity : t -> int
+(** Cumulative datapath-activity counter: increases when a drain pulls a
+    frame through the stack or fires a protocol timer. A {!poll} that
+    leaves it unchanged was a steady-state (no-op) poll — the
+    discriminator Catnap's gc-budget instrumentation keys on. *)
+
 (** {1 Introspection} *)
 
 val syscalls : t -> int

@@ -941,12 +941,16 @@ let handle_tcp t header b off =
    deterministic, so emission order cannot depend on hashing. A conn
    whose flag was already cleared (early [send_ack], or teardown) pops
    as a no-op. *)
+(* dlint: hotpath *)
 let flush_acks t =
   while not (Queue.is_empty t.ack_q) do
     let conn = Queue.pop t.ack_q in
     if conn.ack_pending then send_ack conn
   done
 
+(* The dispatch itself is allocation-free; the per-protocol handlers it
+   calls are busy-path work (a frame arrived) and stay unmarked. *)
+(* dlint: hotpath *)
 let input t frame =
   match Iface.input t.iface frame with
   | Iface.Consumed -> ()
@@ -955,6 +959,12 @@ let input t frame =
       else if header.Net.Ipv4.protocol = Net.Ipv4.protocol_tcp then handle_tcp t header b off
 
 let next_timer t = Engine.Timerwheel.next_deadline t.timers
+
+(* dlint: hotpath *)
+let next_timer_ns t = Engine.Timerwheel.next_deadline_ns t.timers
+
+(* dlint: hotpath *)
+let timer_activity t = Engine.Timerwheel.activity t.timers
 
 let handshake_timeout conn =
   let t = conn.stack in
@@ -981,21 +991,26 @@ let rto_fire conn =
       arm_rto conn
   | Time_wait | Closed_st -> ()
 
+(* The wheel fires only due entries, in (deadline, insertion-seq)
+   order. A fired entry is necessarily the connection's current handle
+   (arming always cancels the previous one), so clearing the field
+   here is sound. Top-level (not a per-call closure) so the
+   nothing-due [on_timer] stays allocation-free. *)
+let timer_fired (conn, is_time_wait) =
+  if is_time_wait then begin
+    conn.tw_timer <- None;
+    to_closed conn ~reset:false
+  end
+  else begin
+    conn.rto_timer <- None;
+    rto_fire conn
+  end
+
+(* dlint: hotpath *)
 let on_timer t =
   flush_acks t;
-  (* The wheel walks only the slots the clock crossed and fires only
-     due entries, in (deadline, insertion-seq) order. A fired entry is
-     necessarily the connection's current handle (arming always cancels
-     the previous one), so clearing the field here is sound. *)
-  Engine.Timerwheel.expire t.timers ~now:(now t) (fun (conn, is_time_wait) ->
-      if is_time_wait then begin
-        conn.tw_timer <- None;
-        to_closed conn ~reset:false
-      end
-      else begin
-        conn.rto_timer <- None;
-        rto_fire conn
-      end)
+  (* The wheel walks only the slots the clock crossed. *)
+  Engine.Timerwheel.expire t.timers ~now:(now t) timer_fired
 
 (* ---------- introspection ---------- *)
 

@@ -84,7 +84,18 @@ val input : t -> string -> unit
 val next_timer : t -> int option
 (** Earliest pending timer deadline (ns), if any. O(1): an exact peek
     into the stack's timer wheel ([Engine.Timerwheel]), so pollers and
-    [Runtime.maybe_park] can call it every iteration for free. *)
+    [Runtime.maybe_park] can call it every iteration for free.
+    Allocates the [Some]; per-poll callers use {!next_timer_ns}. *)
+
+val next_timer_ns : t -> int
+(** {!next_timer} without the option: [max_int] means no timer armed.
+    Allocation-free. *)
+
+val timer_activity : t -> int
+(** Cumulative [Engine.Timerwheel.activity] of the stack's wheel:
+    unchanged across an {!on_timer} call iff no timer work (cascade or
+    fire) happened — how the Catnip poll loop classifies an iteration
+    as steady. *)
 
 val on_timer : t -> unit
 (** Fire every timer whose deadline is at or before the current clock

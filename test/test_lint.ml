@@ -303,6 +303,213 @@ let test_violations_carry_columns () =
   | first :: _ -> check_int "Random.self_init column" 10 first.Lint.Rules.col
   | [] -> Alcotest.fail "expected violations"
 
+(* ---------- Demialloc: the hot-path allocation pass ---------- *)
+
+(* Synthetic sources scan under lib/engine, which is exempt from the
+   datapath rules — any finding below comes from the allocation pass. *)
+let alloc_scan src = Lint.Rules.scan_string ~path:"lib/engine/hot.ml" src
+
+let has_tag tag vs =
+  let needle = "[" ^ tag ^ "]" in
+  let contains s =
+    let n = String.length needle in
+    let rec find i = i + n <= String.length s && (String.sub s i n = needle || find (i + 1)) in
+    find 0
+  in
+  List.exists (fun v -> v.Lint.Rules.rule = "alloc-in-hotpath" && contains v.Lint.Rules.message) vs
+
+let test_alloc_marker_arms_next_binding () =
+  let marked = "(* dlint: hotpath *)\nlet f n = Bytes.create n\n" in
+  let vs = alloc_scan marked in
+  Alcotest.(check (list string)) "one alloc finding" [ "alloc-in-hotpath" ] (rules_of vs);
+  Alcotest.(check (list int)) "on the binding line" [ 2 ] (lines_of vs);
+  check_int "identical unmarked code is clean" 0
+    (List.length (alloc_scan "let f n = Bytes.create n\n"));
+  check_int "marker scope ends at the next top-level binding" 1
+    (List.length
+       (alloc_scan
+          "(* dlint: hotpath *)\nlet f n = Bytes.create n\nlet g n = Bytes.create n\n"))
+
+let test_alloc_region_markers () =
+  let src =
+    "(* dlint: hotpath-begin *)\n"
+    ^ "let g n = String.make n 'x'\n"
+    ^ "(* dlint: hotpath-end *)\n"
+    ^ "let h n = String.make n 'x'\n"
+  in
+  let vs = alloc_scan src in
+  Alcotest.(check (list int)) "only the in-region line fires" [ 2 ] (lines_of vs)
+
+let test_alloc_marker_edge_cases () =
+  check_int "marker inside a string literal is inert" 0
+    (List.length (alloc_scan "let s = \"dlint: hotpath\"\nlet f n = Bytes.create n\n"));
+  check_int "prose mention (unterminated) is inert" 0
+    (List.length
+       (alloc_scan
+          "(* the dlint: hotpath marker arms the next binding *)\nlet f n = Bytes.create n\n"));
+  check_int "marker with no following binding arms nothing" 0
+    (List.length (alloc_scan "let f n = Bytes.create n\n(* dlint: hotpath *)\n"));
+  check_int "string containing a comment opener does not swallow the marker" 1
+    (List.length
+       (alloc_scan
+          "let s = \"(* not a comment\"\n(* dlint: hotpath *)\nlet f n = Bytes.create n\n"));
+  check_int "marker inside a nested comment still arms" 1
+    (List.length
+       (alloc_scan
+          "(* outer (* inner *) still comment *)\n(* dlint: hotpath *)\nlet f n = Bytes.create n\n"))
+
+let test_alloc_sub_rules () =
+  List.iter
+    (fun (tag, body) ->
+      let src = "(* dlint: hotpath *)\n" ^ body ^ "\n" in
+      check_bool (tag ^ " fires on: " ^ body) true (has_tag tag (alloc_scan src)))
+    [
+      ("alloc-call", "let f n = Bytes.create n");
+      ("string-append", "let f a b = a ^ b");
+      ("list-alloc", "let f x xs = x :: xs");
+      ("tuple-alloc", "let f a b = (a, b)");
+      ("record-alloc", "let f a = { contents = a }");
+      ("closure-alloc", "let f () = fun x -> x + 1");
+      ("combinator", "let f g xs = List.map g xs");
+      ("opt-alloc", "let f x = Some x");
+      ("opt-alloc", "let f h k = Hashtbl.find_opt h k");
+      ("ref-alloc", "let f x = ref x");
+      ("exn-alloc", "let f () = failwith \"boom\"");
+      ("boxed-float", "let f a b = a +. b");
+    ]
+
+let test_alloc_pattern_position_is_free () =
+  let src =
+    "(* dlint: hotpath *)\n"
+    ^ "let f x =\n"
+    ^ "  match x with\n"
+    ^ "  | Some (a, b) -> a + b\n"
+    ^ "  | None -> 0\n"
+  in
+  check_int "Some and the tuple in pattern position do not fire" 0
+    (List.length (alloc_scan src));
+  check_int "Some in an arm body does fire" 1
+    (List.length
+       (alloc_scan
+          "(* dlint: hotpath *)\nlet f x =\n  match x with\n  | 0 -> None\n  | n -> Some n\n"));
+  (* single-line match: the arm '|' (not the line shape) must put the
+     arm pattern back in pattern position *)
+  (match
+     alloc_scan
+       "(* dlint: hotpath *)\nlet f x = match Queue.peek_opt x with None -> 0 | Some _ -> 1\n"
+   with
+  | [ v ] -> check_int "only the *_opt call fires, at its own column" 17 v.Lint.Rules.col
+  | vs ->
+      Alcotest.failf "single-line match arm pattern: expected 1 finding, got %d"
+        (List.length vs));
+  check_int "Some after the single-line arm's arrow does fire" 1
+    (List.length
+       (alloc_scan "(* dlint: hotpath *)\nlet f x = match x with 0 -> None | n -> Some n\n"))
+
+let test_alloc_inline_allow () =
+  let allowed =
+    "(* dlint: hotpath *)\n"
+    ^ "let f n =\n"
+    ^ "  (* dlint-allow: alloc-in-hotpath -- one-time setup *)\n"
+    ^ "  Bytes.create n\n"
+  in
+  check_int "allow suppresses the finding" 0 (List.length (alloc_scan allowed));
+  check_int "the consumed allow is not stale" 0
+    (List.length (Lint.Rules.scan_full ~path:"lib/engine/hot.ml" allowed));
+  let stale = "(* dlint-allow: alloc-in-hotpath -- nothing here *)\nlet f n = n + 1\n" in
+  Alcotest.(check (list string)) "unused alloc allow is reported stale"
+    [ Lint.Rules.rule_unused ]
+    (rules_of (Lint.Rules.scan_full ~path:"lib/engine/hot.ml" stale))
+
+let test_alloc_stats_table () =
+  let vs =
+    alloc_scan "(* dlint: hotpath *)\nlet f n = Bytes.create n\nlet g a b = a ^ b\n"
+  in
+  let st = Lint.Driver.stats vs in
+  check_int "stats table counts alloc findings" 1 (List.assoc "alloc-in-hotpath" st);
+  check_int "other rules report zero" 0 (List.assoc "determinism-source" st);
+  check_int "one row per known rule" (List.length Lint.Rules.rule_ids) (List.length st)
+
+(* ---------- the gc-budget oracle ---------- *)
+
+let test_gcbudget_oracle_catches_allocation () =
+  Memory.Gcbudget.reset ();
+  Memory.Gcbudget.set_armed true;
+  Fun.protect
+    ~finally:(fun () ->
+      Memory.Gcbudget.set_armed false;
+      Memory.Gcbudget.reset ())
+    (fun () ->
+      let dirty = Memory.Gcbudget.site ~warmup:0 "test.dirty" in
+      let sink = ref [] in
+      for i = 1 to 8 do
+        Memory.Gcbudget.enter dirty;
+        sink := i :: !sink (* a cons cell inside the measured window *);
+        Memory.Gcbudget.leave_steady dirty
+      done;
+      let clean = Memory.Gcbudget.site ~warmup:0 "test.clean" in
+      for _ = 1 to 8 do
+        Memory.Gcbudget.enter clean;
+        Memory.Gcbudget.leave_steady clean
+      done;
+      let busy = Memory.Gcbudget.site ~warmup:0 "test.busy" in
+      for i = 1 to 8 do
+        Memory.Gcbudget.enter busy;
+        sink := i :: !sink;
+        Memory.Gcbudget.leave_busy busy
+      done;
+      let stat name =
+        List.find
+          (fun s -> s.Memory.Gcbudget.site_name = name)
+          (Memory.Gcbudget.sites ())
+      in
+      check_int "every allocating steady poll is a violation" 8
+        (stat "test.dirty").Memory.Gcbudget.site_violations;
+      check_bool "worst-case words recorded" true
+        ((stat "test.dirty").Memory.Gcbudget.worst_words > 0);
+      check_int "allocation-free steady polls pass" 0
+        (stat "test.clean").Memory.Gcbudget.site_violations;
+      check_int "clean polls are still measured" 8 (stat "test.clean").Memory.Gcbudget.measured;
+      check_int "busy polls are never asserted" 0
+        (stat "test.busy").Memory.Gcbudget.site_violations;
+      check_int "busy polls are not measured" 0 (stat "test.busy").Memory.Gcbudget.measured;
+      ignore (Stdlib.List.length !sink))
+
+let test_gcbudget_warmup_and_disarmed () =
+  Memory.Gcbudget.reset ();
+  Memory.Gcbudget.set_armed true;
+  Fun.protect
+    ~finally:(fun () ->
+      Memory.Gcbudget.set_armed false;
+      Memory.Gcbudget.reset ())
+    (fun () ->
+      let s = Memory.Gcbudget.site ~warmup:5 "test.warmup" in
+      let sink = ref [] in
+      for i = 1 to 5 do
+        Memory.Gcbudget.enter s;
+        sink := i :: !sink;
+        Memory.Gcbudget.leave_steady s
+      done;
+      let stat =
+        List.find
+          (fun st -> st.Memory.Gcbudget.site_name = "test.warmup")
+          (Memory.Gcbudget.sites ())
+      in
+      check_int "warmup polls observed" 5 stat.Memory.Gcbudget.polls;
+      check_int "warmup polls not measured" 0 stat.Memory.Gcbudget.measured;
+      check_int "warmup allocations exempt" 0 stat.Memory.Gcbudget.site_violations;
+      ignore (Stdlib.List.length !sink));
+  (* Disarmed, the protocol is a no-op: nothing is even observed. *)
+  let s = Memory.Gcbudget.site ~warmup:0 "test.disarmed" in
+  let sink = ref [] in
+  for i = 1 to 4 do
+    Memory.Gcbudget.enter s;
+    sink := i :: !sink;
+    Memory.Gcbudget.leave_steady s
+  done;
+  check_int "disarmed polls never counted" 0 (Memory.Gcbudget.total_measured ());
+  ignore (Stdlib.List.length !sink)
+
 let test_selfcheck_two_runs_identical () =
   let r = Harness.Selfcheck.run ~seed:7L ~count:8 () in
   check_bool "digests and metrics identical across same-seed runs" true
@@ -335,6 +542,19 @@ let suite =
     Alcotest.test_case "stale central allowlist entry" `Quick test_stale_central_entry;
     Alcotest.test_case "json report format" `Quick test_json_report;
     Alcotest.test_case "violations carry columns" `Quick test_violations_carry_columns;
+    Alcotest.test_case "alloc: marker arms next binding" `Quick
+      test_alloc_marker_arms_next_binding;
+    Alcotest.test_case "alloc: region markers" `Quick test_alloc_region_markers;
+    Alcotest.test_case "alloc: marker edge cases" `Quick test_alloc_marker_edge_cases;
+    Alcotest.test_case "alloc: every sub-rule fires" `Quick test_alloc_sub_rules;
+    Alcotest.test_case "alloc: pattern position is free" `Quick
+      test_alloc_pattern_position_is_free;
+    Alcotest.test_case "alloc: inline allow + staleness" `Quick test_alloc_inline_allow;
+    Alcotest.test_case "alloc: dlint --stats table" `Quick test_alloc_stats_table;
+    Alcotest.test_case "gc-budget: oracle catches allocation" `Quick
+      test_gcbudget_oracle_catches_allocation;
+    Alcotest.test_case "gc-budget: warmup and disarmed" `Quick
+      test_gcbudget_warmup_and_disarmed;
     Alcotest.test_case "selfcheck: same seed, same fingerprint" `Quick
       test_selfcheck_two_runs_identical;
   ]
