@@ -1,4 +1,4 @@
-.PHONY: all build test lint selfcheck check bench bench-smoke alloc-smoke trace-smoke pcap-smoke clean
+.PHONY: all build test lint selfcheck check bench bench-smoke alloc-smoke trace-smoke pcap-smoke graph-smoke clean
 
 all: build
 
@@ -23,6 +23,7 @@ check:
 	$(MAKE) alloc-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) pcap-smoke
+	$(MAKE) graph-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -81,6 +82,23 @@ pcap-smoke:
 	dune exec bin/demi.exe -- pcap --flavor catnip --check --out out/catnip.pcap
 	dune exec bin/demi.exe -- pcap --flavor catmint --check --out out/catmint.pcap
 	@echo "pcap-smoke: OK"
+
+# Demideep end to end: dlint over the tree with the call-graph export
+# and pass timings on. Fails unless the DOT file is a well-formed
+# digraph with at least one edge and the machine-readable findings
+# report landed in out/lint.json.
+graph-smoke:
+	mkdir -p out
+	dune exec bin/dlint.exe -- --graph out/callgraph.dot --stats lib
+	@head -1 out/callgraph.dot | grep -q '^digraph dlint' \
+	  || { echo "graph-smoke: out/callgraph.dot missing digraph header" >&2; exit 1; }
+	@tail -1 out/callgraph.dot | grep -q '^}' \
+	  || { echo "graph-smoke: out/callgraph.dot not closed" >&2; exit 1; }
+	@grep -q ' -> ' out/callgraph.dot \
+	  || { echo "graph-smoke: out/callgraph.dot has no edges" >&2; exit 1; }
+	@test -s out/lint.json \
+	  || { echo "graph-smoke: out/lint.json missing or empty" >&2; exit 1; }
+	@echo "graph-smoke: OK"
 
 clean:
 	dune clean

@@ -1,22 +1,43 @@
-(* dlint: determinism, zero-copy, ownership-protocol and hot-path
-   allocation lint.
+(* dlint: determinism, zero-copy, ownership-protocol, hot-path
+   allocation and interprocedural effect lint.
 
-   Usage: dlint [--format human|json] [--stats] [DIR ...]   (default: lib)
+   Usage: dlint [--format human|json] [--stats] [--graph FILE]
+                [--out FILE] [DIR ...]                    (default: lib)
 
    Walks every .ml file under the given roots and rejects violations of
-   the rules in Lint.Rules (including the PDPIX ownership pass and the
-   Demialloc hot-path allocation pass) and stale exemptions; exits 1
-   when any survive the allowlist and inline dlint-allow annotations.
-   --stats appends a per-rule finding-count table. Wired into
-   `dune runtest` via the @lint alias. *)
+   the rules in Lint.Rules (including the PDPIX ownership pass, the
+   Demialloc hot-path allocation pass and the Demideep interprocedural
+   transitive-alloc/scan pass with witness call chains) and stale
+   exemptions; exits 1 when any survive the allowlist and inline
+   dlint-allow annotations. --stats appends a per-rule
+   findings/exemptions table and per-pass wall times; --graph FILE
+   writes the effect-annotated call graph as Graphviz DOT; --out FILE
+   overrides where the machine-readable JSON artifact is written
+   (default out/lint.json, best-effort: a read-only tree — e.g. the
+   dune test sandbox — is not an error). Wired into `dune runtest` via
+   the @lint alias. *)
 
 let usage () =
-  prerr_endline "usage: dlint [--format human|json] [--stats] [DIR ...]";
+  prerr_endline
+    "usage: dlint [--format human|json] [--stats] [--graph FILE] [--out FILE] [DIR ...]";
   exit 2
+
+(* Best-effort file write: the lint result must not depend on the
+   writability of the artifact location. *)
+let try_write path contents =
+  try
+    let dir = Filename.dirname path in
+    (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc contents);
+    true
+  with Sys_error _ -> false
 
 let () =
   let json = ref false in
   let stats = ref false in
+  let graph = ref None in
+  let out_json = ref "out/lint.json" in
   let roots = ref [] in
   let set_format = function
     | "json" -> json := true
@@ -34,6 +55,14 @@ let () =
     | arg :: rest when String.length arg > 9 && String.sub arg 0 9 = "--format=" ->
         set_format (String.sub arg 9 (String.length arg - 9));
         parse rest
+    | "--graph" :: file :: rest ->
+        graph := Some file;
+        parse rest
+    | [ "--graph" ] -> usage ()
+    | "--out" :: file :: rest ->
+        out_json := file;
+        parse rest
+    | [ "--out" ] -> usage ()
     | "--stats" :: rest ->
         stats := true;
         parse rest
@@ -44,8 +73,17 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   let roots = match List.rev !roots with [] -> [ "lib" ] | rs -> rs in
-  let violations = Lint.Driver.run roots in
+  (* the wall clock is injected here: lib/lint itself is subject to the
+     determinism-source rule and may not read ambient time *)
+  let r = Lint.Driver.run_report ~now:Unix.gettimeofday roots in
+  let violations = r.Lint.Driver.rr_violations in
+  (match !graph with
+  | Some file ->
+      if not (try_write file (Lint.Driver.graph_dot roots)) then
+        Printf.eprintf "dlint: warning: could not write graph to %s\n" file
+  | None -> ());
+  ignore (try_write !out_json (Lint.Driver.json_of_violations violations ^ "\n"));
   if !json then Lint.Driver.report_json Format.std_formatter violations
   else Lint.Driver.report Format.std_formatter violations;
-  if !stats then Lint.Driver.report_stats Format.std_formatter violations;
+  if !stats then Lint.Driver.report_run_stats Format.std_formatter r;
   if violations <> [] then exit 1

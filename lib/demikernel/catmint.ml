@@ -63,6 +63,7 @@ let grant_available ch = Net.Wire.get_u32 ch.cell 0 - ch.sent
 
 (* ---------- message emission ---------- *)
 
+(* dlint-allow: scan-in-hotpath -- values is the fixed set of header words for one control message (a few literals at each call site), not a connection-scaled collection *)
 let u32s values tail =
   let b = Bytes.create ((4 * List.length values) + String.length tail) in
   List.iteri (fun i v -> Net.Wire.set_u32 b (4 * i) v) values;
@@ -135,13 +136,14 @@ let rec flush_stalled t chans =
    drained/failed channel) — a progress round is a busy poll for the
    gc-budget oracle. *)
 (* dlint: hotpath *)
+(* dlint-allow: scan-in-hotpath -- walks only the stalled-channel list (senders awaiting credit), rebuilt only when one of them made progress; credit-clean steady state keeps it empty *)
 let retry_stalled t =
   match t.stalled_chans with
   | [] -> false
   | chans ->
       let sends0 = t.sends in
       if flush_stalled t chans then begin
-        (* dlint-allow: alloc-in-hotpath -- list rebuild only when a sender drained or failed (progress) *)
+        (* dlint-allow: alloc-in-hotpath scan-in-hotpath -- list rebuild (a walk of the stalled set) only when a sender drained or failed (progress) *)
         t.stalled_chans <- List.filter (fun ch -> ch.stalled) chans;
         true
       end
@@ -271,6 +273,7 @@ let handle_connect t ~src_mac ~payload =
           | None -> Queue.add ch l.ready)
       | Some _ | None -> post_control t ~dst:src_mac ~msg:m_refuse ~chan:requester_chan "")
 
+(* dlint-allow: transitive-alloc-in-hotpath -- runs once per received message (busy RX): channel-table lookup and completion delivery are per-message work *)
 let handle_recv t ~src_mac ~imm ~payload =
   Net.Rdma_sim.post_recv t.rnic (* replenish the buffer we consumed *);
   match msg_of imm with

@@ -109,6 +109,7 @@ let rec service_all t entries =
    (servicing an accept inserts new entries — mutating a Hashtbl during
    iteration is undefined — and hash order would service queues in a
    seed-dependent sequence) and cached until the table next changes. *)
+(* dlint-allow: transitive-alloc-in-hotpath scan-in-hotpath -- the service list is rebuilt (List.rev allocates it) only when the qd table changed (qds_dirty) — the dirty-tracking pattern this rule prescribes; steady polls reuse the cached list *)
 let service t =
   if t.qds_dirty then begin
     t.qds_dirty <- false;

@@ -107,6 +107,7 @@ let context_switches t = t.switches
 (* dlint: hotpath *)
 let drain_wakers t = Waker.drain t.waker t.on_wake
 
+(* dlint-allow: transitive-alloc-in-hotpath -- one effect-handler record per coroutine dispatch: a context switch (counted in t.switches), not a steady poll; empty-queue polls never reach dispatch *)
 let handler t coro =
   {
     Effect.Deep.retc =

@@ -55,11 +55,13 @@ let fresh_token t =
   | None -> ());
   qt
 
+(* dlint-allow: transitive-alloc-in-hotpath -- qtoken redemption: runs once per completed operation (busy path); the Some from the table hit is per-op, not per-poll *)
 let find_token t qt =
   match Hashtbl.find_opt t.tokens qt with
   | Some ts -> ts
   | None -> invalid_arg (Printf.sprintf "unknown or already-redeemed qtoken %d" qt)
 
+(* dlint-allow: transitive-alloc-in-hotpath -- completion delivery: the result option is allocated once per finished operation, a busy-path event, never on an empty poll *)
 let complete t qt result =
   let ts = find_token t qt in
   assert (match ts.result with None -> true | Some _ -> false);
@@ -352,6 +354,7 @@ let next_deadline_ns t =
       if d < acc then d else acc)
     max_int t.timer_sources
 
+(* dlint-allow: transitive-alloc-in-hotpath scan-in-hotpath -- the park decision is the idle transition out of the poll loop, and fp_slots is the fixed set of fast-path pollers (a handful), not a connection-scaled table *)
 let maybe_park t slot =
   slot.idle <- true;
   if Dsched.runnable_apps t.sched || Dsched.has_pending_wakes t.sched then false

@@ -90,4 +90,7 @@ let drain t fn =
   in
   scan_summary 0
 
-let any_set t = Array.exists (fun b -> b <> 0) t.blocks
+(* The predicate is hoisted so the steady-state emptiness probe passes
+   a static closure instead of building one per poll. *)
+let word_nonzero b = b <> 0
+let any_set t = Array.exists word_nonzero t.blocks

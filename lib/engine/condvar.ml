@@ -16,6 +16,7 @@ let wait_timeout t span =
       t.queue <- (fun () -> fire `Signaled) :: t.queue;
       Sim.schedule t.sim ~delay:span (fun () -> fire `Timeout))
 
+(* dlint-allow: transitive-alloc-in-hotpath scan-in-hotpath -- wakeup handoff: List.rev of the waiter queue (allocating the reversed list), bounded by blocked waiters, and [] (free) when nobody waits *)
 let broadcast t =
   let waiters = List.rev t.queue in
   t.queue <- [];

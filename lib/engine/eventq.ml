@@ -17,6 +17,7 @@ let grow t =
   Array.blit t.heap 0 heap 0 t.len;
   t.heap <- heap
 
+(* dlint-allow: transitive-alloc-in-hotpath -- the discrete-event substrate itself: one event record per scheduled event is the simulator's mechanism, not modeled datapath work (host cycle costs are charged via Cost, not by this allocation) *)
 let add t ~time fn =
   if t.len = Array.length t.heap then grow t;
   let e = { time; seq = t.next_seq; fn } in

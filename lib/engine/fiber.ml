@@ -25,6 +25,7 @@ let spawn sim ?(name = "fiber") fn =
   in
   Sim.schedule sim ~delay:0 (fun () -> Effect.Deep.match_with fn () handler)
 
+(* dlint-allow: transitive-alloc-in-hotpath -- fiber suspension: one resume closure per block/sleep, which is a scheduling transition, not steady-poll work *)
 let sleep sim span =
   suspend (fun resume -> Sim.schedule sim ~delay:span (fun () -> resume ()))
 

@@ -96,6 +96,7 @@ let create ?(capacity = 262_144) () =
     wire_dropped = 0;
   }
 
+(* dlint-allow: transitive-alloc-in-hotpath -- span instrumentation: interval records land in a capacity-bounded buffer and only when a span collector is attached; steady measurement runs attach none *)
 let note ?key ?(label = "") t ~comp ~owner ~t0 ~t1 =
   assert (t1 >= t0);
   let idx = component_index comp in

@@ -30,6 +30,7 @@ type t = {
 let create ?(capacity = 65_536) () =
   { ring = Array.make capacity (0, Custom "", ""); capacity; next = 0; count = 0 }
 
+(* dlint-allow: transitive-alloc-in-hotpath -- trace instrumentation: one tuple into a fixed-capacity ring; the datapath reaches it only through trace thunks that are skipped when tracing is off *)
 let record t ~now ~category msg =
   t.ring.(t.next) <- (now, category, msg);
   t.next <- (t.next + 1) mod t.capacity;

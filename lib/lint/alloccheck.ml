@@ -277,6 +277,81 @@ let sub_tag_message tag what =
      alloc-in-hotpath"
     what tag
 
+(* ---------- per-line allocation sites ---------- *)
+
+(* Every allocation site on one stripped line, as
+   [(0-based col, sub-rule tag, what)] in scan order. Shared by the
+   in-region scan below and by the {!Effects} summary inference (which
+   uses them to decide whether a function's body allocates at all). *)
+let alloc_sites line =
+  let out = ref [] in
+  let emit col tag what = out := (col, tag, what) :: !out in
+  (match List.find_opt (fun tok -> Lexer.contains_token line tok) alloc_call_tokens with
+  | Some tok ->
+      let col = match Lexer.token_index line tok with Some c -> c | None -> 0 in
+      emit col "alloc-call" (tok ^ " allocates its result")
+  | None -> ());
+  (match List.find_opt (fun tok -> Lexer.contains_token line tok) combinator_tokens with
+  | Some tok ->
+      let col = match Lexer.token_index line tok with Some c -> c | None -> 0 in
+      emit col "combinator" (tok ^ " allocates its result list/array")
+  | None -> ());
+  (match caret line with
+  | Some c -> emit c "string-append" "the ^ operator allocates a fresh string"
+  | None -> ());
+  (match List.find_opt (fun tok -> Lexer.contains_sub line tok) float_op_tokens with
+  | Some tok ->
+      let col = match Lexer.sub_index line tok with Some c -> c | None -> 0 in
+      emit col "boxed-float" ("float operation " ^ tok ^ " boxes its result")
+  | None -> ());
+  (match opt_call line with
+  | Some (c, w) -> emit c "opt-alloc" (w ^ " allocates a fresh Some per hit")
+  | None -> ());
+  (match Lexer.token_index line "Some" with
+  | Some c when expression_pos line c ->
+      emit c "opt-alloc" "Some constructor application allocates an option block"
+  | Some _ | None -> ());
+  (match Lexer.token_index line "ref" with
+  | Some c when expression_pos line c -> emit c "ref-alloc" "ref allocates a cell"
+  | Some _ | None -> ());
+  List.iter
+    (fun tok ->
+      match Lexer.token_index line tok with
+      | Some c -> emit c "closure-alloc" (tok ^ " creates a closure per evaluation")
+      | None -> ())
+    [ "fun"; "function"; "lazy" ];
+  (match
+     ( Lexer.token_index line "failwith",
+       Lexer.token_index line "invalid_arg",
+       raise_payload line )
+   with
+  | Some c, _, _ -> emit c "exn-alloc" "failwith allocates a Failure exception"
+  | None, Some c, _ ->
+      emit c "exn-alloc" "invalid_arg allocates an Invalid_argument exception"
+  | None, None, Some c -> emit c "exn-alloc" "raise with a payload allocates"
+  | None, None, None -> ());
+  if not (Lexer.contains_token line "type") then begin
+    (match tuple_comma line with
+    | Some c when expression_pos line c ->
+        emit c "tuple-alloc" "tuple construction allocates a block"
+    | Some _ | None -> ());
+    match Lexer.token_index line "{" with
+    | Some c when expression_pos line c ->
+        emit c "record-alloc" "record construction allocates a block"
+    | Some _ | None -> ()
+  end;
+  (match list_literal line with
+  | Some c when expression_pos line c ->
+      emit c "list-alloc" "non-empty list/array literal allocates"
+  | Some _ | None -> ());
+  (match Lexer.token_index line "::" with
+  | Some c when expression_pos line c -> emit c "list-alloc" ":: allocates a cons cell"
+  | Some _ | None -> ());
+  (match append_op line with
+  | Some c when expression_pos line c -> emit c "list-alloc" "@ allocates the appended prefix"
+  | Some _ | None -> ());
+  List.rev !out
+
 (* ---------- the scan ---------- *)
 
 (* [masked] is the strings-masked view (comments kept — markers live
@@ -284,77 +359,13 @@ let sub_tag_message tag what =
 let scan ~masked stripped =
   let hot = hot_lines ~masked ~stripped in
   let out = ref [] in
-  let emit idx col tag what =
-    out := { line = idx + 1; col = col + 1; message = sub_tag_message tag what } :: !out
-  in
   Array.iteri
     (fun idx line ->
-      if hot.(idx) then begin
-        (match List.find_opt (fun tok -> Lexer.contains_token line tok) alloc_call_tokens with
-        | Some tok ->
-            let col = match Lexer.token_index line tok with Some c -> c | None -> 0 in
-            emit idx col "alloc-call" (tok ^ " allocates its result")
-        | None -> ());
-        (match List.find_opt (fun tok -> Lexer.contains_token line tok) combinator_tokens with
-        | Some tok ->
-            let col = match Lexer.token_index line tok with Some c -> c | None -> 0 in
-            emit idx col "combinator" (tok ^ " allocates its result list/array")
-        | None -> ());
-        (match caret line with
-        | Some c -> emit idx c "string-append" "the ^ operator allocates a fresh string"
-        | None -> ());
-        (match List.find_opt (fun tok -> Lexer.contains_sub line tok) float_op_tokens with
-        | Some tok ->
-            emit idx 0 "boxed-float" ("float operation " ^ tok ^ " boxes its result")
-        | None -> ());
-        (match opt_call line with
-        | Some (c, w) -> emit idx c "opt-alloc" (w ^ " allocates a fresh Some per hit")
-        | None -> ());
-        (match Lexer.token_index line "Some" with
-        | Some c when expression_pos line c ->
-            emit idx c "opt-alloc" "Some constructor application allocates an option block"
-        | Some _ | None -> ());
-        (match Lexer.token_index line "ref" with
-        | Some c when expression_pos line c -> emit idx c "ref-alloc" "ref allocates a cell"
-        | Some _ | None -> ());
+      if hot.(idx) then
         List.iter
-          (fun tok ->
-            match Lexer.token_index line tok with
-            | Some c -> emit idx c "closure-alloc" (tok ^ " creates a closure per evaluation")
-            | None -> ())
-          [ "fun"; "function"; "lazy" ];
-        (match
-           ( Lexer.token_index line "failwith",
-             Lexer.token_index line "invalid_arg",
-             raise_payload line )
-         with
-        | Some c, _, _ -> emit idx c "exn-alloc" "failwith allocates a Failure exception"
-        | None, Some c, _ ->
-            emit idx c "exn-alloc" "invalid_arg allocates an Invalid_argument exception"
-        | None, None, Some c -> emit idx c "exn-alloc" "raise with a payload allocates"
-        | None, None, None -> ());
-        if not (Lexer.contains_token line "type") then begin
-          (match tuple_comma line with
-          | Some c when expression_pos line c ->
-              emit idx c "tuple-alloc" "tuple construction allocates a block"
-          | Some _ | None -> ());
-          match Lexer.token_index line "{" with
-          | Some c when expression_pos line c ->
-              emit idx c "record-alloc" "record construction allocates a block"
-          | Some _ | None -> ()
-        end;
-        (match list_literal line with
-        | Some c when expression_pos line c ->
-            emit idx c "list-alloc" "non-empty list/array literal allocates"
-        | Some _ | None -> ());
-        (match Lexer.token_index line "::" with
-        | Some c when expression_pos line c ->
-            emit idx c "list-alloc" ":: allocates a cons cell"
-        | Some _ | None -> ());
-        (match append_op line with
-        | Some c when expression_pos line c ->
-            emit idx c "list-alloc" "@ allocates the appended prefix"
-        | Some _ | None -> ())
-      end)
+          (fun (col, tag, what) ->
+            out :=
+              { line = idx + 1; col = col + 1; message = sub_tag_message tag what } :: !out)
+          (alloc_sites line))
     stripped;
   List.rev !out

@@ -19,6 +19,20 @@ val rule_ids : string list
 
 type finding = { line : int; col : int; message : string }
 
+val hot_lines : masked:string array -> stripped:string array -> bool array
+(** Which lines (0-based index) are inside a [dlint: hotpath] region.
+    [masked] is the {!Lexer.mask_strings} view (markers live in
+    comments), [stripped] the fully stripped view (binding-group
+    boundaries). Shared with the {!Effects} interprocedural pass so
+    both agree exactly on what is hot. *)
+
+val alloc_sites : string -> (int * string * string) list
+(** Every allocation site on one stripped line:
+    [(0-based col, sub-rule tag, what)] in scan order. Shared with
+    {!Effects}, which uses it to infer whether a function body
+    allocates at all (the [exn-alloc] tag is excluded there — raising
+    is its own effect). *)
+
 val scan : masked:string array -> string array -> finding list
 (** [scan ~masked stripped]: [masked] is the {!Lexer.mask_strings} view
     (comments kept — the markers live there, and string literals cannot

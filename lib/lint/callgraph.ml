@@ -1,0 +1,436 @@
+(* Demideep's call graph: a whole-library, module-qualified view of
+   who calls whom, built from the same stripped token stream the other
+   dlint passes use — no compiler front-end, no cmt files, so it runs
+   on any tree state (including one that does not type-check yet).
+
+   Definitions are top-level [let]/[and] bindings, plus bindings inside
+   [module X = struct ... end] blocks (tracked by a module-context
+   stack keyed on indentation, the repo's 2-space ocamlformat
+   convention). Each definition's module path is derived from the file
+   location — [lib/tcp/stack.ml] contributes [Tcp.Stack] — extended by
+   enclosing submodules, so the qualified spellings other libraries use
+   ([Tcp.Stack.input]) and the in-library spellings ([Stack.input])
+   both resolve to the same node by suffix match.
+
+   Call sites are identifier occurrences inside a definition's body:
+   - dot-qualified words whose head component is capitalized and whose
+     final component is lowercase resolve against the module-suffix
+     index ([Engine.Det.hashtbl_fold_sorted], [Stack.input]);
+   - bare lowercase words resolve against same-file definitions
+     (preferring the latest definition textually above the call site,
+     falling back to a later one for forward references inside
+     [let rec ... and] groups);
+   - words whose head component is lowercase are record/field accesses
+     ([t.conns], [api.Pdpix.push]) and never resolve.
+
+   This is deliberately an over-approximation: mentioning a function
+   (passing it as an argument) counts as calling it — which is exactly
+   right for effect propagation, since a callback handed to a hot loop
+   will run on the hot path. The soundness caveats (higher-order calls
+   through record fields, functor instantiation, shadowing by local
+   binders) are documented in DESIGN.md §12. *)
+
+type def = {
+  id : int;
+  name : string; (* binding name; "" for anonymous bindings like [let () =] *)
+  modpath : string list; (* e.g. ["Tcp"; "Stack"] or ["Net"; "Addr"; "Mac"] *)
+  path : string; (* source file *)
+  dline : int; (* 1-based line of the binding *)
+  dcol : int; (* 1-based column of the binding name *)
+  body_end : int; (* 1-based inclusive last body line *)
+  fn : bool;
+      (* has parameters, or its RHS starts with fun/function. A
+         parameterless value binding ([let table = Hashtbl.create 8])
+         runs its body once at module init — mentioning it later
+         executes nothing, so effect analysis must not charge its
+         body to callers. *)
+}
+
+type callsite = {
+  target : int; (* callee def id *)
+  tname : string; (* the call as written, e.g. "Tcp.Stack.input" *)
+  cline : int; (* 1-based *)
+  ccol : int; (* 1-based *)
+}
+
+type t = {
+  defs : def array;
+  calls : callsite list array; (* per caller id, line order, deduped per target-site *)
+  sccs : int list list; (* callees-first (reverse topological) order *)
+}
+
+let display d = String.concat "." (d.modpath @ [ d.name ])
+
+let capitalize s =
+  if s = "" then s
+  else String.mapi (fun i c -> if i = 0 then Char.uppercase_ascii c else c) s
+
+(* [lib/tcp/stack.ml] -> ["Tcp"; "Stack"]; a bare [foo.ml] -> ["Foo"]. *)
+let modpath_of_file path =
+  let base = Filename.remove_extension (Filename.basename path) in
+  let dir = Filename.basename (Filename.dirname path) in
+  if dir = "" || dir = "." || dir = "/" || dir = "lib" then [ capitalize base ]
+  else [ capitalize dir; capitalize base ]
+
+let indent_of line =
+  let n = String.length line in
+  let rec go i = if i < n && line.[i] = ' ' then go (i + 1) else i in
+  go 0
+
+let word_token line i =
+  let n = String.length line in
+  let rec stop j = if j < n && Lexer.is_ident_char line.[j] then stop (j + 1) else j in
+  String.sub line i (stop i - i)
+
+let is_keyword = function
+  | "let" | "rec" | "and" | "in" | "if" | "then" | "else" | "match" | "with" | "when"
+  | "fun" | "function" | "try" | "begin" | "end" | "while" | "do" | "done" | "for" | "to"
+  | "downto" | "open" | "module" | "struct" | "sig" | "type" | "of" | "as" | "mutable"
+  | "lazy" | "assert" | "true" | "false" | "not" | "ignore" | "raise" | "failwith"
+  | "invalid_arg" | "incr" | "decr" | "mod" | "land" | "lor" | "lxor" | "lsl" | "lsr"
+  | "asr" | "ref" | "new" | "object" | "method" | "inherit" | "exception" | "include"
+  | "external" | "val" | "constraint" | "initializer" | "private" | "virtual" ->
+      true
+  | _ -> false
+
+let is_lower_start w = w <> "" && (w.[0] >= 'a' && w.[0] <= 'z') || (w <> "" && w.[0] = '_')
+let is_upper_start w = w <> "" && w.[0] >= 'A' && w.[0] <= 'Z'
+
+(* ---------- definition extraction ---------- *)
+
+(* The binding name after "let"/"and" (skipping "rec"), with its
+   0-based column; "" for patterns we do not treat as functions
+   ([let () =], [let (a, b) =], operator definitions). *)
+let binding_name line i0 =
+  let n = String.length line in
+  let rec skip_ws j = if j < n && line.[j] = ' ' then skip_ws (j + 1) else j in
+  let j = skip_ws i0 in
+  if j >= n then ("", j)
+  else if Lexer.is_ident_char line.[j] then begin
+    let w = word_token line j in
+    if w = "rec" then
+      let k = skip_ws (j + 3) in
+      if k < n && Lexer.is_ident_char line.[k] then
+        let w2 = word_token line k in
+        ((if is_lower_start w2 && w2 <> "_" && not (is_keyword w2) then w2 else ""), k)
+      else ("", k)
+    else ((if is_lower_start w && w <> "_" && not (is_keyword w) then w else ""), j)
+  end
+  else ("", j)
+
+type raw_def = {
+  r_name : string;
+  r_modpath : string list;
+  r_path : string;
+  r_line : int;
+  r_col : int;
+  r_fn : bool;
+  mutable r_end : int;
+  r_body : (int * string) list ref; (* (1-based line, stripped text), reversed *)
+}
+
+(* Function or value binding? After the name: parameters (idents,
+   patterns, labels) mean a function; a bare [=] or a [: type]
+   annotation whose RHS does not start with [fun]/[function] means a
+   value. When the [=] sits on a later line, leading parameters still
+   decide. *)
+let is_fun_binding line ncol nlen =
+  let n = String.length line in
+  let rec skip_ws j = if j < n && line.[j] = ' ' then skip_ws (j + 1) else j in
+  let j = skip_ws (ncol + nlen) in
+  if j >= n then false
+  else if Lexer.is_ident_char line.[j] || line.[j] = '(' || line.[j] = '~' || line.[j] = '?'
+  then true
+  else
+    (* [=] (or [: t =]) — a value unless the RHS is a lambda *)
+    let rec find_eq k =
+      if k >= n then None
+      else if
+        line.[k] = '='
+        && (k + 1 >= n || line.[k + 1] <> '=')
+        && (k = 0 || not (List.mem line.[k - 1] [ '<'; '>'; '!'; ':'; '+'; '-'; '*'; '/' ]))
+      then Some (k + 1)
+      else find_eq (k + 1)
+    in
+    match find_eq j with
+    | None -> false
+    | Some k ->
+        let k = skip_ws k in
+        if k < n && Lexer.is_ident_char line.[k] then
+          let w = word_token line k in
+          w = "fun" || w = "function"
+        else false
+
+(* One file's definitions. [stripped] is the
+   {!Lexer.strip_comments_and_strings} view split into lines. *)
+let defs_of_file ~path (stripped : string array) =
+  let file_mod = modpath_of_file path in
+  let out = ref [] in
+  let mods = ref [] in (* (indent, name) stack, innermost first *)
+  let cur = ref None in
+  (* [and] only continues a [let]-group; [type t = .. and u = { .. }]
+     declares types, and a record type's braces must not read as a
+     record construction inside some phantom definition *)
+  let in_let = ref false in
+  let close_cur last_line =
+    match !cur with
+    | None -> ()
+    | Some d ->
+        d.r_end <- last_line;
+        out := d :: !out;
+        cur := None
+  in
+  let def_indent () = match !mods with [] -> 0 | (ind, _) :: _ -> ind + 2 in
+  Array.iteri
+    (fun idx line ->
+      let lno = idx + 1 in
+      let ind = indent_of line in
+      let at_tok = ind < String.length line && Lexer.is_ident_char line.[ind] in
+      let tok = if at_tok then word_token line ind else "" in
+      let base = def_indent () in
+      if (tok = "let" || (tok = "and" && !in_let)) && ind = base then begin
+        close_cur (lno - 1);
+        in_let := true;
+        let name, ncol = binding_name line (ind + String.length tok) in
+        cur :=
+          Some
+            {
+              r_name = name;
+              r_modpath = file_mod @ List.rev_map snd !mods;
+              r_path = path;
+              r_line = lno;
+              r_col = ncol + 1;
+              r_fn = name <> "" && is_fun_binding line ncol (String.length name);
+              r_end = lno;
+              r_body = ref [ (lno, line) ];
+            }
+      end
+      else if tok = "and" && ind = base then close_cur (lno - 1)
+      else if tok = "module" && ind <= base then begin
+        (* [module X = struct] opens a block; [module X = Other] and
+           [module type ...] do not. *)
+        close_cur (lno - 1);
+        in_let := false;
+        let n = String.length line in
+        let rec skip_ws j = if j < n && line.[j] = ' ' then skip_ws (j + 1) else j in
+        let j = skip_ws (ind + 6) in
+        if j < n && Lexer.is_ident_char line.[j] then begin
+          let mname = word_token line j in
+          if is_upper_start mname && Lexer.contains_token line "struct" then
+            mods := (ind, mname) :: !mods
+        end
+      end
+      else if tok = "end" && (match !mods with (mind, _) :: _ -> ind = mind | [] -> false)
+      then begin
+        close_cur (lno - 1);
+        in_let := false;
+        mods := List.tl !mods
+      end
+      else if
+        (tok = "type" || tok = "open" || tok = "include" || tok = "exception")
+        && ind <= base
+      then begin
+        close_cur (lno - 1);
+        in_let := false
+      end
+      else
+        match !cur with
+        | Some d -> d.r_body := (lno, line) :: !(d.r_body)
+        | None -> ())
+    stripped;
+  close_cur (Array.length stripped);
+  List.rev !out
+
+(* ---------- call-site extraction ---------- *)
+
+(* Dot-qualified and bare identifier occurrences on a stripped line:
+   [(0-based col, word)] for words usable as call targets. *)
+let call_words line =
+  let n = String.length line in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if
+      (Lexer.is_ident_char c || c = '.')
+      && (!i = 0 || not (Lexer.is_ident_char line.[!i - 1] || line.[!i - 1] = '.'))
+    then begin
+      let w = Lexer.word_at line !i in
+      let wl = String.length w in
+      (* a label use [~name:] names an argument slot, not a value *)
+      let labelled =
+        !i > 0 && line.[!i - 1] = '~' && !i + wl < n && line.[!i + wl] = ':'
+      in
+      if wl > 0 && w.[0] <> '.' && w.[wl - 1] <> '.' && not labelled then
+        out := (!i, w) :: !out;
+      i := !i + max wl 1
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let split_dots w = String.split_on_char '.' w
+
+(* ---------- the build ---------- *)
+
+let build (files : (string * string array) list) =
+  let raw =
+    List.concat_map (fun (path, stripped) -> defs_of_file ~path stripped) files
+  in
+  let defs =
+    Array.of_list
+      (List.mapi
+         (fun id r ->
+           {
+             id;
+             name = r.r_name;
+             modpath = r.r_modpath;
+             path = r.r_path;
+             dline = r.r_line;
+             dcol = r.r_col;
+             body_end = r.r_end;
+             fn = r.r_fn;
+           })
+         raw)
+  in
+  let raw = Array.of_list raw in
+  (* name -> candidate def ids (ascending id = file order, line order) *)
+  let by_name = Hashtbl.create 256 in
+  Array.iter
+    (fun d ->
+      if d.name <> "" then
+        Hashtbl.replace by_name d.name
+          (match Hashtbl.find_opt by_name d.name with
+          | Some ids -> d.id :: ids
+          | None -> [ d.id ]))
+    defs;
+  let candidates name =
+    match Hashtbl.find_opt by_name name with Some ids -> List.rev ids | None -> []
+  in
+  let suffix_matches mods modpath =
+    let lm = List.length mods and lp = List.length modpath in
+    lm <= lp
+    &&
+    let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l) in
+    drop (lp - lm) modpath = mods
+  in
+  (* Resolve one written call word in the context of [caller]. *)
+  let resolve caller ~cline w =
+    match split_dots w with
+    | [ bare ] ->
+        if is_keyword bare || not (is_lower_start bare) || bare = "_" then None
+        else begin
+          let same_file =
+            List.filter (fun id -> defs.(id).path = caller.path) (candidates bare)
+          in
+          (* latest definition above the call site wins (top-level
+             shadowing); otherwise the first one after it (forward
+             reference inside a rec group) *)
+          let above =
+            List.filter (fun id -> defs.(id).dline <= cline) same_file
+          in
+          match List.rev above with
+          | id :: _ -> Some id
+          | [] -> ( match same_file with id :: _ -> Some id | [] -> None)
+        end
+    | comps -> (
+        let rec split_last acc = function
+          | [ last ] -> (List.rev acc, last)
+          | x :: rest -> split_last (x :: acc) rest
+          | [] -> ([], "")
+        in
+        let mods, fname = split_last [] comps in
+        if
+          fname = "" || is_keyword fname
+          || not (is_lower_start fname)
+          || not (List.for_all is_upper_start mods)
+        then None
+        else
+          let matches =
+            List.filter (fun id -> suffix_matches mods defs.(id).modpath) (candidates fname)
+          in
+          match List.filter (fun id -> defs.(id).path = caller.path) matches with
+          | id :: _ -> Some id
+          | [] -> ( match matches with id :: _ -> Some id | [] -> None))
+  in
+  let calls = Array.make (Array.length defs) [] in
+  Array.iteri
+    (fun id d ->
+      let body = List.rev !(raw.(id).r_body) in
+      let seen = Hashtbl.create 8 in
+      let acc = ref [] in
+      (* On the binding line itself, everything left of the first
+         standalone [=] is the name and parameters, not calls. *)
+      let eq_threshold line =
+        let n = String.length line in
+        let rec at i =
+          if i >= n then n
+          else if
+            line.[i] = '='
+            && (i = 0 || not (List.mem line.[i - 1] [ '<'; '>'; '!'; ':'; '='; '+'; '-'; '*'; '/' ]))
+            && (i + 1 >= n || line.[i + 1] <> '=')
+          then i
+          else at (i + 1)
+        in
+        at 0
+      in
+      List.iter
+        (fun (lno, line) ->
+          let min_col = if lno = d.dline then eq_threshold line else -1 in
+          List.iter
+            (fun (col, w) ->
+              if col <= min_col then ()
+              else
+              match resolve d ~cline:lno w with
+              | Some target ->
+                  (* keep each (site, target) once; self-mentions on the
+                     binding line are the parameters, not a call *)
+                  if not (Hashtbl.mem seen (lno, col, target)) then begin
+                    Hashtbl.replace seen (lno, col, target) ();
+                    if not (target = id && lno = d.dline) then
+                      acc := { target; tname = w; cline = lno; ccol = col + 1 } :: !acc
+                  end
+              | None -> ())
+            (call_words line))
+        body;
+      calls.(id) <- List.rev !acc)
+    defs;
+  (* Tarjan SCC over the (deduped) target graph; emission order is
+     callees-first, which is exactly the fixpoint schedule. *)
+  let n = Array.length defs in
+  let index = Array.make n (-1) and low = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] and counter = ref 0 and sccs = ref [] in
+  let targets id =
+    List.sort_uniq compare (List.map (fun c -> c.target) calls.(id))
+  in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    low.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) < 0 then begin
+          strongconnect w;
+          low.(v) <- min low.(v) low.(w)
+        end
+        else if on_stack.(w) then low.(v) <- min low.(v) index.(w))
+      (targets v);
+    if low.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+            stack := rest;
+            on_stack.(w) <- false;
+            if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      sccs := pop [] :: !sccs
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) < 0 then strongconnect v
+  done;
+  { defs; calls; sccs = List.rev !sccs }

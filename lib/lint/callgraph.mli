@@ -1,0 +1,50 @@
+(** Demideep's whole-library call graph, built lexically from the same
+    stripped token stream the other dlint passes use.
+
+    Nodes are top-level [let]/[and] bindings (and bindings inside
+    [module X = struct ... end] blocks); module paths derive from file
+    location ([lib/tcp/stack.ml] contributes [Tcp.Stack]) extended by
+    enclosing submodules, so [Tcp.Stack.input], [Stack.input] and a
+    same-file bare [input] all resolve to one node by module-suffix
+    match. Mentioning a function counts as calling it — a callback
+    handed to a hot loop runs on the hot path — and unresolvable words
+    (record fields, stdlib calls, locals) contribute no edge. The
+    approximation's soundness caveats are documented in DESIGN.md
+    §12. *)
+
+type def = {
+  id : int;
+  name : string;  (** binding name; [""] for anonymous bindings like [let () =] *)
+  modpath : string list;  (** e.g. [["Tcp"; "Stack"]] *)
+  path : string;
+  dline : int;  (** 1-based line of the binding *)
+  dcol : int;  (** 1-based column of the binding name *)
+  body_end : int;  (** 1-based inclusive last body line *)
+  fn : bool;
+      (** the binding takes parameters (or its RHS is a lambda); a
+          parameterless value binding runs its body once at module init,
+          so mentioning it executes nothing and it carries no effects *)
+}
+
+type callsite = {
+  target : int;  (** callee def id *)
+  tname : string;  (** the call as written, e.g. ["Tcp.Stack.input"] *)
+  cline : int;  (** 1-based *)
+  ccol : int;  (** 1-based *)
+}
+
+type t = {
+  defs : def array;
+  calls : callsite list array;  (** per caller id, in line order *)
+  sccs : int list list;
+      (** strongly connected components, callees-first (reverse
+          topological) — the effect-fixpoint schedule *)
+}
+
+val display : def -> string
+(** Fully qualified display name, e.g. ["Tcp.Stack.input"]. *)
+
+val build : (string * string array) list -> t
+(** [build [(path, stripped_lines); ...]] over a whole library. Files
+    are processed in list order; definition ids are stable for a given
+    input, so diagnostics and DOT output are deterministic. *)

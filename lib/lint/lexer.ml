@@ -29,6 +29,24 @@ let strip_comments_and_strings src =
           blank i;
           in_string (i + 1)
   in
+  (* A string literal embedded in a comment (OCaml lexes those: a
+     [" *) "] inside a comment does not close it). Blanks through the
+     closing quote. *)
+  let rec comment_string i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | '"' ->
+          blank i;
+          i + 1
+      | '\\' when i + 1 < n ->
+          blank i;
+          blank (i + 1);
+          comment_string (i + 2)
+      | _ ->
+          blank i;
+          comment_string (i + 1)
+  in
   let rec in_comment depth i =
     if i >= n then i
     else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then begin
@@ -40,6 +58,28 @@ let strip_comments_and_strings src =
       blank i;
       blank (i + 1);
       if depth = 1 then i + 2 else in_comment (depth - 1) (i + 2)
+    end
+    else if src.[i] = '"' then begin
+      blank i;
+      in_comment depth (comment_string (i + 1))
+    end
+    else if src.[i] = '\'' && i + 2 < n && src.[i + 1] = '\\' then begin
+      (* escaped char literal in a comment: '\'' / '\\' / '\n' *)
+      blank i;
+      blank (i + 1);
+      blank (i + 2);
+      if i + 3 < n && src.[i + 3] = '\'' then begin
+        blank (i + 3);
+        in_comment depth (i + 4)
+      end
+      else in_comment depth (i + 3)
+    end
+    else if src.[i] = '\'' && i + 2 < n && src.[i + 2] = '\'' then begin
+      (* plain char literal in a comment — in particular '"' and '(' *)
+      blank i;
+      blank (i + 1);
+      blank (i + 2);
+      in_comment depth (i + 3)
     end
     else begin
       blank i;
@@ -112,11 +152,40 @@ let mask_strings src =
           blank i;
           in_string (i + 1)
   in
+  (* Comment text is preserved, but embedded string/char literals are
+     still lexed (OCaml's comment lexer does): their contents are
+     blanked — a marker spelled inside a comment-embedded string must
+     not arm a region — and a [" *) "] inside one cannot close the
+     comment. *)
+  let rec comment_string i =
+    if i >= n then i
+    else
+      match src.[i] with
+      | '"' -> i + 1
+      | '\\' when i + 1 < n ->
+          blank i;
+          blank (i + 1);
+          comment_string (i + 2)
+      | _ ->
+          blank i;
+          comment_string (i + 1)
+  in
   let rec in_comment depth i =
     if i >= n then i
     else if i + 1 < n && src.[i] = '(' && src.[i + 1] = '*' then in_comment (depth + 1) (i + 2)
     else if i + 1 < n && src.[i] = '*' && src.[i + 1] = ')' then
       if depth = 1 then i + 2 else in_comment (depth - 1) (i + 2)
+    else if src.[i] = '"' then in_comment depth (comment_string (i + 1))
+    else if src.[i] = '\'' && i + 2 < n && src.[i + 1] = '\\' then begin
+      blank (i + 1);
+      blank (i + 2);
+      if i + 3 < n && src.[i + 3] = '\'' then in_comment depth (i + 4)
+      else in_comment depth (i + 3)
+    end
+    else if src.[i] = '\'' && i + 2 < n && src.[i + 2] = '\'' then begin
+      blank (i + 1);
+      in_comment depth (i + 3)
+    end
     else in_comment depth (i + 1)
   in
   let rec go i =
@@ -202,10 +271,14 @@ let word_at line i =
   let s = start i and e = stop i in
   if e > s then String.sub line s (e - s) else ""
 
-let contains_sub s sub =
+let sub_index s sub =
   let n = String.length s and m = String.length sub in
-  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  let rec at i =
+    if i + m > n then None else if String.sub s i m = sub then Some i else at (i + 1)
+  in
   at 0
+
+let contains_sub s sub = sub_index s sub <> None
 
 (* The identifier starting at or after [i] (skipping spaces and '('),
    e.g. the argument of a call or the binder after "let". *)

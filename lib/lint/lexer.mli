@@ -4,13 +4,19 @@
 
 val strip_comments_and_strings : string -> string
 (** Replace comment bodies and string/char literal contents with spaces
-    (newlines preserved), so token scans can't match inside them. *)
+    (newlines preserved), so token scans can't match inside them.
+    Mirrors the OCaml lexer on the pathological-but-legal cases: char
+    literals holding quotes (['"'], ['\'']), nested [(* (* *) *)]
+    comments, and string/char literals embedded {e inside} comments
+    (where a [" *) "] does not close the comment). *)
 
 val mask_strings : string -> string
 (** Replace string/char literal contents with spaces but KEEP comment
     text (comments are still tracked, so quotes inside them never open
     a literal). This is the view marker scans use: [dlint: hotpath]
-    lives in comments, yet must not be spoofable from a string. *)
+    lives in comments, yet must not be spoofable from a string — string
+    and char literals embedded inside comments are blanked too, and
+    tracked so they cannot open/close a comment early. *)
 
 val is_ident_char : char -> bool
 
@@ -31,6 +37,11 @@ val token_col : string -> string -> int option
 val word_at : string -> int -> string
 (** The (possibly dot-qualified) identifier covering position [i], or
     [""]. *)
+
+val sub_index : string -> string -> int option
+(** 0-based index of the first raw substring occurrence (no token
+    boundary check) — for operators like ["+."] that never sit at
+    identifier boundaries. *)
 
 val contains_sub : string -> string -> bool
 

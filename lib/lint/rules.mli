@@ -27,19 +27,24 @@
     PDPIX ownership-protocol rules ([free-after-push],
     [double-free-path], [leaked-buffer], [dropped-token]) in the
     buffer-handling directories ([lib/tcp], [lib/demikernel],
-    [lib/apps], [lib/baselines], [lib/harness]), and the {!Alloccheck}
+    [lib/apps], [lib/baselines], [lib/harness]); the {!Alloccheck}
     pass contributes [alloc-in-hotpath]: heap-allocation sites inside
     regions opted in with [(* dlint: hotpath *)] /
     [(* dlint: hotpath-begin/end *)] markers (any directory — marking
-    is the opt-in).
+    is the opt-in); and the {!Effects} interprocedural pass contributes
+    [transitive-alloc-in-hotpath] and [scan-in-hotpath] — hot calls
+    into functions that allocate or walk whole collections anywhere
+    down the call chain, each finding carrying a witness chain.
 
     Scanning is purely lexical: comments and string/char literals are
     stripped first, so a banned name inside a docstring does not trip
     the lint. A violation can be suppressed in place with a comment
-    containing [dlint-allow: <rule-id> -- <justification>] on the same
-    or the preceding line, or centrally in {!Allowlist.entries}. A
-    [dlint-allow] marker that suppresses nothing is itself reported
-    ([unused-exemption]) by {!scan_full} — stale exemptions rot into
+    containing [dlint-allow: <rule-id> ... -- <justification>] on the
+    same or the preceding line (one marker may name several
+    whitespace- or comma-separated rules; ["--"] ends the list), or
+    centrally in {!Allowlist.entries}. A [dlint-allow] marker naming a
+    rule that suppresses nothing is itself reported
+    ([unused-exemption]) by the full scans — stale exemptions rot into
     silent holes otherwise. *)
 
 type violation = {
@@ -48,6 +53,9 @@ type violation = {
   col : int; (* 1-based *)
   rule : string;
   message : string;
+  chain : Effects.hop list;
+      (** witness call chain for the interprocedural rules (hot call
+          site first, direct evidence last); [[]] for per-line rules *)
 }
 
 val rule_ids : string list
@@ -59,6 +67,32 @@ val rule_unused : string
 val strip_comments_and_strings : string -> string
 (** Replace comment bodies and string/char literal contents with spaces
     (newlines preserved), so token scans can't match inside them. *)
+
+type report = {
+  violations : violation list;
+      (** everything surviving inline allows, including
+          [unused-exemption] findings for stale inline markers, sorted
+          by (path, line, col) *)
+  suppressed : (string * int) list;
+      (** per rule id (in {!rule_ids} order, zeroes included): how many
+          times an inline [dlint-allow] suppressed a finding or cleared
+          an interprocedural flag *)
+  timings : (string * float) list;
+      (** per pass, in pipeline order ([lex], [line-rules], [ownership],
+          [alloccheck], [interproc]): wall seconds, all zero unless
+          [?now] was supplied *)
+}
+
+val scan_project : ?now:(unit -> float) -> (string * string) list -> report
+(** The whole-project pipeline over [(path, contents)] pairs. Local
+    passes run per file; the Demideep {!Effects} pass runs once over
+    the full set, so cross-module call chains resolve. [?now] is the
+    wall clock used for {!report.timings} (injected — lint code may not
+    touch ambient time). The central {!Allowlist} is NOT applied (the
+    driver does that, so it can also detect stale central entries). *)
+
+val scan_project_full : ?now:(unit -> float) -> (string * string) list -> violation list
+(** Just the violations of {!scan_project}. *)
 
 val scan_string : path:string -> string -> violation list
 (** All rule violations for one source file, sorted by (line, col).

@@ -76,6 +76,7 @@ let set_armed b =
 
 let armed () = !armed_flag
 
+(* dlint-allow: transitive-alloc-in-hotpath -- site registration: callers bind their site once at setup and keep the handle; the registry lookup never sits inside a measured poll *)
 let site ?(warmup = 16) name =
   match Hashtbl.find_opt registry name with
   | Some s -> s

@@ -45,12 +45,14 @@ let frame_of t ~dst ~msgtype body =
   Bytes.blit_string body 0 b (off + 1) (String.length body);
   Bytes.unsafe_to_string b
 
+(* dlint-allow: scan-in-hotpath -- values is the fixed set of header words for one wire message (at most a few elements, written by the callers as literals), not a connection-scaled collection *)
 let u32_string values tail =
   let b = Bytes.create ((4 * List.length values) + String.length tail) in
   List.iteri (fun i v -> Wire.set_u32 b (4 * i) v) values;
   Bytes.blit_string tail 0 b (4 * List.length values) (String.length tail);
   Bytes.unsafe_to_string b
 
+(* dlint-allow: transitive-alloc-in-hotpath -- posting a work request is per-operation device work (frame build + completion closure), the doorbell path, not a steady poll *)
 let post_send t ~dst ~wr_id ~imm payload =
   if String.length payload > max_message_size then
     invalid_arg "Rdma_sim.post_send: message too large";
@@ -163,8 +165,9 @@ let ip t = t.ip
    the steady-state case — allocates nothing, because [List.rev []]
    returns [[]] without allocating. *)
 (* dlint: hotpath *)
+(* dlint-allow: scan-in-hotpath -- List.rev of the local accumulator: bounded by the poll budget n, and [] on the steady empty poll *)
 let rec take_cq cq n acc =
-  (* dlint-allow: alloc-in-hotpath -- List.rev [] is free; conses exist only on busy polls *)
+  (* dlint-allow: alloc-in-hotpath scan-in-hotpath -- List.rev [] is free; conses and the reversal walk exist only on busy polls, bounded by the poll budget *)
   if n = 0 || Queue.is_empty cq then List.rev acc
   else
     (* dlint-allow: alloc-in-hotpath -- one cons per completion, a busy poll *)

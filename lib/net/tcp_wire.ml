@@ -23,6 +23,7 @@ type header = {
   options : options;
 }
 
+(* dlint-allow: scan-in-hotpath -- sack_blocks is capped by the 40-byte TCP options field (at most 4 blocks), not a connection-scaled list *)
 let options_size o =
   let raw =
     (match o.mss with Some _ -> 4 | None -> 0)
@@ -43,6 +44,7 @@ let flags_byte h =
   lor (if h.psh then 0x08 else 0)
   lor if h.ack_flag then 0x10 else 0
 
+(* dlint-allow: scan-in-hotpath -- same SACK bound as [options_size]: at most 4 blocks fit the options field, so these walks are constant-size *)
 let write_options b off o =
   let pos = ref off in
   (match o.mss with

@@ -137,6 +137,7 @@ type input = Packet of Net.Ipv4.header * Bytes.t * int | Consumed
 (* Stash a fragment; return the reassembled transport payload once the
    datagram is complete. Partial datagrams are evicted LRU-ish when the
    table is full (the sender retries at a higher layer). *)
+(* dlint-allow: scan-in-hotpath -- fragment path only (steady traffic is unfragmented), and OCaml's Hashtbl.length reads a stored size field in O(1); the sorted eviction fold runs only at the max_frag_entries cap *)
 let offer_fragment t (header : Net.Ipv4.header) b off =
   let key = (header.Net.Ipv4.src, header.Net.Ipv4.identification, header.Net.Ipv4.protocol) in
   let entry =
@@ -195,6 +196,7 @@ let handle_arp t b off =
               ~target_ip:p.Net.Arp.sender_ip ~dst:p.Net.Arp.sender_mac
       | Net.Arp.Reply -> learn t ~sender_ip:p.Net.Arp.sender_ip ~sender_mac:p.Net.Arp.sender_mac)
 
+(* dlint-allow: transitive-alloc-in-hotpath -- busy-path RX: a frame arrived, so header parse and ARP-table upkeep are per-frame work; empty polls return before classification *)
 let input t frame =
   let b = Bytes.unsafe_of_string frame in
   match Net.Eth.read b 0 with

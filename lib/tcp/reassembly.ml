@@ -17,6 +17,7 @@ let trim_low ~floor ~seq payload =
   else if skip >= String.length payload then None
   else Some (floor, String.sub payload skip (String.length payload - skip))
 
+(* dlint-allow: scan-in-hotpath -- runs once per received data segment (busy RX); the walk covers only buffered out-of-order segments, bounded by the receive window *)
 let insert t ~seq payload =
   if String.length payload = 0 then ()
   else
@@ -63,6 +64,7 @@ let insert t ~seq payload =
           t.buffered <- t.buffered + (after - before)
         end
 
+(* dlint-allow: scan-in-hotpath -- walks only this connection's buffered out-of-order segments (bounded by rwnd_capacity), and only when emitting an ACK for a gapped window — loss recovery, not the steady path *)
 let ranges t =
   let rec coalesce = function
     | (s1, p1) :: (s2, p2) :: rest when Seqnum.add s1 (String.length p1) = s2 ->

@@ -197,6 +197,7 @@ let udp_sendto t sock ~dst buf =
 let udp_recv sock = if Queue.is_empty sock.udp_q then None else Some (Queue.pop sock.udp_q)
 let udp_pending sock = Queue.length sock.udp_q
 
+(* dlint-allow: transitive-alloc-in-hotpath -- busy-path RX: a datagram arrived, so the payload buffer alloc and socket lookup are per-frame work the paper's datapath also does; steady polls never reach the handler *)
 let handle_udp t header b off =
   let src_ip = header.Net.Ipv4.src and dst_ip = header.Net.Ipv4.dst in
   match Net.Udp_wire.read b off ~src_ip ~dst_ip with
@@ -230,6 +231,7 @@ let window_field conn ~syn =
 let rcv_nxt conn =
   match conn.reasm with Some r -> Reassembly.rcv_nxt r | None -> 0
 
+(* dlint-allow: transitive-alloc-in-hotpath -- busy-path TX: a segment exists to be sent, so per-segment header/options construction is per-frame work, not steady-poll work (the gc-budget oracle bounds the empty poll) *)
 let emit_segment conn ~seq ~syn ~ack_flag ~fin ~rst ~payload =
   let t = conn.stack in
   let options =
@@ -497,6 +499,7 @@ let destroy conn =
   conn.ack_pending <- false;
   Hashtbl.remove conn.stack.conns (conn_key conn)
 
+(* dlint-allow: transitive-alloc-in-hotpath -- connection teardown: runs once per connection close, and the allocation is the trace thunk for the close event *)
 let to_closed conn ~reset =
   let was_closed = conn.state = Closed_st in
   (if conn.state = Syn_received then
@@ -668,6 +671,7 @@ let retransmit_head conn =
             note_push_progress conn seg.seg_push_id
           end)
 
+(* dlint-allow: scan-in-hotpath -- blocks is capped at 4 by the TCP options field, and the unacked queue it marks is only walked when a SACK actually arrived (loss recovery); [] on clean ACKs short-circuits *)
 let apply_sack_blocks conn blocks =
   if blocks <> [] && conn.use_sack then
     Queue.iter
@@ -913,6 +917,7 @@ let handle_syn_for_listener t l th ~src_ip =
   arm_rto_at conn (now t + t.config.syn_rto_ns)
   end
 
+(* dlint-allow: transitive-alloc-in-hotpath -- busy-path RX: a segment arrived; payload extraction and connection dispatch are per-frame work, unreachable from an empty poll *)
 let handle_tcp t header b off =
   let src_ip = header.Net.Ipv4.src in
   let seg_total = header.Net.Ipv4.total_length - Net.Ipv4.size in
@@ -979,6 +984,7 @@ let handshake_timeout conn =
     arm_rto_at conn (now t + (t.config.syn_rto_ns lsl min conn.syn_retries 10))
   end
 
+(* dlint-allow: transitive-alloc-in-hotpath -- RTO fire is loss recovery (a retransmission episode, not the steady path), and the allocation is its trace thunk *)
 let rto_fire conn =
   let t = conn.stack in
   t.trace Engine.Trace.Tcp (fun () -> Printf.sprintf "conn %d: RTO fired" conn.uid);

@@ -430,6 +430,273 @@ let test_alloc_stats_table () =
   check_int "other rules report zero" 0 (List.assoc "determinism-source" st);
   check_int "one row per known rule" (List.length Lint.Rules.rule_ids) (List.length st)
 
+(* ---------- lexer hardening: char literals and nested comments ---------- *)
+
+let test_lexer_hardening () =
+  let hits path src = List.length (Lint.Rules.scan_string ~path src) in
+  check_int "double-quote char literal does not open a string" 1
+    (hits "lib/tcp/a.ml" "let q = '\"'\nlet drain t f = Hashtbl.iter f t\n");
+  check_int "escaped-quote char literal does not open a string" 1
+    (hits "lib/tcp/b.ml" "let q = '\\''\nlet drain t f = Hashtbl.iter f t\n");
+  check_int "nested comments strip to the outer closer" 0
+    (hits "lib/tcp/c.ml" "(* outer (* Hashtbl.iter inner *) still outer *)\nlet x = 1\n");
+  check_int "a string containing *) does not close its comment" 0
+    (hits "lib/tcp/d.ml" "(* doc: \" *) \" Hashtbl.iter still commented *)\nlet x = 1\n");
+  check_int "apostrophe prose in a comment does not derail the lexer" 1
+    (hits "lib/tcp/e.ml" "(* it's just prose *) let drain t f = Hashtbl.iter f t\n");
+  (* mask_strings keeps comment text (markers live there) but blanks
+     string contents, including strings embedded in comments. *)
+  let masked = Lint.Lexer.mask_strings "(* keep \"blank me\" *) let s = \"gone\"\n" in
+  check_bool "comment text survives masking" true (Lint.Lexer.contains_token masked "keep");
+  check_bool "comment-embedded string content is blanked" false
+    (Lint.Lexer.contains_token masked "blank");
+  check_bool "string literal content is blanked" false (Lint.Lexer.contains_token masked "gone")
+
+(* ---------- Demideep: interprocedural effect propagation ---------- *)
+
+let interproc_of vs =
+  List.filter
+    (fun v ->
+      v.Lint.Rules.rule = Lint.Effects.rule_transitive_alloc
+      || v.Lint.Rules.rule = Lint.Effects.rule_scan)
+    vs
+
+let test_interproc_transitive_chain () =
+  let src =
+    String.concat "\n"
+      [
+        "let alloc_it n = Bytes.create n";
+        "let middle n = alloc_it n";
+        "(* dlint: hotpath *)";
+        "let hot n = middle n";
+        "";
+      ]
+  in
+  let r = Lint.Rules.scan_project [ ("lib/tcp/chain.ml", src) ] in
+  match interproc_of r.Lint.Rules.violations with
+  | [ v ] ->
+      Alcotest.(check string)
+        "rule id" Lint.Effects.rule_transitive_alloc v.Lint.Rules.rule;
+      check_int "finding lands on the hot call line" 4 v.Lint.Rules.line;
+      check_int "witness: two calls plus the evidence" 3 (List.length v.Lint.Rules.chain);
+      let last = List.nth v.Lint.Rules.chain 2 in
+      check_int "evidence hop is the Bytes.create line" 1
+        last.Lint.Effects.hop_loc.Lint.Effects.lline
+  | vs -> Alcotest.failf "expected one transitive-alloc finding, got %d" (List.length vs)
+
+let test_interproc_cross_file () =
+  let util = "let fresh n = Bytes.create n\n" in
+  let caller = "(* dlint: hotpath *)\nlet hot n = Net.Util.fresh n\n" in
+  let r =
+    Lint.Rules.scan_project [ ("lib/net/util.ml", util); ("lib/tcp/caller.ml", caller) ]
+  in
+  match interproc_of r.Lint.Rules.violations with
+  | [ v ] ->
+      Alcotest.(check string) "caller file carries the finding" "lib/tcp/caller.ml"
+        v.Lint.Rules.path;
+      let last = List.nth v.Lint.Rules.chain (List.length v.Lint.Rules.chain - 1) in
+      Alcotest.(check string)
+        "evidence resolves across files" "lib/net/util.ml"
+        last.Lint.Effects.hop_loc.Lint.Effects.lpath
+  | vs -> Alcotest.failf "expected one cross-file finding, got %d" (List.length vs)
+
+let test_interproc_fixpoint_cycles () =
+  (* Self-recursion without evidence must converge to no flags. *)
+  let self =
+    "let rec spin n = if n = 0 then 0 else spin (n - 1)\n"
+    ^ "(* dlint: hotpath *)\nlet hot n = spin n\n"
+  in
+  check_int "allocation-free self-recursion stays clean" 0
+    (List.length
+       (interproc_of (Lint.Rules.scan_project [ ("lib/tcp/selfrec.ml", self) ]).Lint.Rules.violations));
+  (* Mutual recursion: evidence inside the cycle reaches the hot caller,
+     and the witness chain stays finite (acyclic origins). *)
+  let mutual =
+    String.concat "\n"
+      [
+        "let rec ping n = if n = 0 then [] else pong (n - 1)";
+        "and pong n = 1 :: ping (n - 1)";
+        "(* dlint: hotpath *)";
+        "let hot n = ping n";
+        "";
+      ]
+  in
+  (match
+     interproc_of (Lint.Rules.scan_project [ ("lib/tcp/mutual.ml", mutual) ]).Lint.Rules.violations
+   with
+  | [ v ] ->
+      check_bool "witness chain is finite" true (List.length v.Lint.Rules.chain <= 4)
+  | vs -> Alcotest.failf "mutual recursion: expected 1 finding, got %d" (List.length vs));
+  (* Diamond: both edges out of the hot caller are reported, once each. *)
+  let diamond =
+    String.concat "\n"
+      [
+        "let bottom n = Bytes.create n";
+        "let left n = bottom n";
+        "let right n = bottom n";
+        "(* dlint: hotpath *)";
+        "let top n = left (right n)";
+        "";
+      ]
+  in
+  check_int "diamond: one finding per hot edge, no duplicates" 2
+    (List.length
+       (interproc_of (Lint.Rules.scan_project [ ("lib/tcp/diamond.ml", diamond) ]).Lint.Rules.violations))
+
+let test_interproc_cycle_convergence () =
+  (* Three-function cycle with evidence in only one member: the flag
+     must travel the whole cycle (second fixpoint iteration) to reach
+     the entry point the hot caller uses. *)
+  let cyc =
+    String.concat "\n"
+      [
+        "let rec a n = b (n - 1)";
+        "and b n = c (n - 1)";
+        "and c n = if n = 0 then a n else Bytes.create n";
+        "(* dlint: hotpath *)";
+        "let hot n = a n";
+        "";
+      ]
+  in
+  match
+    interproc_of (Lint.Rules.scan_project [ ("lib/tcp/cycle.ml", cyc) ]).Lint.Rules.violations
+  with
+  | [ v ] ->
+      check_int "finding on the hot call" 5 v.Lint.Rules.line;
+      let last = List.nth v.Lint.Rules.chain (List.length v.Lint.Rules.chain - 1) in
+      check_int "evidence deep in the cycle" 3 last.Lint.Effects.hop_loc.Lint.Effects.lline
+  | vs -> Alcotest.failf "cycle: expected 1 finding, got %d" (List.length vs)
+
+let test_interproc_exempt_callee () =
+  (* A def-line exemption on the evidence owner silences every
+     transitive caller, and the consumed marker is not stale. *)
+  let src =
+    String.concat "\n"
+      [
+        "(* dlint-allow: transitive-alloc-in-hotpath -- arena-backed *)";
+        "let fresh n = Bytes.create n";
+        "let wrap n = fresh n";
+        "(* dlint: hotpath *)";
+        "let hot n = wrap n";
+        "";
+      ]
+  in
+  let vs = Lint.Rules.scan_project_full [ ("lib/tcp/exempt.ml", src) ] in
+  check_int "one exemption at the definition clears the whole chain" 0 (List.length vs);
+  (* The same marker with no evidence behind it is reported stale. *)
+  let stale =
+    "(* dlint-allow: transitive-alloc-in-hotpath -- nothing allocates *)\nlet pure n = n + 1\n"
+  in
+  Alcotest.(check (list string))
+    "stale transitive exemption is reported"
+    [ Lint.Rules.rule_unused ]
+    (List.map
+       (fun v -> v.Lint.Rules.rule)
+       (Lint.Rules.scan_project_full [ ("lib/tcp/stale.ml", stale) ]))
+
+let test_interproc_scan_rule () =
+  (* Direct scan token on a hot line. *)
+  let direct = "(* dlint: hotpath *)\nlet drain t f = List.iter f t\n" in
+  (match
+     interproc_of (Lint.Rules.scan_project [ ("lib/engine/d.ml", direct) ]).Lint.Rules.violations
+   with
+  | [ v ] -> Alcotest.(check string) "direct scan rule" Lint.Effects.rule_scan v.Lint.Rules.rule
+  | vs -> Alcotest.failf "direct scan: expected 1, got %d" (List.length vs));
+  (* Transitive: the walk hides one call away (engine path dodges the
+     per-line unordered-hashtbl rule, proving the interproc pass fires
+     on its own). *)
+  let trans =
+    "let total t = Hashtbl.fold (fun _ v n -> v + n) t 0\n"
+    ^ "(* dlint: hotpath *)\nlet hot t = total t\n"
+  in
+  (* Hashtbl.fold is both alloc evidence (a combinator) and scan
+     evidence, so the hot call is flagged once under each rule. *)
+  (match
+     List.filter
+       (fun v -> v.Lint.Rules.rule = Lint.Effects.rule_scan)
+       (Lint.Rules.scan_project [ ("lib/engine/t.ml", trans) ]).Lint.Rules.violations
+   with
+  | [ v ] -> check_int "scan finding on the hot call line" 3 v.Lint.Rules.line
+  | vs -> Alcotest.failf "transitive scan: expected 1, got %d" (List.length vs));
+  (* The sanctioned Det helpers are still O(n) — sorted iteration is
+     deterministic, not free — so they count as scans under a marker. *)
+  let det =
+    "(* dlint: hotpath *)\nlet flush t f = Engine.Det.hashtbl_iter_sorted ~compare:Int.compare t f\n"
+  in
+  check_int "Det sorted helpers are scans too" 1
+    (List.length
+       (interproc_of (Lint.Rules.scan_project [ ("lib/demikernel/s.ml", det) ]).Lint.Rules.violations))
+
+let test_interproc_multi_rule_allow () =
+  (* One marker naming both interprocedural rules suppresses both
+     findings on the covered line, and neither half goes stale. *)
+  let src =
+    String.concat "\n"
+      [
+        "let build t = List.map succ t";
+        "(* dlint: hotpath *)";
+        "(* dlint-allow: transitive-alloc-in-hotpath, scan-in-hotpath -- rebuilt only on change *)";
+        "let hot t = build t";
+        "";
+      ]
+  in
+  check_int "two rules, one marker, zero findings" 0
+    (List.length (Lint.Rules.scan_project_full [ ("lib/tcp/multi.ml", src) ]));
+  let r = Lint.Rules.scan_project [ ("lib/tcp/multi.ml", src) ] in
+  (* Each rule is consumed twice: the marker covers [hot]'s definition
+     line (clearing the flag before propagation) and the call site. *)
+  check_int "alloc half recorded as suppressed" 2
+    (List.assoc Lint.Effects.rule_transitive_alloc r.Lint.Rules.suppressed);
+  check_int "scan half recorded as suppressed" 2
+    (List.assoc Lint.Effects.rule_scan r.Lint.Rules.suppressed)
+
+let test_interproc_json_chain () =
+  let src = "let mk n = Bytes.create n\n(* dlint: hotpath *)\nlet hot n = mk n\n" in
+  let r = Lint.Rules.scan_project [ ("lib/tcp/j.ml", src) ] in
+  let js = Lint.Driver.json_of_violations r.Lint.Rules.violations in
+  check_bool "json carries a structured chain array" true
+    (Lint.Lexer.contains_sub js "\"chain\":[{");
+  check_bool "hops carry file positions" true
+    (Lint.Lexer.contains_sub js "{\"path\":\"lib/tcp/j.ml\",\"line\":1");
+  check_bool "hops carry the evidence description" true
+    (Lint.Lexer.contains_sub js "Bytes.create")
+
+let test_interproc_report_surfaces () =
+  let t = ref 0.0 in
+  let now () =
+    t := !t +. 1.0;
+    !t
+  in
+  let src = "let mk n = Bytes.create n\n(* dlint: hotpath *)\nlet hot n = mk n\n" in
+  let r = Lint.Rules.scan_project ~now [ ("lib/tcp/r.ml", src) ] in
+  check_int "five timed passes in pipeline order" 5 (List.length r.Lint.Rules.timings);
+  Alcotest.(check (list string))
+    "pass names" [ "lex"; "line-rules"; "ownership"; "alloccheck"; "interproc" ]
+    (List.map fst r.Lint.Rules.timings);
+  check_bool "injected clock produces nonzero wall times" true
+    (List.for_all (fun (_, s) -> s > 0.0) r.Lint.Rules.timings);
+  check_int "suppression table covers every rule" (List.length Lint.Rules.rule_ids)
+    (List.length r.Lint.Rules.suppressed)
+
+let test_interproc_graph_dot () =
+  let view path src =
+    {
+      Lint.Effects.path;
+      stripped =
+        Array.of_list (String.split_on_char '\n' (Lint.Rules.strip_comments_and_strings src));
+      masked = Array.of_list (String.split_on_char '\n' (Lint.Lexer.mask_strings src));
+    }
+  in
+  let src = "let mk n = Bytes.create n\nlet hot n = mk n\n" in
+  let dot = Lint.Effects.dot ~files:[ view "lib/tcp/g.ml" src ] in
+  check_bool "digraph header" true (Lint.Lexer.contains_sub dot "digraph dlint");
+  check_bool "edge from caller to callee" true (Lint.Lexer.contains_sub dot " -> ");
+  check_bool "allocating node carries the A effect letter" true
+    (Lint.Lexer.contains_sub dot "[A");
+  Alcotest.(check string)
+    "deterministic output" dot
+    (Lint.Effects.dot ~files:[ view "lib/tcp/g.ml" src ])
+
 (* ---------- the gc-budget oracle ---------- *)
 
 let test_gcbudget_oracle_catches_allocation () =
@@ -551,6 +818,21 @@ let suite =
       test_alloc_pattern_position_is_free;
     Alcotest.test_case "alloc: inline allow + staleness" `Quick test_alloc_inline_allow;
     Alcotest.test_case "alloc: dlint --stats table" `Quick test_alloc_stats_table;
+    Alcotest.test_case "lexer: char literals and nested comments" `Quick test_lexer_hardening;
+    Alcotest.test_case "interproc: transitive alloc chain" `Quick
+      test_interproc_transitive_chain;
+    Alcotest.test_case "interproc: cross-file resolution" `Quick test_interproc_cross_file;
+    Alcotest.test_case "interproc: fixpoint on cycles" `Quick test_interproc_fixpoint_cycles;
+    Alcotest.test_case "interproc: cycle convergence" `Quick test_interproc_cycle_convergence;
+    Alcotest.test_case "interproc: exempt callee + staleness" `Quick
+      test_interproc_exempt_callee;
+    Alcotest.test_case "interproc: scan-in-hotpath" `Quick test_interproc_scan_rule;
+    Alcotest.test_case "interproc: multi-rule allow marker" `Quick
+      test_interproc_multi_rule_allow;
+    Alcotest.test_case "interproc: json witness chain" `Quick test_interproc_json_chain;
+    Alcotest.test_case "interproc: report timings + suppression" `Quick
+      test_interproc_report_surfaces;
+    Alcotest.test_case "interproc: graph DOT export" `Quick test_interproc_graph_dot;
     Alcotest.test_case "gc-budget: oracle catches allocation" `Quick
       test_gcbudget_oracle_catches_allocation;
     Alcotest.test_case "gc-budget: warmup and disarmed" `Quick
