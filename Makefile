@@ -1,4 +1,4 @@
-.PHONY: all build test lint selfcheck check bench bench-smoke alloc-smoke trace-smoke pcap-smoke graph-smoke clean
+.PHONY: all build test lint selfcheck check bench bench-smoke alloc-smoke trace-smoke pcap-smoke graph-smoke scale-smoke clean
 
 all: build
 
@@ -24,6 +24,7 @@ check:
 	$(MAKE) trace-smoke
 	$(MAKE) pcap-smoke
 	$(MAKE) graph-smoke
+	$(MAKE) scale-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -99,6 +100,23 @@ graph-smoke:
 	@test -s out/lint.json \
 	  || { echo "graph-smoke: out/lint.json missing or empty" >&2; exit 1; }
 	@echo "graph-smoke: OK"
+
+# Demiscale end to end: a 1k-connection open-loop Poisson/Zipf run
+# through the TCB arena (`bench -- scale quick`). The bench validates
+# its own JSON schema (it exits 1 and skips the "schema OK" line on a
+# malformed or key-missing file); on top of that the smoke requires the
+# steady-poll gc-budget oracle to have measured real polls with zero
+# allocation violations and the pool sanitizer to have caught nothing.
+scale-smoke:
+	mkdir -p out
+	dune exec bench/main.exe -- scale quick --out out/BENCH_pr8_smoke.json | tee out/scale_smoke.txt
+	@grep -q "scale: JSON schema OK" out/scale_smoke.txt \
+	  || { echo "scale-smoke: bench did not validate its own JSON" >&2; exit 1; }
+	@grep -Eq "gc-budget scale steady_polls=[1-9][0-9]* violations=0" out/scale_smoke.txt \
+	  || { echo "scale-smoke: no measured steady polls or gc violations" >&2; exit 1; }
+	@grep -q '"pool_errors": 0' out/BENCH_pr8_smoke.json \
+	  || { echo "scale-smoke: TCB pool sanitizer caught errors" >&2; exit 1; }
+	@echo "scale-smoke: OK"
 
 clean:
 	dune clean

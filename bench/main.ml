@@ -439,6 +439,32 @@ let () =
       (match out_of rest with
       | Some out -> Wallclock.run ~quick ~out ()
       | None -> Wallclock.run ~quick ())
+  | "scale" ->
+      (* scale [quick] [--out FILE] *)
+      let rest = Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)) in
+      let quick = List.mem "quick" rest in
+      let rec out_of = function
+        | "--out" :: path :: _ -> Some path
+        | _ :: rest -> out_of rest
+        | [] -> None
+      in
+      (match out_of rest with
+      | Some out -> Scale.run ~quick ~out ()
+      | None -> Scale.run ~quick ())
+  | "churnprobe" ->
+      let runpt n =
+        let a0 = Gc.allocated_bytes () in
+        let s = Wallclock.churn ~conns:n ~rounds:1 ~msg_size:64 () in
+        let a1 = Gc.allocated_bytes () in
+        Printf.printf "conns=%d gc=%.1fMB marginal=%.0fB/conn wall=%.3f\n%!" n
+          ((a1 -. a0) /. 1048576.)
+          ((a1 -. a0) /. float_of_int n)
+          s.Wallclock.wall_s
+      in
+      runpt 1000;
+      runpt 1000;
+      runpt 10000;
+      runpt 10000
   | other ->
       prerr_endline ("unknown experiment: " ^ other);
       exit 1

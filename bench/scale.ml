@@ -1,0 +1,637 @@
+(* `bench -- scale`: how far does one simulated server stack scale in
+   connection count? (PR 8.)
+
+   An open-loop Poisson/Zipf workload (Apps.Loadgen's schedule, §7.3's
+   methodology) drives a TxnStore request handler behind one server
+   stack from N concurrent TCP connections, N sweeping 10k → 100k → 1M.
+   Like bench/wallclock.ml this measures the *host*: wall seconds and
+   GC work (minor/major words) for the whole point, plus virtual-time
+   latency quantiles measured from each request's scheduled arrival —
+   queueing a coordinated client would hide lands in the tail.
+
+   The world is the raw-stack mini-harness of wallclock.ml scaled out:
+   one server stack plus ceil(N / 8192) client stacks (an ephemeral
+   port range holds 16384 ports; half keeps churn reconnects clear of
+   wraparound), joined by a constant-latency FIFO frame queue. Client
+   connection state is indexed by [Stack.conn_slot] — the flat-TCB
+   arena slot — so the driver's own demux is an array read, the same
+   discipline Catnip uses.
+
+   Honesty: each point is timed, and the sweep stops early when the
+   projected next point would blow the wall budget (or allocation
+   fails); BENCH_pr8.json then records the largest sustained point and
+   the limiting factor instead of silently reporting a smaller sweep as
+   complete. The gc-budget oracle stays armed throughout: steady polls
+   (no frames, no arrivals, no timer work) must allocate zero minor
+   words even with a million live TCBs. *)
+
+module Stack = Tcp.Stack
+module Heap = Memory.Heap
+module Loadgen = Apps.Loadgen
+
+let conns_per_stack = 8192
+let frame_latency = 1_000
+let burst = 64
+
+type point = {
+  conns : int;
+  client_stacks : int;
+  ops : int;
+  wall_s : float;
+  gc_minor_words : float;
+  gc_major_words : float;
+  gc_alloc_mb : float;
+  p50_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  completed : int;
+  reconnects : int;
+  frames : int;
+  polls : int;
+  steady_polls : int;
+  gc_poll_violations : int;
+  conns_peak : int;
+  tcb_capacity : int;
+  pool_errors : int; (* canary + double-free + UAF across both ends *)
+}
+
+(* One logical client connection: survives churn (the underlying
+   Stack.conn is replaced), owns the open-loop bookkeeping. *)
+type lconn = {
+  stack_idx : int; (* which client stack, 0-based *)
+  churn : bool;
+  mutable conn : Stack.conn option;
+  mutable can_send : bool; (* Established fired on the current conn *)
+  mutable acc : Apps.Framing.accum;
+  pending : int Queue.t; (* at_ns of requests awaiting responses *)
+  backlog : (int * string) Queue.t; (* framed requests awaiting a conn *)
+  mutable since_birth : int;
+  mutable reconnect_pending : bool; (* queued on reconnect_q *)
+}
+
+(* A growable conn_slot-indexed table — the driver-side analogue of
+   Catnip's by_conn array. *)
+type 'a slots = { mutable cells : 'a option array }
+
+let slots () = { cells = Array.make 64 None }
+
+let slot_find s conn =
+  let slot = Stack.conn_slot conn in
+  if slot < 0 || slot >= Array.length s.cells then None else s.cells.(slot)
+
+let slot_set s conn v =
+  let slot = Stack.conn_slot conn in
+  let len = Array.length s.cells in
+  if slot >= len then begin
+    let bigger = Array.make (max (slot + 1) (len * 2)) None in
+    Array.blit s.cells 0 bigger 0 len;
+    s.cells <- bigger
+  end;
+  s.cells.(slot) <- v
+
+let pool_errors stack =
+  match Memory.Pool.sanitizer_report (Stack.tcb_pool stack) with
+  | Some r ->
+      r.Memory.Pool.canary_violations + r.Memory.Pool.double_frees
+      + r.Memory.Pool.uaf_accesses
+  | None -> 0
+
+let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn ~keys
+    ~value_size () =
+  let m = (n + conns_per_stack - 1) / conns_per_stack in
+  let clock = ref 0 in
+  let frames = ref 0 in
+  let polls = ref 0 in
+  (* Constant latency: arrival order == send order, one FIFO for the
+     whole world. Destination is decoded from the Ethernet dst MAC —
+     [Mac.of_index i] puts i+1 in the low 16 bits, and stack position p
+     carries index p+1, so position = low16 - 2. This routes ARP
+     replies and IPv4 alike; ARP requests are broadcast (low16 =
+     0xffff) and fan out to every stack, which is cheap because each
+     pair resolves exactly once. *)
+  let q : (int * string) Queue.t = Queue.create () in
+  let mac_lo frame = (Char.code frame.[4] lsl 8) lor Char.code frame.[5] in
+  let heaps = Array.init (m + 1) (fun _ -> Heap.create ~mode:Heap.Pool_backed ()) in
+  (* Deferred app work: stack events fire synchronously inside [input],
+     so handlers only record; the poll loop below does the API calls.
+     Client queues carry the owning stack's position so completion state
+     can be found by (stack, conn_slot). *)
+  let established_q : (int * Stack.conn) Queue.t = Queue.create () in
+  let readable_client_q : (int * Stack.conn) Queue.t = Queue.create () in
+  let readable_server_q : Stack.conn Queue.t = Queue.create () in
+  let accept_ready_q : Stack.listener Queue.t = Queue.create () in
+  let reconnect_q : lconn Queue.t = Queue.create () in
+  let client_slots : lconn slots array = Array.init m (fun _ -> slots ()) in
+  let srv_accum : Apps.Framing.accum slots = slots () in
+  let client_events j = function
+    | Stack.Established c -> Queue.add (j, c) established_q
+    | Stack.Readable c -> Queue.add (j, c) readable_client_q
+    | Stack.Closed c | Stack.Reset c -> (
+        (* Synchronous: the slot is still valid during the event; only
+           bookkeeping here, no stack calls. A churned lconn has already
+           moved to a fresh conn — only react if this close is for the
+           lconn's *current* incarnation (a server-side close or RST). *)
+        match slot_find client_slots.(j) c with
+        | Some lc ->
+            slot_set client_slots.(j) c None;
+            let current = match lc.conn with Some c' -> c' == c | None -> false in
+            if current then begin
+              lc.conn <- None;
+              lc.can_send <- false;
+              if (not (Queue.is_empty lc.backlog)) && not lc.reconnect_pending then begin
+                lc.reconnect_pending <- true;
+                Queue.add lc reconnect_q
+              end
+            end
+        | None -> ())
+    | Stack.Accept_ready _ | Stack.Push_completed _ | Stack.Udp_readable _ -> ()
+  in
+  let server_events = function
+    | Stack.Accept_ready l -> Queue.add l accept_ready_q
+    | Stack.Readable c -> Queue.add c readable_server_q
+    | Stack.Closed c | Stack.Reset c -> slot_set srv_accum c None
+    | Stack.Established _ | Stack.Push_completed _ | Stack.Udp_readable _ -> ()
+  in
+  let mk_iface idx =
+    Tcp.Iface.create
+      ~mac:(Net.Addr.Mac.of_index idx)
+      ~ip:(Net.Addr.Ip.of_index idx)
+      ~clock:(fun () -> !clock)
+      ~tx_frame:(fun f -> Queue.add (!clock + frame_latency, f) q)
+      ()
+  in
+  let server =
+    Stack.create ~iface:(mk_iface 1) ~heap:heaps.(0) ~prng:(Engine.Prng.create 11L)
+      ~events:server_events ()
+  in
+  let client_stacks =
+    Array.init m (fun j ->
+        Stack.create ~iface:(mk_iface (j + 2)) ~heap:heaps.(j + 1)
+          ~prng:(Engine.Prng.create (Int64.of_int (100 + j)))
+          ~events:(client_events j) ())
+  in
+  let stacks = Array.append [| server |] client_stacks in
+  let nstacks = Array.length stacks in
+  let port = 7447 in
+  let _listener = Stack.tcp_listen server ~port ~backlog:(n + 16) in
+  let server_ep = Net.Addr.endpoint (Net.Addr.Ip.of_index 1) port in
+  let store : (string, int * string) Hashtbl.t = Hashtbl.create 1024 in
+  let prng = Engine.Prng.create 4242L in
+  let rate_per_sec = float_of_int n *. rate_per_conn in
+  let pl = Loadgen.plan ~prng ~rate_per_sec ~keys ~theta:0.99 ~get_ratio:0.5 ~start_ns:0 in
+  let value = String.make value_size 'v' in
+  let latencies = Metrics.Histogram.create () in
+  let ops_total = n * ops_per_conn in
+  let issued = ref 0 and completed = ref 0 and reconnects = ref 0 in
+  let churn_stride =
+    if churn_fraction <= 0. then 0 else max 1 (int_of_float (1. /. churn_fraction))
+  in
+  let lconns =
+    Array.init n (fun i ->
+        {
+          stack_idx = i / conns_per_stack;
+          churn = churn_stride > 0 && i mod churn_stride = 0;
+          conn = None;
+          can_send = false;
+          acc = Apps.Framing.create ();
+          pending = Queue.create ();
+          backlog = Queue.create ();
+          since_birth = 0;
+          reconnect_pending = false;
+        })
+  in
+  let open_conn lc =
+    let c = Stack.tcp_connect client_stacks.(lc.stack_idx) ~dst:server_ep in
+    lc.conn <- Some c;
+    lc.can_send <- false;
+    lc.reconnect_pending <- false;
+    lc.acc <- Apps.Framing.create ();
+    slot_set client_slots.(lc.stack_idx) c (Some lc)
+  in
+  let send_framed lc framed at =
+    match lc.conn with
+    | Some c when lc.can_send ->
+        let heap = heaps.(lc.stack_idx + 1) in
+        let buf = Heap.alloc_of_string heap framed in
+        Stack.tcp_send c [ buf ];
+        (* Zero-copy discipline: the stack holds per-segment refs; the
+           app drops its own reference right after the push. *)
+        Heap.free buf;
+        Queue.add at lc.pending
+    | Some _ -> Queue.add (at, framed) lc.backlog
+    | None ->
+        Queue.add (at, framed) lc.backlog;
+        if not lc.reconnect_pending then begin
+          lc.reconnect_pending <- true;
+          Queue.add lc reconnect_q
+        end
+  in
+  let flush_backlog lc =
+    while lc.can_send && not (Queue.is_empty lc.backlog) do
+      let at, framed = Queue.pop lc.backlog in
+      send_framed lc framed at
+    done
+  in
+  let rr = ref 0 in
+  let issue_one () =
+    let o = Loadgen.next pl in
+    let lc = lconns.(!rr) in
+    rr := (!rr + 1) mod n;
+    let body =
+      Loadgen.encode_request Loadgen.Txn ~kind:o.Loadgen.kind
+        ~key:(Apps.Workload.key_name o.Loadgen.key)
+        ~value
+    in
+    send_framed lc (Apps.Framing.encode body) o.Loadgen.at_ns;
+    incr issued
+  in
+  let drain_client lc =
+    match lc.conn with
+    | None -> ()
+    | Some c ->
+        let rec recv () =
+          match Stack.tcp_recv c with
+          | `Data buf ->
+              Apps.Framing.feed lc.acc (Heap.to_string buf);
+              Heap.free buf;
+              recv ()
+          | `Eof | `Nothing -> ()
+        in
+        recv ();
+        let rec extract () =
+          match Apps.Framing.next lc.acc with
+          | Some _response ->
+              (match Queue.take_opt lc.pending with
+              | Some at ->
+                  Metrics.Histogram.add latencies (!clock - at);
+                  incr completed;
+                  lc.since_birth <- lc.since_birth + 1
+              | None -> ());
+              extract ()
+          | None -> ()
+        in
+        extract ();
+        if
+          lc.churn
+          && lc.since_birth >= churn_after
+          && Queue.is_empty lc.pending
+          && Stack.conn_state c = Stack.Established_st
+        then begin
+          (* Retire this incarnation and reconnect immediately — the
+             old conn winds down through FIN/TIME_WAIT in the
+             background while the replacement (a fresh arena slot)
+             carries new requests, as a real churn client would. *)
+          lc.since_birth <- 0;
+          incr reconnects;
+          Stack.tcp_close c;
+          open_conn lc
+        end
+  in
+  let drain_server c =
+    match slot_find srv_accum c with
+    | None -> ()
+    | Some acc ->
+        let rec recv () =
+          match Stack.tcp_recv c with
+          | `Data buf ->
+              Apps.Framing.feed acc (Heap.to_string buf);
+              Heap.free buf;
+              recv ()
+          | `Eof -> if Stack.conn_state c = Stack.Close_wait then Stack.tcp_close c
+          | `Nothing -> ()
+        in
+        recv ();
+        let rec respond () =
+          match Apps.Framing.next acc with
+          | Some msg ->
+              let reply = Apps.Txnstore.handle_request ~store msg in
+              (match Stack.conn_state c with
+              | Stack.Established_st | Stack.Close_wait ->
+                  let buf = Heap.alloc_of_string heaps.(0) (Apps.Framing.encode reply) in
+                  Stack.tcp_send c [ buf ];
+                  Heap.free buf
+              | _ -> ());
+              respond ()
+          | None -> ()
+        in
+        respond ()
+  in
+  let app_work () =
+    let worked = ref false in
+    while not (Queue.is_empty accept_ready_q) do
+      worked := true;
+      let l = Queue.pop accept_ready_q in
+      let rec accept_all () =
+        match Stack.tcp_accept l with
+        | Some c ->
+            slot_set srv_accum c (Some (Apps.Framing.create ()));
+            drain_server c;
+            accept_all ()
+        | None -> ()
+      in
+      accept_all ()
+    done;
+    while not (Queue.is_empty established_q) do
+      worked := true;
+      let j, c = Queue.pop established_q in
+      match slot_find client_slots.(j) c with
+      | Some lc ->
+          lc.can_send <- true;
+          flush_backlog lc
+      | None -> ()
+    done;
+    while not (Queue.is_empty readable_client_q) do
+      worked := true;
+      let j, c = Queue.pop readable_client_q in
+      match slot_find client_slots.(j) c with Some lc -> drain_client lc | None -> ()
+    done;
+    while not (Queue.is_empty readable_server_q) do
+      worked := true;
+      drain_server (Queue.pop readable_server_q)
+    done;
+    while not (Queue.is_empty reconnect_q) do
+      worked := true;
+      open_conn (Queue.pop reconnect_q)
+    done;
+    !worked
+  in
+  let gc_site = Memory.Gcbudget.site "scale.poll" in
+  let run () =
+    (* Open every long-lived connection up front: N SYNs hit the
+       listener in bursts, the arena grows to its high-water mark. *)
+    Array.iter open_conn lconns;
+    let guard = ref (200 * n + 50_000_000) in
+    let continue = ref true in
+    while !continue do
+      decr guard;
+      if !guard = 0 then failwith "scale: no quiescence";
+      incr polls;
+      let activity0 = ref 0 in
+      for i = 0 to nstacks - 1 do
+        activity0 := !activity0 + Stack.timer_activity (Array.unsafe_get stacks i)
+      done;
+      Memory.Gcbudget.enter gc_site;
+      (* Deliver one burst of due frames (the rx_burst analogue). *)
+      let delivered = ref 0 in
+      while
+        !delivered < burst
+        && (not (Queue.is_empty q))
+        &&
+        let at, _ = Queue.peek q in
+        at <= !clock
+      do
+        let _, frame = Queue.pop q in
+        let lo = mac_lo frame in
+        if lo = 0xffff then
+          for i = 0 to nstacks - 1 do
+            Stack.input (Array.unsafe_get stacks i) frame
+          done
+        else Stack.input stacks.(lo - 2) frame;
+        incr delivered;
+        incr frames
+      done;
+      (* Open-loop arrivals due at this instant. *)
+      let issued_now = ref 0 in
+      while !issued < ops_total && Loadgen.peek_at pl <= !clock do
+        issue_one ();
+        incr issued_now
+      done;
+      (* Per-poll timer/ack work, as the Catnip fast path does it. *)
+      for i = 0 to nstacks - 1 do
+        let s = Array.unsafe_get stacks i in
+        Stack.flush_acks s;
+        Stack.on_timer s
+      done;
+      let activity1 = ref 0 in
+      for i = 0 to nstacks - 1 do
+        activity1 := !activity1 + Stack.timer_activity (Array.unsafe_get stacks i)
+      done;
+      if !delivered = 0 && !issued_now = 0 && !activity1 = !activity0 then
+        Memory.Gcbudget.leave_steady gc_site
+      else Memory.Gcbudget.leave_busy gc_site;
+      let worked = app_work () in
+      if (not worked) && !delivered = 0 && !issued_now = 0 then begin
+        if !completed >= ops_total then continue := false
+        else begin
+          (* Nothing due now: park to the next frame arrival, timer
+             deadline or scheduled send, whichever is first. *)
+          let next_frame = if Queue.is_empty q then max_int else fst (Queue.peek q) in
+          let next_arrival = if !issued < ops_total then Loadgen.peek_at pl else max_int in
+          let t = ref (min next_frame next_arrival) in
+          for i = 0 to nstacks - 1 do
+            t := min !t (Stack.next_timer_ns (Array.unsafe_get stacks i))
+          done;
+          if !t = max_int then begin
+            Printf.eprintf "scale: WARNING idle world with %d/%d ops completed\n%!"
+              !completed ops_total;
+            continue := false
+          end
+          else clock := max !clock !t
+        end
+      end
+    done
+  in
+  let gc0 = Gc.quick_stat () in
+  let t0 = Unix.gettimeofday () in
+  run ();
+  let t1 = Unix.gettimeofday () in
+  let gc1 = Gc.quick_stat () in
+  let minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words in
+  let major_words = gc1.Gc.major_words -. gc0.Gc.major_words in
+  let site_stats =
+    List.find_opt
+      (fun s -> s.Memory.Gcbudget.site_name = "scale.poll")
+      (Memory.Gcbudget.sites ())
+  in
+  let steady, violations =
+    match site_stats with
+    | Some s -> (s.Memory.Gcbudget.measured, s.Memory.Gcbudget.site_violations)
+    | None -> (0, 0)
+  in
+  let errors = Array.fold_left (fun acc s -> acc + pool_errors s) 0 stacks in
+  let stats = Stack.conn_stats server in
+  {
+    conns = n;
+    client_stacks = m;
+    ops = ops_total;
+    wall_s = t1 -. t0;
+    gc_minor_words = minor_words;
+    gc_major_words = major_words;
+    gc_alloc_mb = minor_words *. 8. /. 1_048_576.;
+    p50_ns = Metrics.Histogram.p50 latencies;
+    p99_ns = Metrics.Histogram.p99 latencies;
+    p999_ns = Metrics.Histogram.p999 latencies;
+    completed = !completed;
+    reconnects = !reconnects;
+    frames = !frames;
+    polls = !polls;
+    steady_polls = steady;
+    gc_poll_violations = violations;
+    conns_peak = stats.Stack.peak;
+    tcb_capacity = Memory.Pool.capacity (Stack.tcb_pool server);
+    pool_errors = errors;
+  }
+
+(* ---------- churn comparison against the PR 6 record ----------
+
+   BENCH_pr6.json's committed churn numbers (10k connections, this
+   machine, pre-flat-TCB stack). Re-running wallclock.ml's own churn
+   harness on the pooled stack quantifies the GC win the arena buys at
+   the 10k point. *)
+
+let pr6_churn_wall_s = 0.1883
+let pr6_churn_gc_mb = 184.3
+
+(* ---------- JSON emission + self-validation ---------- *)
+
+let point_json p =
+  Printf.sprintf
+    {|    { "conns": %d, "client_stacks": %d, "ops": %d, "completed": %d, "wall_s": %.4f, "gc_minor_words": %.0f, "gc_major_words": %.0f, "gc_alloc_mb": %.1f, "p50_ns": %d, "p99_ns": %d, "p999_ns": %d, "reconnects": %d, "frames": %d, "polls": %d, "steady_polls": %d, "gc_poll_violations": %d, "conns_peak": %d, "tcb_capacity": %d, "pool_errors": %d }|}
+    p.conns p.client_stacks p.ops p.completed p.wall_s p.gc_minor_words p.gc_major_words
+    p.gc_alloc_mb p.p50_ns p.p99_ns p.p999_ns p.reconnects p.frames p.polls p.steady_polls
+    p.gc_poll_violations p.conns_peak p.tcb_capacity p.pool_errors
+
+(* Minimal structural JSON check: balanced containers outside strings,
+   sane escapes — enough to catch a malformed printf before the file is
+   committed as a benchmark record. *)
+let json_well_formed s =
+  let depth = ref 0 and in_str = ref false and esc = ref false and ok = ref true in
+  String.iter
+    (fun ch ->
+      if !esc then esc := false
+      else if !in_str then begin
+        if ch = '\\' then esc := true else if ch = '"' then in_str := false
+      end
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    s;
+  !ok && !depth = 0 && not !in_str
+
+let required_keys =
+  [
+    "\"pr\"";
+    "\"sweep\"";
+    "\"attempted\"";
+    "\"largest_sustained\"";
+    "\"limiting_factor\"";
+    "\"gc_poll_violations\"";
+    "\"p999_ns\"";
+    "\"churn_10k\"";
+  ]
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let validate_json path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let missing = List.filter (fun k -> not (contains_sub s k)) required_keys in
+  if not (json_well_formed s) then begin
+    Printf.eprintf "scale: %s is not well-formed JSON\n%!" path;
+    exit 1
+  end;
+  if missing <> [] then begin
+    Printf.eprintf "scale: %s is missing keys: %s\n%!" path (String.concat ", " missing);
+    exit 1
+  end;
+  Printf.printf "scale: JSON schema OK (%s)\n%!" path
+
+(* ---------- the sweep driver ---------- *)
+
+let default_sweep = [ 10_000; 100_000; 1_000_000 ]
+let quick_sweep = [ 1_000 ]
+
+(* Wall budget for the whole sweep; a projected overrun stops the sweep
+   and is recorded as the limiting factor rather than hidden. *)
+let wall_budget_s = 150.
+
+let run ~quick ?(out = "BENCH_pr8.json") () =
+  Memory.Gcbudget.set_armed true;
+  let sweep = if quick then quick_sweep else default_sweep in
+  let ops_per_conn = 6 in
+  let churn_fraction = 0.1 in
+  let churn_after = 3 in
+  let rate_per_conn = 20_000. in
+  let keys = 1024 in
+  let value_size = 32 in
+  let attempted = List.fold_left max 0 sweep in
+  (* Churn comparison at the PR 6 point first, on a clean heap — the
+     sweep's 100k/1M points leave the major heap big enough to skew a
+     later measurement. Uses PR 6's own harness for comparability. *)
+  let churn = Wallclock.churn ~conns:10_000 ~rounds:1 ~msg_size:64 () in
+  Printf.printf "churn10k wall=%.3fs gc=%.1fMB (pr6: %.3fs %.1fMB)\n%!" churn.Wallclock.wall_s
+    churn.Wallclock.gc_alloc_mb pr6_churn_wall_s pr6_churn_gc_mb;
+  let points = ref [] in
+  let limiting = ref "none" in
+  let elapsed = ref 0. in
+  let rec go = function
+    | [] -> ()
+    | n :: rest -> (
+        let projected =
+          match !points with
+          | p :: _ when p.conns > 0 ->
+              p.wall_s *. (float_of_int n /. float_of_int p.conns) *. 1.3
+          | _ -> 0.
+        in
+        if !elapsed +. projected > wall_budget_s then
+          limiting := "wall"
+        else
+          match
+            Memory.Gcbudget.reset ();
+            run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
+              ~keys ~value_size ()
+          with
+          | p ->
+              elapsed := !elapsed +. p.wall_s;
+              points := p :: !points;
+              Printf.printf
+                "scale conns=%d stacks=%d ops=%d wall=%.3fs gc=%.1fMB p50=%dns p99=%dns p999=%dns reconnects=%d peak=%d\n%!"
+                p.conns p.client_stacks p.ops p.wall_s p.gc_alloc_mb p.p50_ns p.p99_ns
+                p.p999_ns p.reconnects p.conns_peak;
+              Printf.printf "gc-budget scale steady_polls=%d violations=%d\n%!"
+                p.steady_polls p.gc_poll_violations;
+              go rest
+          | exception Out_of_memory -> limiting := "memory")
+  in
+  go sweep;
+  let points = List.rev !points in
+  let largest = List.fold_left (fun acc p -> max acc p.conns) 0 points in
+  let oc = open_out out in
+  Printf.fprintf oc
+    {|{
+  "pr": 8,
+  "mode": "%s",
+  "workload": { "target": "txnstore", "ops_per_conn": %d, "rate_per_conn_per_sec": %.0f, "get_ratio": 0.5, "theta": 0.99, "keys": %d, "value_size": %d, "churn_fraction": %.2f, "churn_after_ops": %d, "frame_latency_ns": %d },
+  "sweep": [
+%s
+  ],
+  "attempted": %d,
+  "largest_sustained": %d,
+  "limiting_factor": "%s",
+  "wall_budget_s": %.0f,
+  "churn_10k": { "wall_s": %.4f, "gc_alloc_mb": %.1f, "pr6_wall_s": %.4f, "pr6_gc_mb": %.1f, "gc_reduction": %.2f, "speedup": %.2f }
+}
+|}
+    (if quick then "quick" else "default")
+    ops_per_conn rate_per_conn keys value_size churn_fraction churn_after frame_latency
+    (String.concat ",\n" (List.map point_json points))
+    attempted largest !limiting wall_budget_s churn.Wallclock.wall_s
+    churn.Wallclock.gc_alloc_mb pr6_churn_wall_s pr6_churn_gc_mb
+    (if churn.Wallclock.gc_alloc_mb > 0. then pr6_churn_gc_mb /. churn.Wallclock.gc_alloc_mb
+     else 0.)
+    (if churn.Wallclock.wall_s > 0. then pr6_churn_wall_s /. churn.Wallclock.wall_s else 0.);
+  close_out oc;
+  Printf.printf "wrote %s (largest_sustained=%d, limiting_factor=%s)\n%!" out largest
+    !limiting;
+  validate_json out;
+  Memory.Gcbudget.set_armed false

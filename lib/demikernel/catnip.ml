@@ -18,10 +18,33 @@ type t = {
   nic : Net.Dpdk_sim.t;
   stack : Tcp.Stack.t;
   qds : (Pdpix.qd, entry) Hashtbl.t;
-  by_conn : (int, conn_entry) Hashtbl.t; (* Stack.conn_id -> entry *)
+  mutable by_conn : conn_entry option array;
+      (* indexed by [Stack.conn_slot]: the TCB arena slot is a small
+         dense integer, so event dispatch is a bounds check and an array
+         read — no hashing. The stack releases a slot only after the
+         Closed/Reset event, and this table drops its entry in those
+         handlers, so a reused slot never sees a stale entry. *)
   by_udp : (int, Pdpix.qd) Hashtbl.t; (* udp port -> qd *)
   by_listener : (int, Pdpix.qd) Hashtbl.t; (* tcp port -> qd *)
 }
+
+let conn_set t conn ce =
+  let slot = Tcp.Stack.conn_slot conn in
+  let n = Array.length t.by_conn in
+  if slot >= n then begin
+    let bigger = Array.make (max (slot + 1) (n * 2)) None in
+    Array.blit t.by_conn 0 bigger 0 n;
+    t.by_conn <- bigger
+  end;
+  t.by_conn.(slot) <- Some ce
+
+let conn_find t conn =
+  let slot = Tcp.Stack.conn_slot conn in
+  if slot < 0 || slot >= Array.length t.by_conn then None else t.by_conn.(slot)
+
+let conn_clear t conn =
+  let slot = Tcp.Stack.conn_slot conn in
+  if slot >= 0 && slot < Array.length t.by_conn then t.by_conn.(slot) <- None
 
 let stack t = t.stack
 
@@ -83,7 +106,7 @@ let service_accepts t l waiters =
             { conn; conn_qd; pop_waiters = Queue.create (); connect_token = None; failed = None }
           in
           Hashtbl.replace t.qds conn_qd (Connection ce);
-          Hashtbl.replace t.by_conn (Tcp.Stack.conn_id conn) ce;
+          conn_set t conn ce;
           Runtime.complete t.rt qt (Pdpix.Accepted conn_qd);
           go ()
       | None -> ()
@@ -110,16 +133,16 @@ let fail_conn t ce reason =
       Runtime.complete t.rt qt (Pdpix.Failed reason)
   | None -> ());
   service_conn_pops t ce;
-  Hashtbl.remove t.by_conn (Tcp.Stack.conn_id ce.conn)
+  conn_clear t ce.conn
 
 let on_stack_event t event =
   match event with
   | Tcp.Stack.Readable conn -> (
-      match Hashtbl.find_opt t.by_conn (Tcp.Stack.conn_id conn) with
+      match conn_find t conn with
       | Some ce -> service_conn_pops t ce
       | None -> ())
   | Tcp.Stack.Established conn -> (
-      match Hashtbl.find_opt t.by_conn (Tcp.Stack.conn_id conn) with
+      match conn_find t conn with
       | Some ce -> (
           match ce.connect_token with
           | Some qt ->
@@ -143,12 +166,12 @@ let on_stack_event t event =
           | Some _ | None -> ())
       | None -> ())
   | Tcp.Stack.Reset conn -> (
-      match Hashtbl.find_opt t.by_conn (Tcp.Stack.conn_id conn) with
+      match conn_find t conn with
       | Some ce -> fail_conn t ce "connection reset"
       | None -> ())
   | Tcp.Stack.Closed conn -> (
-      match Hashtbl.find_opt t.by_conn (Tcp.Stack.conn_id conn) with
-      | Some ce -> Hashtbl.remove t.by_conn (Tcp.Stack.conn_id ce.conn)
+      match conn_find t conn with
+      | Some _ -> conn_clear t conn
       | None -> ())
 
 (* ---------- fast path ---------- *)
@@ -263,7 +286,7 @@ let op_connect t qd dst =
         { conn; conn_qd = qd; pop_waiters = Queue.create (); connect_token = Some qt; failed = None }
       in
       Hashtbl.replace t.qds qd (Connection ce);
-      Hashtbl.replace t.by_conn (Tcp.Stack.conn_id conn) ce;
+      conn_set t conn ce;
       qt
   | Unbound Pdpix.Udp | Bound_tcp _ | Udp_bound _ | Listening _ | Connection _ ->
       invalid_arg "catnip: connect needs an unbound TCP qd"
@@ -355,7 +378,7 @@ let create rt ~nic ?(config = Tcp.Stack.default_config) () =
             ~events:(fun ev -> on_stack_event (Lazy.force t) ev)
             ();
         qds = Hashtbl.create 32;
-        by_conn = Hashtbl.create 32;
+        by_conn = Array.make 64 None;
         by_udp = Hashtbl.create 8;
         by_listener = Hashtbl.create 8;
       }

@@ -24,8 +24,12 @@ let collect_node reg node =
     node.Demikernel.Boot.nic;
   Option.iter
     (fun catnip ->
-      Metrics.Registry.set reg (key "tcp" "retransmits")
-        (Tcp.Stack.total_retransmits (Demikernel.Catnip.stack catnip)))
+      let stack = Demikernel.Catnip.stack catnip in
+      Metrics.Registry.set reg (key "tcp" "retransmits") (Tcp.Stack.total_retransmits stack);
+      let cs = Tcp.Stack.conn_stats stack in
+      Metrics.Registry.set reg (key "tcp" "conns_live") cs.Tcp.Stack.live;
+      Metrics.Registry.set reg (key "tcp" "conns_opened") cs.Tcp.Stack.ever_opened;
+      Metrics.Registry.set reg (key "tcp" "conns_peak") cs.Tcp.Stack.peak)
     node.Demikernel.Boot.catnip;
   Option.iter
     (fun kernel ->

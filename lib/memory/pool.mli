@@ -1,0 +1,104 @@
+(** A slab arena of fixed-width flat slots (the TCB arena of §6.3 at
+    scale).
+
+    Each slot is [slot_words] unboxed integer fields plus [float_words]
+    unboxed float fields, stored in two parallel backing arrays — no
+    per-slot OCaml block, so a million live slots cost the GC exactly
+    two arrays to scan, never a million headers to trace. Allocation
+    and free are O(1): a free list is threaded through integer field 0
+    of free slots, and fresh capacity is taken in ascending slot order,
+    so slot ids are deterministic for a deterministic run.
+
+    Sanitizer (default {!Heap.sanitize_default}, like the DMA heap):
+    freeing fills the slot with a poison pattern ({!poison_word} /
+    {!poison_float}); re-allocation verifies the poison canary and
+    raises {!Canary_violation} if anything wrote through a stale slot
+    id; {!get}/{!set} on a freed slot raise {!Use_after_free}; freeing
+    twice raises {!Double_free}. All three also bump counters surfaced
+    by {!sanitizer_report}, mirroring {!Heap.sanitizer_report}. *)
+
+type t
+
+exception Exhausted
+(** [alloc] on a pool that reached [max_slots]. *)
+
+exception Double_free of string
+exception Use_after_free of string
+exception Canary_violation of string
+
+val poison_word : int
+(** Integer fill pattern for freed slots (0xDE bytes, like
+    {!Heap.poison_byte}). *)
+
+val poison_float : float
+(** Float fill pattern for freed slots. *)
+
+val create :
+  ?label:string ->
+  ?sanitize:bool ->
+  ?max_slots:int ->
+  ?initial_slots:int ->
+  slot_words:int ->
+  ?float_words:int ->
+  unit ->
+  t
+(** A fresh pool of [slot_words]-integer (plus [float_words]-float,
+    default 0) slots. [slot_words] must be at least 1 (field 0 doubles
+    as the free-list link while a slot is free). Capacity doubles on
+    demand up to [max_slots] (default: unbounded); [initial_slots]
+    (default 64) pre-sizes the backing arrays. *)
+
+val label : t -> string
+val sanitizing : t -> bool
+
+val alloc : t -> int
+(** Claim a slot; every integer field reads 0 and every float field
+    0.0. Raises {!Exhausted} past [max_slots], {!Canary_violation} if
+    the sanitizer finds the recycled slot's poison fill damaged. *)
+
+val free : t -> int -> unit
+(** Release a slot back to the free list (poisoning it first when
+    sanitizing). Raises {!Double_free} if it is already free. *)
+
+val get : t -> int -> int -> int
+(** [get pool slot field]. Allocation-free; raises {!Use_after_free}
+    on a freed slot (sanitizer always on for liveness — it is one byte
+    per slot). *)
+
+val set : t -> int -> int -> int -> unit
+(** [set pool slot field v]. *)
+
+val fget : t -> int -> int -> float
+(** [fget pool slot field]: float field read. The result is an unboxed
+    float in native code wherever the caller lets it stay one. *)
+
+val fset : t -> int -> int -> float -> unit
+
+val is_live : t -> int -> bool
+(** Whether [slot] is currently allocated. Out-of-range ids are dead. *)
+
+val live : t -> int
+val peak_live : t -> int
+val allocated_total : t -> int
+val freed_total : t -> int
+val capacity : t -> int
+
+val iter_live : t -> (int -> unit) -> unit
+(** Visit live slots in ascending slot order (deterministic). *)
+
+type sanitizer_report = {
+  pool_label : string;
+  live_at_report : int;  (** slots never freed — leaks at end of run *)
+  canary_violations : int;
+  double_frees : int;
+  uaf_accesses : int;  (** {!get}/{!set} calls caught on freed slots *)
+}
+
+val sanitizer_report : t -> sanitizer_report option
+(** [None] unless the pool sanitizes. *)
+
+val pp_sanitizer_report : Format.formatter -> sanitizer_report -> unit
+
+val log_teardown : ?fmt:Format.formatter -> t -> unit
+(** Print the report (default stderr) if sanitizing and anything is
+    wrong; mirrors {!Heap.log_teardown} for [Sim.at_teardown]. *)

@@ -23,3 +23,29 @@ val on_timeout : t -> now:int -> unit
 
 val in_slow_start : t -> bool
 val name : t -> string
+
+(** Congestion control over a pooled flat TCB: {!Flat.int_words}
+    integer fields at [ibase] and {!Flat.float_words} float fields at
+    [fbase] of a {!Memory.Pool} slot. The float state lives in the
+    pool's monomorphic float array, so per-ack cubic updates allocate
+    nothing; the arithmetic replicates the boxed controller exactly.
+    The algorithm and MSS are stack-config constants passed per call. *)
+module Flat : sig
+  val int_words : int
+  val float_words : int
+
+  val init : Memory.Pool.t -> int -> ibase:int -> mss:int -> unit
+  (** Call once on a freshly allocated (zeroed) slot. *)
+
+  val cwnd : Memory.Pool.t -> int -> ibase:int -> algorithm -> int
+  val in_slow_start : Memory.Pool.t -> int -> ibase:int -> bool
+
+  val on_ack :
+    Memory.Pool.t -> int -> ibase:int -> fbase:int -> algorithm -> mss:int -> acked:int -> now:int -> unit
+
+  val on_fast_retransmit :
+    Memory.Pool.t -> int -> ibase:int -> fbase:int -> algorithm -> mss:int -> now:int -> unit
+
+  val on_timeout :
+    Memory.Pool.t -> int -> ibase:int -> fbase:int -> algorithm -> mss:int -> now:int -> unit
+end

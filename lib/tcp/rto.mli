@@ -25,3 +25,22 @@ val reset_backoff : t -> unit
 
 val srtt : t -> int option
 (** Smoothed RTT, once at least one sample has arrived. *)
+
+(** The estimator over a pooled flat TCB: {!Flat.words} integer fields
+    at offset [base] of a {!Memory.Pool} slot. Arithmetic is identical
+    to the boxed estimator; the floor/ceiling are passed per call (they
+    are stack-config constants). *)
+module Flat : sig
+  val words : int
+
+  val init : Memory.Pool.t -> int -> base:int -> min_rto:int -> unit
+  (** Call once on a freshly allocated (zeroed) slot. *)
+
+  val observe : Memory.Pool.t -> int -> base:int -> min_rto:int -> max_rto:int -> int -> unit
+  val rto : Memory.Pool.t -> int -> base:int -> max_rto:int -> int
+  val backoff : Memory.Pool.t -> int -> base:int -> max_rto:int -> unit
+  val reset_backoff : Memory.Pool.t -> int -> base:int -> unit
+
+  val srtt_ns : Memory.Pool.t -> int -> base:int -> int
+  (** Smoothed RTT in ns, [-1] before the first sample. *)
+end

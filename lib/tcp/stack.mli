@@ -161,6 +161,12 @@ val tcp_abort : conn -> unit
 val conn_id : conn -> int
 (** Unique identifier within this stack (stable map key for libOSes). *)
 
+val conn_slot : conn -> int
+(** The connection's flat-TCB arena slot: a small dense integer, stable
+    for the connection's lifetime, reused only after close. LibOSes use
+    it as a direct array index (demux without hashing); [-1] once the
+    connection has fully closed and the slot returned to the pool. *)
+
 val conn_state : conn -> tcp_state
 val conn_local : conn -> Net.Addr.endpoint
 val conn_remote : conn -> Net.Addr.endpoint
@@ -175,6 +181,17 @@ val conn_recv_queue_bytes : conn -> int
 val conn_at_eof : conn -> bool
 val stack_iface : t -> Iface.t
 val live_connections : t -> int
+
+type conn_stats = { live : int; ever_opened : int; peak : int }
+
+val conn_stats : t -> conn_stats
+(** O(1) connection census: currently live, ever opened (active plus
+    passive), and the high-water mark of simultaneously live
+    connections. *)
+
+val tcb_pool : t -> Memory.Pool.t
+(** The flat-TCB arena, exposed for teardown sanitizer reporting and
+    scale benchmarks ({!Memory.Pool.log_teardown}). *)
 
 val total_retransmits : t -> int
 (** Data-segment retransmissions across all connections this stack has

@@ -819,6 +819,310 @@ let test_abort_cancels_timers () =
   check_bool "both wheels empty" true
     (Tcp.Stack.next_timer p.Pair.a = None && Tcp.Stack.next_timer p.Pair.b = None)
 
+(* --- Conntab (flat demux table) --- *)
+
+let test_conntab_basic () =
+  let t = Tcp.Conntab.create ~initial:4 () in
+  check_bool "empty miss" true (Tcp.Conntab.find t ~ka:1 ~kb:2 = None);
+  Tcp.Conntab.replace t ~ka:1 ~kb:2 "a";
+  Tcp.Conntab.replace t ~ka:1 ~kb:3 "b";
+  check_int "length" 2 (Tcp.Conntab.length t);
+  check_bool "hit a" true (Tcp.Conntab.find t ~ka:1 ~kb:2 = Some "a");
+  check_bool "hit b" true (Tcp.Conntab.find t ~ka:1 ~kb:3 = Some "b");
+  (* Hashtbl.replace semantics: one binding per key, overwrite wins. *)
+  Tcp.Conntab.replace t ~ka:1 ~kb:2 "a2";
+  check_int "overwrite keeps length" 2 (Tcp.Conntab.length t);
+  check_bool "overwrite visible" true (Tcp.Conntab.find t ~ka:1 ~kb:2 = Some "a2");
+  Tcp.Conntab.remove t ~ka:1 ~kb:2;
+  check_bool "removed" true (Tcp.Conntab.find t ~ka:1 ~kb:2 = None);
+  check_bool "other survives" true (Tcp.Conntab.find t ~ka:1 ~kb:3 = Some "b");
+  Tcp.Conntab.remove t ~ka:9 ~kb:9 (* absent key: no-op *);
+  check_int "final length" 1 (Tcp.Conntab.length t)
+
+let test_conntab_fold_sorted () =
+  let t = Tcp.Conntab.create () in
+  List.iter
+    (fun (ka, kb) -> Tcp.Conntab.replace t ~ka ~kb (ka * 100 + kb))
+    [ (3, 1); (1, 2); (1, 1); (2, 9) ];
+  let keys = Tcp.Conntab.fold_sorted t ~cmp:compare (fun k _ acc -> k :: acc) [] in
+  check_bool "sorted key order" true
+    (List.rev keys = [ (1, 1); (1, 2); (2, 9); (3, 1) ])
+
+let conntab_matches_hashtbl =
+  QCheck.Test.make ~name:"conntab mirrors Hashtbl through churn (incl. growth)" ~count:100
+    QCheck.(list (triple (int_bound 15) (int_bound 15) bool))
+    (fun ops ->
+      let t = Tcp.Conntab.create ~initial:2 () in
+      let h : (int * int, int) Hashtbl.t = Hashtbl.create 16 in
+      List.iteri
+        (fun i (ka, kb, add) ->
+          if add then begin
+            Tcp.Conntab.replace t ~ka ~kb i;
+            Hashtbl.replace h (ka, kb) i
+          end
+          else begin
+            Tcp.Conntab.remove t ~ka ~kb;
+            Hashtbl.remove h (ka, kb)
+          end)
+        ops;
+      Tcp.Conntab.length t = Hashtbl.length h
+      && Seq.for_all
+           (fun ka ->
+             Seq.for_all
+               (fun kb ->
+                 Tcp.Conntab.find t ~ka ~kb = Hashtbl.find_opt h (ka, kb))
+               (Seq.init 16 Fun.id))
+           (Seq.init 16 Fun.id))
+
+(* --- flat-TCB arena behavior visible through the stack --- *)
+
+let test_conn_stats_census () =
+  let p = Pair.make () in
+  let stats s = Tcp.Stack.conn_stats s in
+  check_int "starts empty" 0 (stats p.Pair.a).Tcp.Stack.live;
+  let ca1, _ = Pair.connect p ~port:7 in
+  let ca2, _ = Pair.connect p ~port:8 in
+  check_int "two live" 2 (stats p.Pair.a).Tcp.Stack.live;
+  check_int "two ever" 2 (stats p.Pair.a).Tcp.Stack.ever_opened;
+  check_int "peak two" 2 (stats p.Pair.a).Tcp.Stack.peak;
+  Tcp.Stack.tcp_close ca1;
+  Tcp.Stack.tcp_close ca2;
+  Pair.run p;
+  (* Active closer lingers in TIME_WAIT; push past 2*MSL. *)
+  p.Pair.clock <- p.Pair.clock + 600_000_000;
+  Tcp.Stack.on_timer p.Pair.a;
+  Tcp.Stack.on_timer p.Pair.b;
+  check_int "none live after close" 0 (stats p.Pair.a).Tcp.Stack.live;
+  check_int "ever_opened is monotone" 2 (stats p.Pair.a).Tcp.Stack.ever_opened;
+  check_int "peak survives closes" 2 (stats p.Pair.a).Tcp.Stack.peak;
+  check_int "live matches live_connections" (Tcp.Stack.live_connections p.Pair.a)
+    (stats p.Pair.a).Tcp.Stack.live
+
+let test_conn_slot_lifecycle () =
+  let p = Pair.make () in
+  let ca, _cb = Pair.connect p ~port:7 in
+  let slot = Tcp.Stack.conn_slot ca in
+  check_bool "live conn has a slot" true (slot >= 0);
+  check_bool "slot is live in the arena" true
+    (Memory.Pool.is_live (Tcp.Stack.tcb_pool p.Pair.a) slot);
+  Tcp.Stack.tcp_close ca;
+  Pair.run p;
+  p.Pair.clock <- p.Pair.clock + 600_000_000;
+  Tcp.Stack.on_timer p.Pair.a;
+  Tcp.Stack.on_timer p.Pair.b;
+  check_int "slot released after full close" (-1) (Tcp.Stack.conn_slot ca);
+  check_bool "arena slot freed" false (Memory.Pool.is_live (Tcp.Stack.tcb_pool p.Pair.a) slot);
+  (* Post-close introspection stays safe (no UAF into the arena). *)
+  check_bool "state reads Closed" true (Tcp.Stack.conn_state ca = Tcp.Stack.Closed_st);
+  check_int "cwnd reads 0" 0 (Tcp.Stack.conn_cwnd ca);
+  (* Churn: the freed slot is recycled for the next connection. *)
+  let ca2, _ = Pair.connect p ~port:9 in
+  check_int "slot recycled LIFO" slot (Tcp.Stack.conn_slot ca2);
+  match Memory.Pool.sanitizer_report (Tcp.Stack.tcb_pool p.Pair.a) with
+  | Some r ->
+      check_int "no canary violations" 0 r.Memory.Pool.canary_violations;
+      check_int "no double frees" 0 r.Memory.Pool.double_frees;
+      check_int "no uaf" 0 r.Memory.Pool.uaf_accesses
+  | None -> ()
+
+let test_push_tracking_spills () =
+  let p = Pair.make () in
+  let ca, cb = Pair.connect p ~port:7 in
+  (* Five concurrent multi-segment pushes: two fit the inline tracking
+     slots, the rest must spill — every one still completes exactly
+     once, in transmission order. *)
+  let bufs =
+    List.map
+      (fun id ->
+        let buf =
+          Memory.Heap.alloc_of_string p.Pair.heap_a (String.make (3000 + (id * 100)) 'p')
+        in
+        Tcp.Stack.tcp_send ca ~push_id:id [ buf ];
+        buf)
+      [ 10; 20; 30; 40; 50 ]
+  in
+  Pair.run p;
+  List.iter Memory.Heap.free bufs;
+  let completions =
+    List.filter_map
+      (fun (_, e) ->
+        match String.index_opt e ':' with
+        | Some _ when String.length e > 17 && String.sub e 0 17 = "a:push_completed:" ->
+            Some (int_of_string (String.sub e 17 (String.length e - 17)))
+        | _ -> None)
+      (List.rev p.Pair.events)
+  in
+  check_bool "all pushes complete once, in order" true (completions = [ 10; 20; 30; 40; 50 ]);
+  check_int "payload fully delivered"
+    (List.fold_left (fun acc id -> acc + 3000 + (id * 100)) 0 [ 10; 20; 30; 40; 50 ])
+    (String.length (Pair.recv_all cb))
+
+(* --- golden digest: pooled TCB vs boxed baseline ---
+
+   This scenario (loss, concurrent multi-segment pushes, bidirectional
+   traffic, churn with slot reuse) was captured on the boxed-record
+   stack immediately before the flat-TCB arena landed; the digest below
+   is that run's [Trace.digest]. The pooled stack must replay it
+   bit-for-bit — the arena is a representation change, not a behavior
+   change. *)
+
+let golden_digest_expected = "4bc9b1dc22dc8bc8"
+
+let run_golden_scenario () =
+  let trace = Engine.Trace.create () in
+  let clock = ref 0 in
+  let wire_seq = ref 0 in
+  let in_flight = ref [] (* (arrival, seq, dest, frame) dest: 0=a 1=b *) in
+  let send dest frame =
+    incr wire_seq;
+    (* Deterministic loss: drop every 11th frame among the first 120. *)
+    if not (!wire_seq < 120 && !wire_seq mod 11 = 5) then
+      in_flight := (!clock + 2_000, !wire_seq, dest, frame) :: !in_flight
+  in
+  let record side e =
+    Engine.Trace.record trace ~now:!clock ~category:(Engine.Trace.Custom "golden")
+      (side ^ ":" ^ Pair.describe_event e)
+  in
+  let heap_a = Memory.Heap.create ~mode:Memory.Heap.Pool_backed () in
+  let heap_b = Memory.Heap.create ~mode:Memory.Heap.Pool_backed () in
+  let iface_a =
+    Tcp.Iface.create ~mac:(Net.Addr.Mac.of_index 1) ~ip:(Net.Addr.Ip.of_index 1)
+      ~clock:(fun () -> !clock)
+      ~tx_frame:(fun f -> send 1 f)
+      ()
+  in
+  let iface_b =
+    Tcp.Iface.create ~mac:(Net.Addr.Mac.of_index 2) ~ip:(Net.Addr.Ip.of_index 2)
+      ~clock:(fun () -> !clock)
+      ~tx_frame:(fun f -> send 0 f)
+      ()
+  in
+  let a =
+    Tcp.Stack.create ~iface:iface_a ~heap:heap_a ~prng:(Engine.Prng.create 11L)
+      ~events:(record "a") ()
+  in
+  let b =
+    Tcp.Stack.create ~iface:iface_b ~heap:heap_b ~prng:(Engine.Prng.create 22L)
+      ~events:(record "b") ()
+  in
+  let stack = function 0 -> a | _ -> b in
+  let run () =
+    let guard = ref 200_000 in
+    let continue = ref true in
+    while !continue do
+      decr guard;
+      if !guard = 0 then failwith "golden: no quiescence";
+      let frame_time =
+        List.fold_left (fun acc (at, _, _, _) -> min acc at) max_int !in_flight
+      in
+      let timer_time = min (Tcp.Stack.next_timer_ns a) (Tcp.Stack.next_timer_ns b) in
+      let at = min frame_time timer_time in
+      if at = max_int || at > 30_000_000_000 then continue := false
+      else begin
+        clock := max !clock at;
+        let due, rest = List.partition (fun (t, _, _, _) -> t <= !clock) !in_flight in
+        in_flight := rest;
+        let due =
+          List.sort (fun (t1, s1, _, _) (t2, s2, _, _) -> compare (t1, s1) (t2, s2)) due
+        in
+        List.iter (fun (_, _, dest, frame) -> Tcp.Stack.input (stack dest) frame) due;
+        Tcp.Stack.on_timer a;
+        Tcp.Stack.on_timer b
+      end
+    done
+  in
+  let recv_all conn =
+    let buf = Buffer.create 256 in
+    let rec go () =
+      match Tcp.Stack.tcp_recv conn with
+      | `Data b ->
+          Buffer.add_string buf (Memory.Heap.to_string b);
+          Memory.Heap.free b;
+          go ()
+      | `Eof | `Nothing -> ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let listener = Tcp.Stack.tcp_listen b ~port:7 in
+  (* Three client connections, established in two waves. *)
+  let c1 = Tcp.Stack.tcp_connect a ~dst:(Net.Addr.endpoint (Net.Addr.Ip.of_index 2) 7) in
+  let c2 = Tcp.Stack.tcp_connect a ~dst:(Net.Addr.endpoint (Net.Addr.Ip.of_index 2) 7) in
+  run ();
+  let c3 = Tcp.Stack.tcp_connect a ~dst:(Net.Addr.endpoint (Net.Addr.Ip.of_index 2) 7) in
+  run ();
+  let accepted = ref [] in
+  let rec drain_accept () =
+    match Tcp.Stack.tcp_accept listener with
+    | Some c ->
+        accepted := c :: !accepted;
+        drain_accept ()
+    | None -> ()
+  in
+  drain_accept ();
+  let srv = List.rev !accepted in
+  (* Concurrent multi-segment pushes on c1: exercises push tracking
+     beyond the inline capacity. *)
+  let payload n ch = String.make n ch in
+  let bufs =
+    List.map
+      (fun (n, ch) ->
+        let buf = Memory.Heap.alloc_of_string heap_a (payload n ch) in
+        Tcp.Stack.tcp_send c1 [ buf ];
+        buf)
+      [ (4000, 'x'); (3000, 'y'); (2000, 'z'); (1500, 'w') ]
+  in
+  (* Single small send on c2, bidirectional on c3. *)
+  let b2 = Memory.Heap.alloc_of_string heap_a "hello-c2" in
+  Tcp.Stack.tcp_send c2 [ b2 ];
+  let b3 = Memory.Heap.alloc_of_string heap_a "ping-c3" in
+  Tcp.Stack.tcp_send c3 [ b3 ];
+  run ();
+  List.iter Memory.Heap.free (b2 :: b3 :: bufs);
+  let got = List.map (fun c -> recv_all c) srv in
+  List.iteri
+    (fun i s ->
+      Engine.Trace.record trace ~now:!clock ~category:(Engine.Trace.Custom "golden")
+        (Printf.sprintf "srv%d_recv:%d:%s" i (String.length s)
+           (if String.length s > 16 then String.sub s 0 16 else s)))
+    got;
+  (* Server replies on its first conn, then closes everything. *)
+  (match srv with
+  | s1 :: _ ->
+      let rb = Memory.Heap.alloc_of_string heap_b "reply-from-b" in
+      Tcp.Stack.tcp_send s1 [ rb ];
+      run ();
+      Memory.Heap.free rb
+  | [] -> ());
+  let r1 = recv_all c1 in
+  Engine.Trace.record trace ~now:!clock ~category:(Engine.Trace.Custom "golden")
+    ("c1_recv:" ^ r1);
+  Tcp.Stack.tcp_close c1;
+  Tcp.Stack.tcp_close c2;
+  run ();
+  List.iter (fun c -> Tcp.Stack.tcp_close c) srv;
+  Tcp.Stack.tcp_close c3;
+  run ();
+  (* Churn: reconnect from the same stack; conn table reuse. *)
+  let c4 = Tcp.Stack.tcp_connect a ~dst:(Net.Addr.endpoint (Net.Addr.Ip.of_index 2) 7) in
+  run ();
+  let b4 = Memory.Heap.alloc_of_string heap_a "second-life" in
+  Tcp.Stack.tcp_send c4 [ b4 ];
+  run ();
+  Memory.Heap.free b4;
+  drain_accept ();
+  Tcp.Stack.tcp_close c4;
+  run ();
+  Engine.Trace.record trace ~now:!clock ~category:(Engine.Trace.Custom "golden")
+    (Printf.sprintf "final:retx=%d+%d live=%d+%d" (Tcp.Stack.total_retransmits a)
+       (Tcp.Stack.total_retransmits b) (Tcp.Stack.live_connections a)
+       (Tcp.Stack.live_connections b));
+  Engine.Trace.digest trace
+
+let test_golden_digest_vs_boxed_baseline () =
+  Alcotest.(check string) "pooled stack replays the boxed baseline bit-for-bit"
+    golden_digest_expected (run_golden_scenario ())
+
 let suite =
   [
     Alcotest.test_case "seqnum wraparound" `Quick test_seqnum_wrap;

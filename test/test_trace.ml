@@ -271,6 +271,14 @@ let test_stats_registry_populated () =
     | None -> false);
   check_bool "wire time attributed" true
     (match Metrics.Registry.value reg "span/wire_ns" with Some n -> n > 0 | None -> false);
+  check_bool "conn census exported" true
+    (match Metrics.Registry.value reg "catnip-1/tcp/conns_opened" with
+    | Some n -> n > 0
+    | None -> false);
+  check_bool "conn peak covers the echo conn" true
+    (match Metrics.Registry.value reg "catnip-1/tcp/conns_peak" with
+    | Some n -> n >= 1
+    | None -> false);
   let names = Metrics.Registry.sorted_names reg in
   check_bool "iteration is name-sorted" true (names = List.sort String.compare names);
   check_int "client RTT histogram has every echo" 8
