@@ -1,4 +1,4 @@
-.PHONY: all build test lint selfcheck check bench bench-smoke alloc-smoke trace-smoke pcap-smoke graph-smoke scale-smoke clean
+.PHONY: all build test lint selfcheck check bench bench-smoke alloc-smoke trace-smoke pcap-smoke graph-smoke scale-smoke flight-smoke clean
 
 all: build
 
@@ -25,6 +25,7 @@ check:
 	$(MAKE) pcap-smoke
 	$(MAKE) graph-smoke
 	$(MAKE) scale-smoke
+	$(MAKE) flight-smoke
 
 bench:
 	dune exec bench/main.exe
@@ -109,14 +110,33 @@ graph-smoke:
 # allocation violations and the pool sanitizer to have caught nothing.
 scale-smoke:
 	mkdir -p out
-	dune exec bench/main.exe -- scale quick --out out/BENCH_pr8_smoke.json | tee out/scale_smoke.txt
+	dune exec bench/main.exe -- scale quick --out out/BENCH_pr9_smoke.json | tee out/scale_smoke.txt
 	@grep -q "scale: JSON schema OK" out/scale_smoke.txt \
 	  || { echo "scale-smoke: bench did not validate its own JSON" >&2; exit 1; }
 	@grep -Eq "gc-budget scale steady_polls=[1-9][0-9]* violations=0" out/scale_smoke.txt \
 	  || { echo "scale-smoke: no measured steady polls or gc violations" >&2; exit 1; }
-	@grep -q '"pool_errors": 0' out/BENCH_pr8_smoke.json \
+	@grep -q '"pool_errors": 0' out/BENCH_pr9_smoke.json \
 	  || { echo "scale-smoke: TCB pool sanitizer caught errors" >&2; exit 1; }
+	@grep -q '"gc_poll_violations": 0' out/BENCH_pr9_smoke.json \
+	  || { echo "scale-smoke: gc-budget violations with the flight recorder armed" >&2; exit 1; }
 	@echo "scale-smoke: OK"
+
+# Demiflight end to end: (1) `demi flight --check` per libOS — the ring
+# armed on one echo must leave the trace digest and RTT distribution
+# byte-identical to the recorder-off control run; (2) `demi slo` with
+# seeded loss injection — the watchdog must capture an outlier whose
+# breakdown sums exactly to its latency, and the dumped Chrome-trace
+# fragment must pass the structural validator; (3) `demi table5 --tail`
+# — every quantile band's component sums must be exact. All three
+# commands exit 1 on any violation.
+flight-smoke:
+	mkdir -p out
+	dune exec bin/demi.exe -- flight --flavor catnap --check --dump 0
+	dune exec bin/demi.exe -- flight --flavor catnip --check --dump 0
+	dune exec bin/demi.exe -- flight --flavor catmint --check --dump 0
+	dune exec bin/demi.exe -- slo --flavor catnip --out out/slo-catnip.json
+	dune exec bin/demi.exe -- table5 --tail --tail-count 96
+	@echo "flight-smoke: OK"
 
 clean:
 	dune clean

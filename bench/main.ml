@@ -440,7 +440,10 @@ let () =
       | Some out -> Wallclock.run ~quick ~out ()
       | None -> Wallclock.run ~quick ())
   | "scale" ->
-      (* scale [quick] [--out FILE] *)
+      (* scale [quick] [--pr N] [--out FILE]; the artifact defaults to
+         BENCH_pr<N>.json so the file name tracks the PR that produced
+         it (PR 8's run was committed under its own number; --pr keeps
+         later reruns honestly labelled). *)
       let rest = Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)) in
       let quick = List.mem "quick" rest in
       let rec out_of = function
@@ -448,9 +451,20 @@ let () =
         | _ :: rest -> out_of rest
         | [] -> None
       in
+      let rec pr_of = function
+        | "--pr" :: n :: _ -> (
+            match int_of_string_opt n with
+            | Some pr when pr > 0 -> pr
+            | Some _ | None ->
+                prerr_endline ("scale: --pr expects a positive integer, got " ^ n);
+                exit 1)
+        | _ :: rest -> pr_of rest
+        | [] -> 9
+      in
+      let pr = pr_of rest in
       (match out_of rest with
-      | Some out -> Scale.run ~quick ~out ()
-      | None -> Scale.run ~quick ())
+      | Some out -> Scale.run ~quick ~pr ~out ()
+      | None -> Scale.run ~quick ~pr ())
   | "churnprobe" ->
       let runpt n =
         let a0 = Gc.allocated_bytes () in

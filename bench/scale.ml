@@ -1,5 +1,5 @@
 (* `bench -- scale`: how far does one simulated server stack scale in
-   connection count? (PR 8.)
+   connection count? (PR 8; Demiflight instruments added in PR 9.)
 
    An open-loop Poisson/Zipf workload (Apps.Loadgen's schedule, §7.3's
    methodology) drives a TxnStore request handler behind one server
@@ -19,11 +19,26 @@
 
    Honesty: each point is timed, and the sweep stops early when the
    projected next point would blow the wall budget (or allocation
-   fails); BENCH_pr8.json then records the largest sustained point and
+   fails); the JSON record then shows the largest sustained point and
    the limiting factor instead of silently reporting a smaller sweep as
    complete. The gc-budget oracle stays armed throughout: steady polls
    (no frames, no arrivals, no timer work) must allocate zero minor
-   words even with a million live TCBs. *)
+   words even with a million live TCBs.
+
+   Demiflight (PR 9): latencies go into a Metrics.Hdr histogram —
+   BENCH_pr8.json's 100k point reported p50 = p99 = 2015ns because
+   Histogram's 1/32-wide buckets swallowed the whole distribution body;
+   Hdr's 1/128 buckets with rank interpolation resolve it. Each
+   completion also carries an exact three-way attribution
+   (queue = app-side delay from scheduled arrival to socket write,
+   wire = the constant fabric latency both ways, rest = everything the
+   stacks and server added), retained by a deterministic reservoir plus
+   an exact slowest-64 list and aggregated into cumulative quantile
+   bands — per-band queue+wire+rest = total, exactly. A Flight ring
+   stays armed across the whole point (recording only on busy polls;
+   record itself is allocation-free so the gc oracle's zero-budget
+   steady polls are unaffected), and an SLO threshold counts breaches
+   and pins the worst op in the ring. *)
 
 module Stack = Tcp.Stack
 module Heap = Memory.Heap
@@ -32,6 +47,18 @@ module Loadgen = Apps.Loadgen
 let conns_per_stack = 8192
 let frame_latency = 1_000
 let burst = 64
+
+(* One cumulative latency-quantile band: exact virtual-ns sums over
+   the ops retained at or above the band's cut. *)
+type band = {
+  band : string;
+  cut_ns : int;
+  band_ops : int;
+  queue_ns : int;
+  wire_ns : int;
+  rest_ns : int;
+  total_ns : int; (* = queue_ns + wire_ns + rest_ns, exactly *)
+}
 
 type point = {
   conns : int;
@@ -42,8 +69,11 @@ type point = {
   gc_major_words : float;
   gc_alloc_mb : float;
   p50_ns : int;
+  p90_ns : int;
   p99_ns : int;
   p999_ns : int;
+  lat_min_ns : int;
+  lat_max_ns : int;
   completed : int;
   reconnects : int;
   frames : int;
@@ -53,6 +83,15 @@ type point = {
   conns_peak : int;
   tcb_capacity : int;
   pool_errors : int; (* canary + double-free + UAF across both ends *)
+  bands : band list;
+  retained : int; (* distinct ops behind the bands *)
+  slo_threshold_ns : int;
+  slo_breaches : int;
+  slo_worst_ns : int;
+  flight_total : int;
+  flight_kept : int;
+  flight_dropped : int;
+  flight_digest : string;
 }
 
 (* One logical client connection: survives churn (the underlying
@@ -63,7 +102,7 @@ type lconn = {
   mutable conn : Stack.conn option;
   mutable can_send : bool; (* Established fired on the current conn *)
   mutable acc : Apps.Framing.accum;
-  pending : int Queue.t; (* at_ns of requests awaiting responses *)
+  pending : (int * int) Queue.t; (* (at_ns, sent_ns) of requests awaiting responses *)
   backlog : (int * string) Queue.t; (* framed requests awaiting a conn *)
   mutable since_birth : int;
   mutable reconnect_pending : bool; (* queued on reconnect_q *)
@@ -97,7 +136,7 @@ let pool_errors stack =
   | None -> 0
 
 let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn ~keys
-    ~value_size () =
+    ~value_size ?(slo_ns = 4_000) () =
   let m = (n + conns_per_stack - 1) / conns_per_stack in
   let clock = ref 0 in
   let frames = ref 0 in
@@ -180,7 +219,35 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
   let rate_per_sec = float_of_int n *. rate_per_conn in
   let pl = Loadgen.plan ~prng ~rate_per_sec ~keys ~theta:0.99 ~get_ratio:0.5 ~start_ns:0 in
   let value = String.make value_size 'v' in
-  let latencies = Metrics.Histogram.create () in
+  let latencies = Metrics.Hdr.create () in
+  (* Demiflight retention: a deterministic reservoir over every
+     completion plus the exact slowest-64, keyed by completion sequence
+     number so the two sets dedup cleanly. Samples are
+     (latency, seq, queue_delay). *)
+  let resv =
+    Metrics.Reservoir.create ~capacity:4096 ~prng:(Engine.Prng.create 0x5ca1e_f11eL)
+  in
+  let slow_k = 64 in
+  let slowest = ref [] in
+  let slow_n = ref 0 in
+  let offer_slow ((lat, seq, _) as sample) =
+    let rec insert = function
+      | [] -> [ sample ]
+      | ((l, s, _) as hd) :: tl ->
+          if (lat, seq) < (l, s) then sample :: hd :: tl else hd :: insert tl
+    in
+    if !slow_n < slow_k then begin
+      slowest := insert !slowest;
+      incr slow_n
+    end
+    else
+      match !slowest with
+      | (l, _, _) :: tl when lat > l -> slowest := insert tl
+      | _ -> ()
+  in
+  let flight = Engine.Flight.create ~capacity:8192 () in
+  let slo_breaches = ref 0 in
+  let slo_worst = ref 0 in
   let ops_total = n * ops_per_conn in
   let issued = ref 0 and completed = ref 0 and reconnects = ref 0 in
   let churn_stride =
@@ -217,7 +284,9 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
         (* Zero-copy discipline: the stack holds per-segment refs; the
            app drops its own reference right after the push. *)
         Heap.free buf;
-        Queue.add at lc.pending
+        (* sent_ns = the socket write; everything before it is app-side
+           queueing (poll granularity, backlog, reconnect waits). *)
+        Queue.add (at, !clock) lc.pending
     | Some _ -> Queue.add (at, framed) lc.backlog
     | None ->
         Queue.add (at, framed) lc.backlog;
@@ -262,8 +331,23 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
           match Apps.Framing.next lc.acc with
           | Some _response ->
               (match Queue.take_opt lc.pending with
-              | Some at ->
-                  Metrics.Histogram.add latencies (!clock - at);
+              | Some (at, sent) ->
+                  let lat = !clock - at in
+                  Metrics.Hdr.add latencies lat;
+                  (* Exact per-op attribution: lat >= queue + wire by
+                     construction (the request and response each spend
+                     frame_latency in the FIFO after the write), so
+                     rest = lat - queue - wire is the stacks' and
+                     server's share and the three parts sum to lat. *)
+                  let sample = (lat, !completed, sent - at) in
+                  Metrics.Reservoir.offer resv sample;
+                  offer_slow sample;
+                  if lat > slo_ns then begin
+                    incr slo_breaches;
+                    if lat > !slo_worst then slo_worst := lat;
+                    Engine.Flight.record flight ~now:!clock ~cat:Engine.Trace.App
+                      ~label:"slo.breach" lat (sent - at)
+                  end;
                   incr completed;
                   lc.since_birth <- lc.since_birth + 1
               | None -> ());
@@ -283,6 +367,8 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
              carries new requests, as a real churn client would. *)
           lc.since_birth <- 0;
           incr reconnects;
+          Engine.Flight.record flight ~now:!clock ~cat:Engine.Trace.Libos ~label:"reconnect"
+            (Stack.conn_slot c) !reconnects;
           Stack.tcp_close c;
           open_conn lc
         end
@@ -390,12 +476,22 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
         incr delivered;
         incr frames
       done;
+      (* The burst marker rides the ring only when frames moved — a
+         steady poll records nothing, so the ring's contents describe
+         activity, and recording stays off the zero-alloc audit path
+         anyway (Flight.record allocates nothing). *)
+      if !delivered > 0 then
+        Engine.Flight.record flight ~now:!clock ~cat:Engine.Trace.Device ~label:"rx.burst"
+          !delivered (Queue.length q);
       (* Open-loop arrivals due at this instant. *)
       let issued_now = ref 0 in
       while !issued < ops_total && Loadgen.peek_at pl <= !clock do
         issue_one ();
         incr issued_now
       done;
+      if !issued_now > 0 then
+        Engine.Flight.record flight ~now:!clock ~cat:Engine.Trace.App ~label:"arrivals"
+          !issued_now !issued;
       (* Per-poll timer/ack work, as the Catnip fast path does it. *)
       for i = 0 to nstacks - 1 do
         let s = Array.unsafe_get stacks i in
@@ -450,6 +546,36 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
   in
   let errors = Array.fold_left (fun acc s -> acc + pool_errors s) 0 stacks in
   let stats = Stack.conn_stats server in
+  (* Cumulative quantile bands over the retained ops. Within a band the
+     three attribution parts sum to the total exactly: wire is the
+     constant FIFO latency both ways and rest is defined as the
+     remainder per op, before summation. *)
+  let retained_ops = List.sort_uniq compare (Metrics.Reservoir.to_list resv @ !slowest) in
+  let wire_per_op = 2 * frame_latency in
+  let mk_band name cut =
+    let in_band = List.filter (fun (lat, _, _) -> lat >= cut) retained_ops in
+    let nops = List.length in_band in
+    let queue = List.fold_left (fun acc (_, _, q) -> acc + q) 0 in_band in
+    let total = List.fold_left (fun acc (lat, _, _) -> acc + lat) 0 in_band in
+    let wire = nops * wire_per_op in
+    {
+      band = name;
+      cut_ns = cut;
+      band_ops = nops;
+      queue_ns = queue;
+      wire_ns = wire;
+      rest_ns = total - queue - wire;
+      total_ns = total;
+    }
+  in
+  let bands =
+    [
+      mk_band "all" (Metrics.Hdr.min latencies);
+      mk_band "p90+" (Metrics.Hdr.quantile latencies 0.90);
+      mk_band "p99+" (Metrics.Hdr.quantile latencies 0.99);
+      mk_band "p99.9+" (Metrics.Hdr.quantile latencies 0.999);
+    ]
+  in
   {
     conns = n;
     client_stacks = m;
@@ -458,9 +584,12 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
     gc_minor_words = minor_words;
     gc_major_words = major_words;
     gc_alloc_mb = minor_words *. 8. /. 1_048_576.;
-    p50_ns = Metrics.Histogram.p50 latencies;
-    p99_ns = Metrics.Histogram.p99 latencies;
-    p999_ns = Metrics.Histogram.p999 latencies;
+    p50_ns = Metrics.Hdr.p50 latencies;
+    p90_ns = Metrics.Hdr.quantile latencies 0.90;
+    p99_ns = Metrics.Hdr.p99 latencies;
+    p999_ns = Metrics.Hdr.p999 latencies;
+    lat_min_ns = Metrics.Hdr.min latencies;
+    lat_max_ns = Metrics.Hdr.max latencies;
     completed = !completed;
     reconnects = !reconnects;
     frames = !frames;
@@ -470,6 +599,15 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
     conns_peak = stats.Stack.peak;
     tcb_capacity = Memory.Pool.capacity (Stack.tcb_pool server);
     pool_errors = errors;
+    bands;
+    retained = List.length retained_ops;
+    slo_threshold_ns = slo_ns;
+    slo_breaches = !slo_breaches;
+    slo_worst_ns = !slo_worst;
+    flight_total = Engine.Flight.total flight;
+    flight_kept = Engine.Flight.kept flight;
+    flight_dropped = Engine.Flight.dropped flight;
+    flight_digest = Engine.Flight.digest flight;
   }
 
 (* ---------- churn comparison against the PR 6 record ----------
@@ -484,12 +622,24 @@ let pr6_churn_gc_mb = 184.3
 
 (* ---------- JSON emission + self-validation ---------- *)
 
+let band_json b =
+  Printf.sprintf
+    {|{ "band": "%s", "cut_ns": %d, "ops": %d, "queue_ns": %d, "wire_ns": %d, "rest_ns": %d, "total_ns": %d }|}
+    b.band b.cut_ns b.band_ops b.queue_ns b.wire_ns b.rest_ns b.total_ns
+
 let point_json p =
   Printf.sprintf
-    {|    { "conns": %d, "client_stacks": %d, "ops": %d, "completed": %d, "wall_s": %.4f, "gc_minor_words": %.0f, "gc_major_words": %.0f, "gc_alloc_mb": %.1f, "p50_ns": %d, "p99_ns": %d, "p999_ns": %d, "reconnects": %d, "frames": %d, "polls": %d, "steady_polls": %d, "gc_poll_violations": %d, "conns_peak": %d, "tcb_capacity": %d, "pool_errors": %d }|}
+    {|    { "conns": %d, "client_stacks": %d, "ops": %d, "completed": %d, "wall_s": %.4f, "gc_minor_words": %.0f, "gc_major_words": %.0f, "gc_alloc_mb": %.1f, "p50_ns": %d, "p90_ns": %d, "p99_ns": %d, "p999_ns": %d, "lat_min_ns": %d, "lat_max_ns": %d, "reconnects": %d, "frames": %d, "polls": %d, "steady_polls": %d, "gc_poll_violations": %d, "conns_peak": %d, "tcb_capacity": %d, "pool_errors": %d,
+      "attribution": { "retained_ops": %d, "bands": [ %s ] },
+      "slo": { "threshold_ns": %d, "breaches": %d, "worst_ns": %d },
+      "flight": { "capacity": 8192, "total": %d, "kept": %d, "dropped": %d, "digest": "%s" } }|}
     p.conns p.client_stacks p.ops p.completed p.wall_s p.gc_minor_words p.gc_major_words
-    p.gc_alloc_mb p.p50_ns p.p99_ns p.p999_ns p.reconnects p.frames p.polls p.steady_polls
-    p.gc_poll_violations p.conns_peak p.tcb_capacity p.pool_errors
+    p.gc_alloc_mb p.p50_ns p.p90_ns p.p99_ns p.p999_ns p.lat_min_ns p.lat_max_ns p.reconnects
+    p.frames p.polls p.steady_polls p.gc_poll_violations p.conns_peak p.tcb_capacity
+    p.pool_errors p.retained
+    (String.concat ", " (List.map band_json p.bands))
+    p.slo_threshold_ns p.slo_breaches p.slo_worst_ns p.flight_total p.flight_kept
+    p.flight_dropped p.flight_digest
 
 (* Minimal structural JSON check: balanced containers outside strings,
    sane escapes — enough to catch a malformed printf before the file is
@@ -522,6 +672,11 @@ let required_keys =
     "\"limiting_factor\"";
     "\"gc_poll_violations\"";
     "\"p999_ns\"";
+    "\"p90_ns\"";
+    "\"attribution\"";
+    "\"bands\"";
+    "\"slo\"";
+    "\"flight\"";
     "\"churn_10k\"";
   ]
 
@@ -555,7 +710,8 @@ let quick_sweep = [ 1_000 ]
    and is recorded as the limiting factor rather than hidden. *)
 let wall_budget_s = 150.
 
-let run ~quick ?(out = "BENCH_pr8.json") () =
+let run ~quick ?(pr = 9) ?out () =
+  let out = match out with Some o -> o | None -> Printf.sprintf "BENCH_pr%d.json" pr in
   Memory.Gcbudget.set_armed true;
   let sweep = if quick then quick_sweep else default_sweep in
   let ops_per_conn = 6 in
@@ -595,11 +751,24 @@ let run ~quick ?(out = "BENCH_pr8.json") () =
               elapsed := !elapsed +. p.wall_s;
               points := p :: !points;
               Printf.printf
-                "scale conns=%d stacks=%d ops=%d wall=%.3fs gc=%.1fMB p50=%dns p99=%dns p999=%dns reconnects=%d peak=%d\n%!"
-                p.conns p.client_stacks p.ops p.wall_s p.gc_alloc_mb p.p50_ns p.p99_ns
-                p.p999_ns p.reconnects p.conns_peak;
+                "scale conns=%d stacks=%d ops=%d wall=%.3fs gc=%.1fMB p50=%dns p90=%dns p99=%dns p999=%dns reconnects=%d peak=%d\n%!"
+                p.conns p.client_stacks p.ops p.wall_s p.gc_alloc_mb p.p50_ns p.p90_ns
+                p.p99_ns p.p999_ns p.reconnects p.conns_peak;
               Printf.printf "gc-budget scale steady_polls=%d violations=%d\n%!"
                 p.steady_polls p.gc_poll_violations;
+              Printf.printf "slo threshold=%dns breaches=%d worst=%dns; flight %d/%d kept\n%!"
+                p.slo_threshold_ns p.slo_breaches p.slo_worst_ns p.flight_kept p.flight_total;
+              List.iter
+                (fun b ->
+                  if b.queue_ns + b.wire_ns + b.rest_ns <> b.total_ns then begin
+                    Printf.eprintf "scale: band %s attribution does not sum (conns=%d)\n%!"
+                      b.band p.conns;
+                    exit 1
+                  end;
+                  Printf.printf
+                    "  band %-7s cut=%dns ops=%d queue=%dns wire=%dns rest=%dns total=%dns\n%!"
+                    b.band b.cut_ns b.band_ops b.queue_ns b.wire_ns b.rest_ns b.total_ns)
+                p.bands;
               go rest
           | exception Out_of_memory -> limiting := "memory")
   in
@@ -609,7 +778,7 @@ let run ~quick ?(out = "BENCH_pr8.json") () =
   let oc = open_out out in
   Printf.fprintf oc
     {|{
-  "pr": 8,
+  "pr": %d,
   "mode": "%s",
   "workload": { "target": "txnstore", "ops_per_conn": %d, "rate_per_conn_per_sec": %.0f, "get_ratio": 0.5, "theta": 0.99, "keys": %d, "value_size": %d, "churn_fraction": %.2f, "churn_after_ops": %d, "frame_latency_ns": %d },
   "sweep": [
@@ -622,6 +791,7 @@ let run ~quick ?(out = "BENCH_pr8.json") () =
   "churn_10k": { "wall_s": %.4f, "gc_alloc_mb": %.1f, "pr6_wall_s": %.4f, "pr6_gc_mb": %.1f, "gc_reduction": %.2f, "speedup": %.2f }
 }
 |}
+    pr
     (if quick then "quick" else "default")
     ops_per_conn rate_per_conn keys value_size churn_fraction churn_after frame_latency
     (String.concat ",\n" (List.map point_json points))

@@ -388,19 +388,284 @@ let timeline_cmd =
             (List.length (Metrics.Timeseries.columns ts)))
       $ flavor_arg $ msg_size_arg $ tl_count $ out $ interval)
 
+(* `demi flight`: the Demiflight recorder end to end. The default run
+   arms the ring on one echo and dumps its tail; `--check` reruns the
+   same scenario from the same seed with the recorder detached and
+   asserts the observer-effect-free contract — identical trace digests
+   and identical RTT distributions, recorder on vs off. Any violation
+   exits 1, so `make flight-smoke` is one invocation per flavor. *)
+let flight_cmd =
+  let capacity =
+    Arg.(
+      value & opt int 4096
+      & info [ "capacity" ] ~docv:"N" ~doc:"Flight-ring capacity in records.")
+  in
+  let dump =
+    Arg.(
+      value & opt int 24
+      & info [ "dump" ] ~docv:"N" ~doc:"Ring records to print after the run (0 = none).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Verify the recorder is observer-effect-free; exit 1 on failure.")
+  in
+  let fl_count = Arg.(value & opt int 16 & info [ "count" ] ~docv:"N" ~doc:"Echos to run.") in
+  Cmd.v
+    (Cmd.info "flight"
+       ~doc:"Always-on flight recorder: ring dump and observer-effect check (Demiflight).")
+    Term.(
+      const (fun flavor msg_size count capacity dump check ->
+          let on =
+            Harness.Wire_capture.echo ~with_flight:true ~flight_capacity:capacity ~msg_size
+              ~count flavor
+          in
+          let ring =
+            match on.Harness.Wire_capture.flight with Some f -> f | None -> assert false
+          in
+          Format.printf "flight ring: %d recorded, %d retained, %d overwritten, digest %s@."
+            (Engine.Flight.total ring) (Engine.Flight.kept ring) (Engine.Flight.dropped ring)
+            (Engine.Flight.digest ring);
+          if dump > 0 then Engine.Flight.dump ~last:dump Format.std_formatter ring;
+          if check then begin
+            let failures = ref 0 in
+            let checkf what ok =
+              if ok then Format.printf "ok: %s@." what
+              else begin
+                Format.printf "FAIL: %s@." what;
+                incr failures
+              end
+            in
+            let off = Harness.Wire_capture.echo ~with_flight:false ~msg_size ~count flavor in
+            checkf "trace digest identical, recorder on vs off"
+              (String.equal off.Harness.Wire_capture.digest on.Harness.Wire_capture.digest);
+            checkf "RTT distribution identical, recorder on vs off"
+              (Harness.Wire_capture.rtt_values off = Harness.Wire_capture.rtt_values on);
+            checkf "ring captured the run" (Engine.Flight.total ring > 0);
+            if !failures > 0 then Stdlib.exit 1
+          end)
+      $ flavor_arg $ msg_size_arg $ fl_count $ capacity $ dump $ check)
+
+(* `demi slo`: the retroactive outlier capture. Loss injection makes a
+   handful of echos hit a retransmission timeout; the armed watchdog
+   retains them at close time, and the dump joins everything the
+   recorders still hold about the slowest one — its span window as a
+   validated Chrome-trace fragment, the wire events (decoded frames)
+   overlapping the window, and the flight ring's tail. Exits 1 when no
+   outlier was captured or the fragment fails validation. *)
+let slo_cmd =
+  let threshold =
+    Arg.(
+      value & opt int 100_000
+      & info [ "threshold-ns" ] ~docv:"NS" ~doc:"SLO latency threshold in virtual ns.")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.05
+      & info [ "loss" ] ~docv:"P" ~doc:"Injected frame-loss probability (the outlier source).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Chrome-trace fragment path (default out/slo-<flavor>.json).")
+  in
+  let slo_count = Arg.(value & opt int 64 & info [ "count" ] ~docv:"N" ~doc:"Echos to run.") in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:"SLO watchdog: capture latency outliers retroactively and dump their context.")
+    Term.(
+      const (fun flavor msg_size count threshold loss out ->
+          let name =
+            match flavor with
+            | Demikernel.Boot.Catnap_os -> "catnap"
+            | Demikernel.Boot.Catnip_os -> "catnip"
+            | Demikernel.Boot.Catmint_os -> "catmint"
+          in
+          let out = match out with Some p -> p | None -> "out/slo-" ^ name ^ ".json" in
+          let failures = ref 0 in
+          let checkf what ok =
+            if ok then Format.printf "ok: %s@." what
+            else begin
+              Format.printf "FAIL: %s@." what;
+              incr failures
+            end
+          in
+          let r =
+            Harness.Wire_capture.echo ~with_spans:true ~with_flight:true ~msg_size ~count
+              ~loss ~slo_ns:threshold flavor
+          in
+          let spans =
+            match r.Harness.Wire_capture.spans with Some s -> s | None -> assert false
+          in
+          let ring =
+            match r.Harness.Wire_capture.flight with Some f -> f | None -> assert false
+          in
+          Format.printf "slo: threshold %dns, %d of %d ops breached@." threshold
+            (Engine.Span.outlier_count spans)
+            (Engine.Span.op_count spans);
+          checkf "watchdog captured at least one outlier"
+            (Engine.Span.outliers spans <> []);
+          (match Engine.Span.outliers spans with
+          | [] -> ()
+          | outliers ->
+              let latency op =
+                match op.Engine.Span.closed_at with
+                | Some t -> t - op.Engine.Span.opened_at
+                | None -> 0
+              in
+              let worst =
+                List.fold_left
+                  (fun best op -> if latency op > latency best then op else best)
+                  (List.hd outliers) outliers
+              in
+              let w0 = worst.Engine.Span.opened_at in
+              let w1 = match worst.Engine.Span.closed_at with Some t -> t | None -> w0 in
+              Format.printf "slowest outlier: qtoken %d (%s on %s) %dns [%d..%d]@."
+                worst.Engine.Span.op_key worst.Engine.Span.op_kind worst.Engine.Span.op_owner
+                (w1 - w0) w0 w1;
+              (* The op's own window, attributed — where the breach went. *)
+              let b = Harness.Fig_breakdown.attribute spans ~w0 ~w1 in
+              let sum =
+                List.fold_left
+                  (fun acc (_, ns) -> acc + ns)
+                  b.Harness.Fig_breakdown.other b.Harness.Fig_breakdown.components
+              in
+              checkf "outlier breakdown sums exactly to its latency"
+                (sum = b.Harness.Fig_breakdown.total && b.Harness.Fig_breakdown.total = w1 - w0);
+              List.iter
+                (fun (comp, ns) ->
+                  Format.printf "  %-8s %dns@." (Engine.Span.component_name comp) ns)
+                b.Harness.Fig_breakdown.components;
+              Format.printf "  %-8s %dns@." "other" b.Harness.Fig_breakdown.other;
+              (* Wire events still retained for the breach window, with
+                 their decoded frames — the flow-level view of the
+                 retransmission that caused the outlier. *)
+              let wire =
+                List.filter
+                  (fun ev -> ev.Engine.Span.wire_t1 >= w0 && ev.Engine.Span.wire_t0 <= w1)
+                  (Engine.Span.wire_events spans)
+              in
+              Format.printf "wire events overlapping the window (%d):@." (List.length wire);
+              List.iter
+                (fun ev ->
+                  Format.printf "  flow %08x [%d..%d] %s %s@." ev.Engine.Span.wire_flow
+                    ev.Engine.Span.wire_t0 ev.Engine.Span.wire_t1
+                    (match ev.Engine.Span.wire_status with
+                    | Engine.Span.Wire_delivered -> "ok  "
+                    | Engine.Span.Wire_dropped why -> "DROP(" ^ why ^ ")")
+                    ev.Engine.Span.wire_label)
+                wire;
+              (* The Chrome-trace fragment: full span context with the
+                 breach pinned in a top-level field, validated by the
+                 same structural validator `demi trace` uses. *)
+              let fragment =
+                Harness.Chrome_trace.export
+                  ~extra:
+                    [
+                      ( "demislo",
+                        Printf.sprintf
+                          "{\"qtoken\":%d,\"owner\":\"%s\",\"kind\":\"%s\",\"opened_ns\":%d,\"closed_ns\":%d,\"latency_ns\":%d,\"threshold_ns\":%d,\"breaches\":%d,\"breakdown\":%s}"
+                          worst.Engine.Span.op_key worst.Engine.Span.op_owner
+                          worst.Engine.Span.op_kind w0 w1 (w1 - w0) threshold
+                          (Engine.Span.outlier_count spans)
+                          (Harness.Fig_breakdown.breakdown_json b) );
+                    ]
+                  spans
+              in
+              (match Harness.Chrome_trace.validate fragment with
+              | Ok n -> Format.printf "ok: chrome fragment valid (%d events)@." n
+              | Error why -> checkf (Printf.sprintf "chrome fragment valid: %s" why) false);
+              ensure_parent out;
+              let oc = open_out out in
+              output_string oc fragment;
+              close_out oc;
+              Format.printf "wrote %s@." out;
+              Format.printf "flight ring tail:@.";
+              Engine.Flight.dump ~last:16 Format.std_formatter ring);
+          if !failures > 0 then Stdlib.exit 1)
+      $ flavor_arg $ msg_size_arg $ slo_count $ threshold $ loss $ out)
+
 let table5_cmd =
   let table5_count =
     Arg.(value & opt int 16 & info [ "count" ] ~docv:"N" ~doc:"Echos per flavor.")
   in
+  let tail =
+    Arg.(
+      value & flag
+      & info [ "tail" ]
+          ~doc:"Tail attribution: breakdown conditioned on latency quantile (Demiflight).")
+  in
+  let tail_count =
+    Arg.(
+      value & opt int 384
+      & info [ "tail-count" ] ~docv:"N" ~doc:"Echos per flavor in --tail mode.")
+  in
+  let quantile =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "quantile" ] ~docv:"Q"
+          ~doc:"With --tail, add a single band from quantile Q (e.g. 0.999) upward.")
+  in
   Cmd.v
     (Cmd.info "table5" ~doc:"Per-component latency breakdown of one echo RTT, per libOS.")
     Term.(
-      const (fun msg_size count ->
-          Harness.Fig_breakdown.print_table
-            (List.map
-               (fun flavor -> Harness.Fig_breakdown.echo ~msg_size ~count flavor)
-               [ Demikernel.Boot.Catnap_os; Demikernel.Boot.Catnip_os; Demikernel.Boot.Catmint_os ]))
-      $ msg_size_arg $ table5_count)
+      const (fun msg_size count tail tail_count quantile ->
+          let flavors =
+            [ Demikernel.Boot.Catnap_os; Demikernel.Boot.Catnip_os; Demikernel.Boot.Catmint_os ]
+          in
+          if not tail then
+            Harness.Fig_breakdown.print_table
+              (List.map
+                 (fun flavor -> Harness.Fig_breakdown.echo ~msg_size ~count flavor)
+                 flavors)
+          else begin
+            let quantiles =
+              match quantile with
+              | None -> Harness.Fig_breakdown.default_quantiles
+              | Some q ->
+                  if q < 0.0 || q >= 1.0 then begin
+                    Format.eprintf "table5: --quantile must be in [0, 1)@.";
+                    Stdlib.exit 2
+                  end;
+                  [ ("all", 0.0); (Printf.sprintf "p%g+" (q *. 100.), q) ]
+            in
+            let failures = ref 0 in
+            List.iter
+              (fun flavor ->
+                let t =
+                  Harness.Fig_breakdown.echo_tail ~count:tail_count ~msg_size ~quantiles
+                    flavor
+                in
+                Harness.Fig_breakdown.print_tail t;
+                (* Exactness is the product here: every band column must
+                   sum to its end-to-end row with no remainder. *)
+                let before = !failures in
+                List.iter
+                  (fun band ->
+                    let b = band.Harness.Fig_breakdown.band_breakdown in
+                    let sum =
+                      List.fold_left
+                        (fun acc (_, ns) -> acc + ns)
+                        b.Harness.Fig_breakdown.other b.Harness.Fig_breakdown.components
+                    in
+                    if sum <> b.Harness.Fig_breakdown.total then begin
+                      Format.printf "FAIL: band %s sums %d <> total %d@."
+                        band.Harness.Fig_breakdown.band_label sum
+                        b.Harness.Fig_breakdown.total;
+                      incr failures
+                    end)
+                  t.Harness.Fig_breakdown.tail_bands;
+                if !failures = before then
+                  Format.printf "ok: %s band sums exact@."
+                    (Harness.Fig_breakdown.flavor_name flavor))
+              flavors;
+            if !failures > 0 then Stdlib.exit 1
+          end)
+      $ msg_size_arg $ table5_count $ tail $ tail_count $ quantile)
 
 let run_selfcheck ~seed ~count =
   let r = Harness.Selfcheck.run ~seed ~count () in
@@ -465,6 +730,8 @@ let cmds =
     stats_cmd;
     pcap_cmd;
     timeline_cmd;
+    flight_cmd;
+    slo_cmd;
     table5_cmd;
     selfcheck_cmd;
   ]

@@ -1,0 +1,118 @@
+(* Parallel pre-allocated arrays rather than an array of records: the
+   write path stores three immediates (time, operands), one immediate
+   variant (builtin categories are constant constructors) and one
+   pointer (the static label), so a record in the steady poll loop
+   allocates zero minor-heap words — the property the gc-budget oracle
+   checks when the recorder rides the scale bench. *)
+
+type event = {
+  ft_ns : Clock.t;
+  ft_cat : Trace.category;
+  ft_label : string;
+  ft_a : int;
+  ft_b : int;
+}
+
+type t = {
+  cap : int;
+  ts : int array;
+  cat : Trace.category array;
+  lbl : string array;
+  a : int array;
+  b : int array;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Flight.create: capacity must be positive";
+  {
+    cap = capacity;
+    ts = Array.make capacity 0;
+    cat = Array.make capacity Trace.App;
+    lbl = Array.make capacity "";
+    a = Array.make capacity 0;
+    b = Array.make capacity 0;
+    total = 0;
+  }
+
+let capacity t = t.cap
+
+(* dlint: hotpath *)
+let record t ~now ~cat ~label a b =
+  let i = t.total mod t.cap in
+  t.ts.(i) <- now;
+  t.cat.(i) <- cat;
+  t.lbl.(i) <- label;
+  t.a.(i) <- a;
+  t.b.(i) <- b;
+  t.total <- t.total + 1
+
+let total t = t.total
+let kept t = if t.total < t.cap then t.total else t.cap
+let dropped t = t.total - kept t
+
+let events t =
+  let n = kept t in
+  List.init n (fun i ->
+      let idx = (t.total - n + i) mod t.cap in
+      {
+        ft_ns = t.ts.(idx);
+        ft_cat = t.cat.(idx);
+        ft_label = t.lbl.(idx);
+        ft_a = t.a.(idx);
+        ft_b = t.b.(idx);
+      })
+
+(* FNV-1a over the retained window plus the total count, byte-compatible
+   in spirit with Trace.digest: categories hash through their printed
+   names so the digest is a function of the event stream alone. *)
+let digest t =
+  let h = ref 0xcbf29ce484222325L in
+  let prime = 0x100000001b3L in
+  let byte b = h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) prime in
+  let string s = String.iter (fun c -> byte (Char.code c)) s in
+  let int n =
+    for shift = 0 to 7 do
+      byte ((n lsr (shift * 8)) land 0xff)
+    done
+  in
+  int t.total;
+  List.iter
+    (fun e ->
+      int e.ft_ns;
+      string (Trace.category_name e.ft_cat);
+      byte 0;
+      string e.ft_label;
+      byte 1;
+      int e.ft_a;
+      int e.ft_b)
+    (events t);
+  Printf.sprintf "%016Lx" !h
+
+let dump ?last fmt t =
+  let evs = events t in
+  let evs =
+    match last with
+    | Some n ->
+        let len = List.length evs in
+        List.filteri (fun i _ -> i >= len - n) evs
+    | None -> evs
+  in
+  if dropped t > 0 then
+    Format.fprintf fmt "... %d earlier record(s) overwritten (ring capacity %d) ...@."
+      (dropped t) t.cap;
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "%12s  %-7s %-14s a=%d b=%d@."
+        (Format.asprintf "%a" Clock.pp e.ft_ns)
+        (Trace.category_name e.ft_cat)
+        e.ft_label e.ft_a e.ft_b)
+    evs
+
+let clear t =
+  Array.fill t.ts 0 t.cap 0;
+  Array.fill t.cat 0 t.cap Trace.App;
+  Array.fill t.lbl 0 t.cap "";
+  Array.fill t.a 0 t.cap 0;
+  Array.fill t.b 0 t.cap 0;
+  t.total <- 0

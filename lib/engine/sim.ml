@@ -6,6 +6,7 @@ type t = {
   mutable processed : int;
   mutable tracer : Trace.t option;
   mutable spans : Span.t option;
+  mutable flight : Flight.t option;
   mutable teardown_hooks : (unit -> unit) list; (* newest first *)
   mutable sampler : (Clock.t -> unit) option;
   mutable sampler_interval : Clock.t;
@@ -21,6 +22,7 @@ let create ?(seed = 1L) () =
     processed = 0;
     tracer = None;
     spans = None;
+    flight = None;
     teardown_hooks = [];
     sampler = None;
     sampler_interval = 0;
@@ -129,6 +131,26 @@ let enable_spans ?capacity t =
       s
 
 let spans t = t.spans
+
+let enable_flight ?capacity t =
+  match t.flight with
+  | Some f -> f
+  | None ->
+      let f = Flight.create ?capacity () in
+      t.flight <- Some f;
+      f
+
+let flight t = t.flight
+
+(* One branch when no recorder is attached; when one is, the record is
+   O(1) into pre-allocated arrays. Unlike trace_event there is no thunk
+   to skip: the operands are ints and the label a static string, so the
+   call site costs nothing to build. *)
+(* dlint: hotpath *)
+let flight_note t ~cat ~label a b =
+  match t.flight with
+  | None -> ()
+  | Some f -> Flight.record f ~now:t.now ~cat ~label a b
 
 let span_interval ?key ?label t ~comp ~owner ~t0 ~t1 =
   match t.spans with

@@ -82,6 +82,22 @@ val enable_spans : ?capacity:int -> t -> Span.t
 
 val spans : t -> Span.t option
 
+(** {1 Flight recorder (Demiflight)} *)
+
+val enable_flight : ?capacity:int -> t -> Flight.t
+(** Attach (or return the existing) flight recorder — a fixed-capacity
+    ring of typed records cheap enough to stay armed in production
+    runs. Recording is a pure observation: enabling it must not change
+    the event interleaving, the clock, or {!Trace.digest}
+    ([demi flight --check] is the gate). *)
+
+val flight : t -> Flight.t option
+
+val flight_note : t -> cat:Trace.category -> label:string -> int -> int -> unit
+(** Record one flight event at the current virtual time; a single
+    branch when no recorder is attached, O(1) and allocation-free when
+    one is. [label] must be a static string (pass a literal). *)
+
 val span_interval :
   ?key:int ->
   ?label:string ->

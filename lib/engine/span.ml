@@ -79,7 +79,16 @@ type t = {
   mutable wire : wire_event list; (* newest first *)
   mutable wire_kept : int;
   mutable wire_dropped : int;
+  (* SLO watchdog (Demiflight): ops whose close-time latency exceeded
+     the armed threshold. max_int = disarmed, so the close path tests a
+     plain int, never an option. *)
+  mutable slo_threshold : int;
+  mutable slo_outliers : op list; (* newest first *)
+  mutable slo_kept : int;
+  mutable slo_count : int;
 }
+
+let slo_capacity = 1024
 
 let create ?(capacity = 262_144) () =
   {
@@ -94,7 +103,19 @@ let create ?(capacity = 262_144) () =
     wire = [];
     wire_kept = 0;
     wire_dropped = 0;
+    slo_threshold = max_int;
+    slo_outliers = [];
+    slo_kept = 0;
+    slo_count = 0;
   }
+
+let set_slo t ~threshold_ns =
+  if threshold_ns <= 0 then invalid_arg "Span.set_slo: threshold must be positive";
+  t.slo_threshold <- threshold_ns
+
+let slo_threshold t = if t.slo_threshold = max_int then None else Some t.slo_threshold
+let outliers t = List.rev t.slo_outliers
+let outlier_count t = t.slo_count
 
 (* dlint-allow: transitive-alloc-in-hotpath -- span instrumentation: interval records land in a capacity-bounded buffer and only when a span collector is attached; steady measurement runs attach none *)
 let note ?key ?(label = "") t ~comp ~owner ~t0 ~t1 =
@@ -141,7 +162,18 @@ let close_op t ~key ~owner ~now ~ok =
   match Hashtbl.find_opt t.ops (owner, key) with
   | Some op when op.closed_at = None ->
       op.closed_at <- Some now;
-      op.op_ok <- ok
+      op.op_ok <- ok;
+      (* The watchdog fires retroactively at close time: the op already
+         missed its SLO, so the recent history (flight ring, wire
+         events, sibling spans) is still warm and can be dumped. Pure
+         bookkeeping here — the dump itself happens post-run. *)
+      if now - op.opened_at > t.slo_threshold then begin
+        t.slo_count <- t.slo_count + 1;
+        if t.slo_kept < slo_capacity then begin
+          t.slo_outliers <- op :: t.slo_outliers;
+          t.slo_kept <- t.slo_kept + 1
+        end
+      end
   | Some _ | None -> ()
 
 let intervals t = List.rev t.intervals

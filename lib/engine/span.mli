@@ -129,6 +129,29 @@ val label_op : t -> key:int -> owner:string -> string -> unit
 val close_op : t -> key:int -> owner:string -> now:Clock.t -> ok:bool -> unit
 (** Idempotent; unknown keys are ignored (ops predating [enable_spans]). *)
 
+(** {2 SLO watchdog (Demiflight)}
+
+    Armed via {!set_slo}, the recorder checks every op's latency at
+    close time and retains the ops that exceeded the threshold — a
+    retroactive outlier capture: by the time the breach is known, the
+    flight ring, wire events and sibling spans covering it are still
+    retained and can be dumped ([demi slo]). Checking is a compare on
+    the already-recorded timestamps, so arming the watchdog cannot
+    perturb the run. *)
+
+val set_slo : t -> threshold_ns:int -> unit
+(** Arm the watchdog: ops taking strictly longer than [threshold_ns]
+    (which must be positive) are captured as outliers. *)
+
+val slo_threshold : t -> int option
+(** The armed threshold, or [None] when disarmed (the default). *)
+
+val outliers : t -> op list
+(** Ops that breached the SLO, oldest first (at most 1024 retained;
+    {!outlier_count} keeps the true total). *)
+
+val outlier_count : t -> int
+
 val intervals : t -> interval list
 (** Oldest first. *)
 

@@ -144,6 +144,170 @@ let echo ?(with_spans = true) ?(span_capacity = 262_144) ?(trace_capacity = 65_5
         rtts;
       }
 
+(* ---------- tail attribution (Demiflight) ---------- *)
+
+(* Summing breakdowns keeps the invariant exact: each window's sweep
+   satisfies components + other = total, so the band aggregate does
+   too — no averaging, no rounding. *)
+let sum_breakdowns bs =
+  let sums = Array.make (List.length Engine.Span.components) 0 in
+  let other = ref 0 and total = ref 0 in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (comp, ns) ->
+          let i = Engine.Span.component_index comp in
+          sums.(i) <- sums.(i) + ns)
+        b.components;
+      other := !other + b.other;
+      total := !total + b.total)
+    bs;
+  {
+    components =
+      List.filter (fun (_, ns) -> ns > 0)
+        (List.mapi (fun i comp -> (comp, sums.(i))) Engine.Span.components);
+    other = !other;
+    total = !total;
+  }
+
+type tail_band = {
+  band_label : string;
+  band_quantile : float;
+  band_cut_ns : int;
+  band_ops : int;
+  band_breakdown : breakdown;
+}
+
+type tail = {
+  tail_flavor : Demikernel.Boot.flavor;
+  tail_ops : int;
+  tail_hdr : Metrics.Hdr.t;
+  tail_sampled : int;
+  tail_bands : tail_band list;
+  tail_digest : string;
+}
+
+let default_quantiles =
+  [ ("all", 0.0); ("p90+", 0.90); ("p99+", 0.99); ("p99.9+", 0.999) ]
+
+(* Same scenario as [echo], but every RTT's window is a candidate for
+   retention: a deterministic reservoir (Algorithm R over a fixed-seed
+   SplitMix64, independent of the sim's PRNG so retention can never
+   perturb the run) keeps a uniform sample, and a top-k list keeps the
+   slowest windows exactly — the reservoir gives the "all"/"p90" bands
+   honest coverage while top-k guarantees the slowest 0.1% band is
+   never starved by sampling luck. *)
+let echo_tail ?(count = 512) ?(msg_size = 64) ?(reservoir_capacity = 256) ?(top_k = 64)
+    ?(quantiles = default_quantiles) flavor =
+  let w = Common.make_world () in
+  let trace = Engine.Sim.enable_trace w.Common.sim in
+  let spans = Engine.Sim.enable_spans w.Common.sim in
+  let server = Demikernel.Boot.make w.Common.sim w.Common.fabric ~index:1 flavor in
+  let client = Demikernel.Boot.make w.Common.sim w.Common.fabric ~index:2 flavor in
+  let hdr = Metrics.Hdr.create () in
+  let reservoir =
+    Metrics.Reservoir.create ~capacity:reservoir_capacity
+      ~prng:(Engine.Prng.create 0x7a11_f11e_5eedL)
+  in
+  (* Slowest-k windows, kept ascending by (rtt, w0) so eviction pops the
+     fastest; k is small and this is harness code, not a hot path. *)
+  let slowest = ref [] in
+  let slow_n = ref 0 in
+  let offer_slow ((rtt, w0, _) as win) =
+    let rec insert = function
+      | [] -> [ win ]
+      | ((r, rw0, _) as hd) :: tl ->
+          if (rtt, w0) < (r, rw0) then win :: hd :: tl else hd :: insert tl
+    in
+    if !slow_n < top_k then begin
+      slowest := insert !slowest;
+      incr slow_n
+    end
+    else
+      match !slowest with
+      | (r, _, _) :: tl when rtt > r -> slowest := insert tl
+      | _ -> ()
+  in
+  Demikernel.Boot.run_app server (Apps.Echo.server ~port:7 ~persist:false);
+  Demikernel.Boot.run_app client
+    (Apps.Echo.client
+       ~dst:(Demikernel.Boot.endpoint server 7)
+       ~msg_size ~count
+       ~record:(fun rtt ->
+         Metrics.Hdr.add hdr rtt;
+         let now = Demikernel.Host.now client.Demikernel.Boot.host in
+         let win = (rtt, now - rtt, now) in
+         Metrics.Reservoir.offer reservoir win;
+         offer_slow win));
+  Demikernel.Boot.start server;
+  Demikernel.Boot.start client;
+  Common.run_world w;
+  let retained =
+    List.sort_uniq compare (Metrics.Reservoir.to_list reservoir @ !slowest)
+  in
+  let bands =
+    List.map
+      (fun (label, q) ->
+        let cut = if q <= 0.0 then Metrics.Hdr.min hdr else Metrics.Hdr.quantile hdr q in
+        let wins = List.filter (fun (rtt, _, _) -> rtt >= cut) retained in
+        {
+          band_label = label;
+          band_quantile = q;
+          band_cut_ns = cut;
+          band_ops = List.length wins;
+          band_breakdown =
+            sum_breakdowns
+              (List.map (fun (_, w0, w1) -> attribute spans ~w0 ~w1) wins);
+        })
+      quantiles
+  in
+  {
+    tail_flavor = flavor;
+    tail_ops = Metrics.Hdr.count hdr;
+    tail_hdr = hdr;
+    tail_sampled = List.length retained;
+    tail_bands = bands;
+    tail_digest = Engine.Trace.digest trace;
+  }
+
+(* Table 5 for the slowest ops: component rows, one column per
+   quantile band; cells are exact virtual-ns sums over the retained
+   windows in the band. *)
+let print_tail t =
+  Printf.printf "%s tail attribution: %d ops, %d windows retained, p50=%dns p99=%dns p99.9=%dns\n"
+    (flavor_name t.tail_flavor) t.tail_ops t.tail_sampled
+    (Metrics.Hdr.quantile t.tail_hdr 0.5)
+    (Metrics.Hdr.quantile t.tail_hdr 0.99)
+    (Metrics.Hdr.quantile t.tail_hdr 0.999);
+  let tbl =
+    Metrics.Table.create ~title:"tail breakdown (virtual ns, summed over retained windows)"
+      ~columns:
+        ("component"
+        :: List.map
+             (fun b -> Printf.sprintf "%s (%d op)" b.band_label b.band_ops)
+             t.tail_bands)
+  in
+  List.iter
+    (fun comp ->
+      let cells =
+        List.map
+          (fun b ->
+            match List.assoc_opt comp b.band_breakdown.components with
+            | Some ns -> Metrics.Table.cell_i ns
+            | None -> "-")
+          t.tail_bands
+      in
+      if List.exists (fun c -> c <> "-") cells then
+        Metrics.Table.add_row tbl (Engine.Span.component_name comp :: cells))
+    Engine.Span.components;
+  Metrics.Table.add_row tbl
+    ("other/idle" :: List.map (fun b -> Metrics.Table.cell_i b.band_breakdown.other) t.tail_bands);
+  Metrics.Table.add_row tbl
+    ("end-to-end" :: List.map (fun b -> Metrics.Table.cell_i b.band_breakdown.total) t.tail_bands);
+  Metrics.Table.add_row tbl
+    ("cut >= ns" :: List.map (fun b -> Metrics.Table.cell_i b.band_cut_ns) t.tail_bands);
+  Metrics.Table.print tbl
+
 (* Table-5-style report: component rows, one column per run. *)
 let print_table runs =
   let tbl =

@@ -12,15 +12,25 @@ type run = {
   capture : Net.Pcap.session option;
   spans : Engine.Span.t option;
   timeline : Metrics.Timeseries.t option;
+  flight : Engine.Flight.t option;
   fabric_stats : Net.Fabric.stats;
 }
 
 let echo ?(with_capture = false) ?(with_spans = false) ?(with_timeline = false)
-    ?(timeline_interval_ns = 10_000) ?(msg_size = 64) ?(count = 16) ?(loss = 0.) flavor =
+    ?(with_flight = false) ?(flight_capacity = 4096) ?(timeline_interval_ns = 10_000)
+    ?(msg_size = 64) ?(count = 16) ?(loss = 0.) ?slo_ns flavor =
   let w = Common.make_world ~loss () in
   let trace = Engine.Sim.enable_trace w.Common.sim in
   let spans =
     if with_spans then Some (Engine.Sim.enable_spans w.Common.sim) else None
+  in
+  (match (spans, slo_ns) with
+  | Some s, Some threshold_ns -> Engine.Span.set_slo s ~threshold_ns
+  | _ -> ());
+  let flight =
+    if with_flight then
+      Some (Engine.Sim.enable_flight ~capacity:flight_capacity w.Common.sim)
+    else None
   in
   let capture = if with_capture then Some (Net.Pcap.tap w.Common.fabric) else None in
   let server = Demikernel.Boot.make w.Common.sim w.Common.fabric ~index:1 flavor in
@@ -80,6 +90,7 @@ let echo ?(with_capture = false) ?(with_spans = false) ?(with_timeline = false)
     capture;
     spans;
     timeline;
+    flight;
     fabric_stats = Net.Fabric.stats w.Common.fabric;
   }
 

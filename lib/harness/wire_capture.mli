@@ -11,6 +11,7 @@ type run = {
   capture : Net.Pcap.session option;  (** [Some] iff [with_capture] *)
   spans : Engine.Span.t option;  (** [Some] iff [with_spans] *)
   timeline : Metrics.Timeseries.t option;  (** [Some] iff [with_timeline] *)
+  flight : Engine.Flight.t option;  (** [Some] iff [with_flight] *)
   fabric_stats : Net.Fabric.stats;
 }
 
@@ -18,16 +19,21 @@ val echo :
   ?with_capture:bool ->
   ?with_spans:bool ->
   ?with_timeline:bool ->
+  ?with_flight:bool ->
+  ?flight_capacity:int ->
   ?timeline_interval_ns:int ->
   ?msg_size:int ->
   ?count:int ->
   ?loss:float ->
+  ?slo_ns:int ->
   Demikernel.Boot.flavor ->
   run
 (** One echo (client index 2 → server index 1, port 7, default 16
     messages of 64 B) with the requested instruments attached. All
     instruments default to off; the bare run is the control arm.
-    [timeline_interval_ns] defaults to 10 µs. *)
+    [timeline_interval_ns] defaults to 10 µs. [flight_capacity]
+    (default 4096) sizes the flight ring; [slo_ns] arms the span
+    recorder's SLO watchdog (requires [with_spans]). *)
 
 val rtt_values : run -> int list
 (** The RTT histogram's percentile fingerprint

@@ -73,6 +73,8 @@ let on_drop t ?(src = "") ~reason frame =
   (match t.tap with
   | Some tap -> tap.tap_drop ~ts:(Engine.Sim.now t.sim) ~reason frame
   | None -> ());
+  Engine.Sim.flight_note t.sim ~cat:Engine.Trace.Fabric ~label:"drop" (String.length frame)
+    (match reason with Loss -> 1 | Corrupt -> 2 | No_route -> 3 | Nic_drop _ -> 4);
   match Engine.Sim.spans t.sim with
   | None -> ()
   | Some _ ->
@@ -95,6 +97,8 @@ let deliver t frame dst =
   t.bytes <- t.bytes + String.length frame;
   Engine.Sim.trace_event t.sim ~category:Engine.Trace.Fabric (fun () ->
       Format.asprintf "deliver %dB -> %a" (String.length frame) Addr.Mac.pp dst.mac);
+  Engine.Sim.flight_note t.sim ~cat:Engine.Trace.Fabric ~label:"rx" (String.length frame)
+    t.delivered;
   (* deliver runs at arrival time, so captures are timestamped in event
      order — pcap files come out monotone for free. *)
   (match t.tap with
