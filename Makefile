@@ -1,4 +1,4 @@
-.PHONY: all build test lint selfcheck check bench bench-smoke alloc-smoke trace-smoke pcap-smoke graph-smoke scale-smoke flight-smoke clean
+.PHONY: all build test lint selfcheck check bench bench-smoke alloc-smoke trace-smoke pcap-smoke graph-smoke scale-smoke flight-smoke fleet-smoke bench-guard clean
 
 all: build
 
@@ -26,6 +26,8 @@ check:
 	$(MAKE) graph-smoke
 	$(MAKE) scale-smoke
 	$(MAKE) flight-smoke
+	$(MAKE) fleet-smoke
+	$(MAKE) bench-guard
 
 bench:
 	dune exec bench/main.exe
@@ -110,15 +112,17 @@ graph-smoke:
 # allocation violations and the pool sanitizer to have caught nothing.
 scale-smoke:
 	mkdir -p out
-	dune exec bench/main.exe -- scale quick --out out/BENCH_pr9_smoke.json | tee out/scale_smoke.txt
+	dune exec bench/main.exe -- scale quick --out out/BENCH_pr10_smoke.json | tee out/scale_smoke.txt
 	@grep -q "scale: JSON schema OK" out/scale_smoke.txt \
 	  || { echo "scale-smoke: bench did not validate its own JSON" >&2; exit 1; }
 	@grep -Eq "gc-budget scale steady_polls=[1-9][0-9]* violations=0" out/scale_smoke.txt \
 	  || { echo "scale-smoke: no measured steady polls or gc violations" >&2; exit 1; }
-	@grep -q '"pool_errors": 0' out/BENCH_pr9_smoke.json \
+	@grep -q '"pool_errors": 0' out/BENCH_pr10_smoke.json \
 	  || { echo "scale-smoke: TCB pool sanitizer caught errors" >&2; exit 1; }
-	@grep -q '"gc_poll_violations": 0' out/BENCH_pr9_smoke.json \
+	@grep -q '"gc_poll_violations": 0' out/BENCH_pr10_smoke.json \
 	  || { echo "scale-smoke: gc-budget violations with the flight recorder armed" >&2; exit 1; }
+	@grep -q '"to_srv_ns"' out/BENCH_pr10_smoke.json \
+	  || { echo "scale-smoke: per-hop attribution missing from bands" >&2; exit 1; }
 	@echo "scale-smoke: OK"
 
 # Demiflight end to end: (1) `demi flight --check` per libOS — the ring
@@ -134,9 +138,32 @@ flight-smoke:
 	dune exec bin/demi.exe -- flight --flavor catnap --check --dump 0
 	dune exec bin/demi.exe -- flight --flavor catnip --check --dump 0
 	dune exec bin/demi.exe -- flight --flavor catmint --check --dump 0
-	dune exec bin/demi.exe -- slo --flavor catnip --out out/slo-catnip.json
+	dune exec bin/demi.exe -- slo --flavor catnip --expect-breach --out out/slo-catnip.json
 	dune exec bin/demi.exe -- table5 --tail --tail-count 96
 	@echo "flight-smoke: OK"
 
+# Demifleet end to end: `demi fleet --check` per libOS runs the quorum
+# txnstore scenario recorders-on, stitches the causal DAGs (every
+# critical path must sum exactly to its request's end-to-end latency,
+# every profile row total must sum to the end-to-end total), validates
+# the per-request Chrome export, then reruns recorders-off and fails
+# unless trace digests and latencies are byte-identical — causal
+# tracing must be observer-effect-free on every flavor.
+fleet-smoke:
+	mkdir -p out
+	dune exec bin/demi.exe -- fleet --flavor catnap --check --profile
+	dune exec bin/demi.exe -- fleet --flavor catnip --check --profile
+	dune exec bin/demi.exe -- fleet --flavor catmint --check --profile
+	dune exec bin/demi.exe -- fleet --flavor catnip --app relay --check
+	@echo "fleet-smoke: OK"
+
+# The benchmark-artifact guard: every committed BENCH_pr*.json must
+# parse, match its family schema (incl. exact attribution sums and
+# zero gc-poll/pool violations), and show no >1.5x quantile or GC
+# regression between consecutive same-mode artifacts.
+bench-guard:
+	dune exec bench/main.exe -- compare
+
 clean:
 	dune clean
+	rm -rf out

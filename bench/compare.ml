@@ -1,0 +1,383 @@
+(* `bench -- compare`: the benchmark-artifact guard (PR 10).
+
+   Every BENCH_pr<N>.json committed at the repo root is a claim about
+   the tree at that PR; nothing re-checked them after commit. This pass
+   loads them all, validates each against the schema its family
+   promises (wallclock records from PRs 3/6, scale records from PR 8
+   on), re-verifies the internal exactness invariants (attribution
+   bands sum, completed = ops, zero gc-poll violations, zero pool
+   errors), and then compares consecutive artifacts of the same family
+   and mode at matching sweep points: a latency quantile or GC volume
+   that grew by more than [regress_factor] between two committed
+   records is flagged as a regression and fails the run.
+
+   No JSON library ships in the tree, so a ~60-line recursive-descent
+   parser lives here — the artifacts are machine-written by our own
+   printf and small, so this is parsing our own output, not the
+   internet's. *)
+
+(* ---------- a minimal JSON reader ---------- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let i = ref 0 in
+  let peek () = if !i < n then s.[!i] else '\255' in
+  let adv () = incr i in
+  let skip_ws () =
+    while !i < n && (match s.[!i] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      adv ()
+    done
+  in
+  let expect c =
+    if peek () <> c then raise (Bad (Printf.sprintf "expected '%c' at byte %d" c !i));
+    adv ()
+  in
+  let string_lit () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !i >= n then raise (Bad "unterminated string");
+      match s.[!i] with
+      | '"' -> adv ()
+      | '\\' ->
+          adv ();
+          (match peek () with
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+              (* artifacts never emit \u escapes; keep them opaque *)
+              Buffer.add_string b "\\u"
+          | c -> Buffer.add_char b c);
+          adv ();
+          go ()
+      | c ->
+          Buffer.add_char b c;
+          adv ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !i in
+    while
+      !i < n
+      && match s.[!i] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+    do
+      adv ()
+    done;
+    match float_of_string_opt (String.sub s start (!i - start)) with
+    | Some f -> f
+    | None -> raise (Bad (Printf.sprintf "bad number at byte %d" start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        adv ();
+        skip_ws ();
+        if peek () = '}' then begin
+          adv ();
+          Obj []
+        end
+        else begin
+          let fields = ref [] in
+          let rec fields_go () =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            fields := (k, v) :: !fields;
+            skip_ws ();
+            if peek () = ',' then begin
+              adv ();
+              fields_go ()
+            end
+            else expect '}'
+          in
+          fields_go ();
+          Obj (List.rev !fields)
+        end
+    | '[' ->
+        adv ();
+        skip_ws ();
+        if peek () = ']' then begin
+          adv ();
+          Arr []
+        end
+        else begin
+          let items = ref [] in
+          let rec items_go () =
+            let v = value () in
+            items := v :: !items;
+            skip_ws ();
+            if peek () = ',' then begin
+              adv ();
+              items_go ()
+            end
+            else expect ']'
+          in
+          items_go ();
+          Arr (List.rev !items)
+        end
+    | '"' -> Str (string_lit ())
+    | 't' ->
+        i := !i + 4;
+        Bool true
+    | 'f' ->
+        i := !i + 5;
+        Bool false
+    | 'n' ->
+        i := !i + 4;
+        Null
+    | c -> if c = '-' || (c >= '0' && c <= '9') then Num (number ()) else raise (Bad (Printf.sprintf "unexpected '%c' at byte %d" c !i))
+  in
+  let v = value () in
+  skip_ws ();
+  if !i <> n then raise (Bad (Printf.sprintf "trailing bytes at %d" !i));
+  v
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+let num_of = function Num f -> Some f | _ -> None
+let str_of = function Str s -> Some s | _ -> None
+let arr_of = function Arr l -> Some l | _ -> None
+let fnum j k = Option.bind (member k j) num_of
+let fint j k = Option.map int_of_float (fnum j k)
+let fstr j k = Option.bind (member k j) str_of
+
+(* ---------- artifact discovery ---------- *)
+
+type artifact = { path : string; pr : int; doc : json }
+
+let pr_of_name name =
+  (* BENCH_pr<N>.json, nothing else *)
+  let pre = "BENCH_pr" and suf = ".json" in
+  let lp = String.length pre and ls = String.length suf and ln = String.length name in
+  if ln > lp + ls && String.sub name 0 lp = pre && String.sub name (ln - ls) ls = suf then
+    int_of_string_opt (String.sub name lp (ln - lp - ls))
+  else None
+
+let load_artifacts dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         match pr_of_name name with
+         | None -> None
+         | Some pr ->
+             let path = Filename.concat dir name in
+             let ic = open_in path in
+             let s = really_input_string ic (in_channel_length ic) in
+             close_in ic;
+             Some (path, pr, s))
+  |> List.sort (fun (_, a, _) (_, b, _) -> compare a b)
+  |> List.map (fun (path, pr, s) ->
+         match parse s with
+         | doc -> { path; pr; doc }
+         | exception Bad e ->
+             Printf.eprintf "compare: %s is not valid JSON: %s\n%!" path e;
+             exit 1)
+
+(* ---------- per-artifact schema + invariant checks ---------- *)
+
+let failures = ref 0
+
+let flag path fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr failures;
+      Printf.printf "  FAIL %s: %s\n%!" path msg)
+    fmt
+
+let require path doc keys =
+  List.iter
+    (fun k -> if member k doc = None then flag path "missing key \"%s\"" k)
+    keys
+
+let scale_point_keys =
+  [
+    "conns"; "client_stacks"; "ops"; "completed"; "wall_s"; "gc_minor_words";
+    "gc_major_words"; "gc_alloc_mb"; "p50_ns"; "p99_ns"; "p999_ns"; "reconnects";
+    "frames"; "polls"; "steady_polls"; "gc_poll_violations"; "conns_peak";
+    "tcb_capacity"; "pool_errors";
+  ]
+
+(* Keys that arrived with later PRs: Demiflight's quantile/attribution
+   extensions in PR 9, Demifleet's per-hop attribution in PR 10. *)
+let scale_point_keys_pr9 = [ "p90_ns"; "lat_min_ns"; "lat_max_ns"; "attribution"; "slo"; "flight" ]
+let band_keys = [ "band"; "cut_ns"; "ops"; "queue_ns"; "wire_ns"; "rest_ns"; "total_ns" ]
+let band_keys_pr10 = [ "to_srv_ns"; "from_srv_ns" ]
+
+let check_band path a band =
+  require path band band_keys;
+  if a.pr >= 10 then require path band band_keys_pr10;
+  (match (fint band "queue_ns", fint band "wire_ns", fint band "rest_ns", fint band "total_ns") with
+  | Some q, Some w, Some r, Some t ->
+      if q + w + r <> t then
+        flag path "band %s: queue+wire+rest = %d, total = %d"
+          (Option.value ~default:"?" (fstr band "band"))
+          (q + w + r) t
+  | _ -> flag path "band with non-numeric attribution fields");
+  match (fint band "queue_ns", fint band "to_srv_ns", fint band "from_srv_ns", fint band "total_ns") with
+  | Some q, Some ts, Some fs, Some t ->
+      if q + ts + fs <> t then
+        flag path "band %s: queue+to_srv+from_srv = %d, total = %d"
+          (Option.value ~default:"?" (fstr band "band"))
+          (q + ts + fs) t
+  | _ -> () (* pre-PR-10 artifacts carry no per-hop split *)
+
+let check_scale_point path a point =
+  require path point scale_point_keys;
+  if a.pr >= 9 then require path point scale_point_keys_pr9;
+  (match (fint point "ops", fint point "completed") with
+  | Some ops, Some completed when ops <> completed ->
+      flag path "conns=%d: completed %d of %d ops"
+        (Option.value ~default:0 (fint point "conns"))
+        completed ops
+  | _ -> ());
+  (match fint point "gc_poll_violations" with
+  | Some 0 -> ()
+  | Some v -> flag path "conns=%d: %d gc-poll violations (steady polls must allocate nothing)"
+        (Option.value ~default:0 (fint point "conns")) v
+  | None -> ());
+  (match fint point "pool_errors" with
+  | Some 0 | None -> ()
+  | Some v ->
+      flag path "conns=%d: %d pool sanitizer errors"
+        (Option.value ~default:0 (fint point "conns"))
+        v);
+  match Option.bind (member "attribution" point) (fun att -> Option.bind (member "bands" att) arr_of) with
+  | Some bands -> List.iter (check_band path a) bands
+  | None -> if a.pr >= 9 then flag path "attribution.bands missing"
+
+let check_scale a =
+  require a.path a.doc
+    [ "pr"; "mode"; "workload"; "sweep"; "attempted"; "largest_sustained"; "limiting_factor"; "churn_10k" ];
+  match Option.bind (member "sweep" a.doc) arr_of with
+  | Some points when points <> [] -> List.iter (check_scale_point a.path a) points
+  | Some [] -> flag a.path "empty sweep"
+  | _ -> flag a.path "sweep is not an array"
+
+let check_wallclock a =
+  require a.path a.doc [ "pr"; "mode"; "samples"; "baseline" ];
+  match member "samples" a.doc with
+  | Some samples ->
+      List.iter
+        (fun name ->
+          match member name samples with
+          | Some s -> require a.path s [ "wall_s"; "gc_alloc_mb"; "ops" ]
+          | None -> flag a.path "samples.%s missing" name)
+        [ "echo"; "churn" ]
+  | None -> ()
+
+let family a = if member "sweep" a.doc <> None then `Scale else `Wallclock
+
+let check_artifact a =
+  (match fint a.doc "pr" with
+  | Some pr when pr = a.pr -> ()
+  | Some pr -> flag a.path "file says pr %d, name says pr %d" pr a.pr
+  | None -> flag a.path "missing \"pr\"");
+  match family a with `Scale -> check_scale a | `Wallclock -> check_wallclock a
+
+(* ---------- consecutive-artifact regression comparison ---------- *)
+
+let regress_factor = 1.5
+
+let compare_scale_points path_old path_new old_pt new_pt =
+  let conns = Option.value ~default:0 (fint new_pt "conns") in
+  List.iter
+    (fun key ->
+      match (fnum old_pt key, fnum new_pt key) with
+      | Some o, Some n when o > 0. && n > o *. regress_factor ->
+          flag path_new "conns=%d: %s regressed %.0f -> %.0f (>%.1fx vs %s)" conns key o n
+            regress_factor path_old
+      | _ -> ())
+    [ "p50_ns"; "p99_ns"; "p999_ns"; "gc_alloc_mb" ]
+
+let compare_pair older newer =
+  match (family older, family newer) with
+  | `Scale, `Scale -> (
+      match (fstr older.doc "mode", fstr newer.doc "mode") with
+      | Some mo, Some mn when mo <> mn ->
+          Printf.printf "  skip %s vs %s: modes differ (%s vs %s)\n%!" older.path newer.path mo
+            mn
+      | _ -> (
+          match
+            ( Option.bind (member "sweep" older.doc) arr_of,
+              Option.bind (member "sweep" newer.doc) arr_of )
+          with
+          | Some old_pts, Some new_pts ->
+              List.iter
+                (fun np ->
+                  match fint np "conns" with
+                  | None -> ()
+                  | Some c -> (
+                      match
+                        List.find_opt (fun op -> fint op "conns" = Some c) old_pts
+                      with
+                      | Some op -> compare_scale_points older.path newer.path op np
+                      | None -> ()))
+                new_pts
+          | _ -> ()))
+  | `Wallclock, `Wallclock -> (
+      match (fstr older.doc "mode", fstr newer.doc "mode") with
+      | Some mo, Some mn when mo <> mn ->
+          Printf.printf "  skip %s vs %s: modes differ (%s vs %s)\n%!" older.path newer.path mo
+            mn
+      | _ ->
+          List.iter
+            (fun sample ->
+              match
+                ( Option.bind (member "samples" older.doc) (member sample),
+                  Option.bind (member "samples" newer.doc) (member sample) )
+              with
+              | Some os, Some ns -> (
+                  match (fnum os "gc_alloc_mb", fnum ns "gc_alloc_mb") with
+                  | Some o, Some n when o > 0. && n > o *. regress_factor ->
+                      flag newer.path "%s gc_alloc_mb regressed %.1f -> %.1f vs %s" sample o n
+                        older.path
+                  | _ -> ())
+              | _ -> ())
+            [ "echo"; "churn" ])
+  | _ -> () (* families changed between PRs; nothing comparable *)
+
+let rec consecutive f = function
+  | a :: (b :: _ as rest) ->
+      f a b;
+      consecutive f rest
+  | _ -> ()
+
+(* ---------- driver ---------- *)
+
+let run ?(dir = ".") () =
+  let artifacts = load_artifacts dir in
+  if artifacts = [] then begin
+    Printf.eprintf "compare: no BENCH_pr*.json found under %s\n%!" dir;
+    exit 1
+  end;
+  Printf.printf "bench compare: %d artifact(s)\n%!" (List.length artifacts);
+  List.iter
+    (fun a ->
+      let before = !failures in
+      check_artifact a;
+      if !failures = before then
+        Printf.printf "  %s (pr %d, %s family): schema OK\n%!" a.path a.pr
+          (match family a with `Scale -> "scale" | `Wallclock -> "wallclock"))
+    artifacts;
+  let by_family fam = List.filter (fun a -> family a = fam) artifacts in
+  consecutive compare_pair (by_family `Scale);
+  consecutive compare_pair (by_family `Wallclock);
+  if !failures > 0 then begin
+    Printf.printf "bench compare: %d failure(s)\n%!" !failures;
+    exit 1
+  end;
+  Printf.printf "bench compare: all artifacts consistent, no regressions flagged\n%!"

@@ -459,12 +459,23 @@ let () =
                 prerr_endline ("scale: --pr expects a positive integer, got " ^ n);
                 exit 1)
         | _ :: rest -> pr_of rest
-        | [] -> 9
+        | [] -> 10
       in
       let pr = pr_of rest in
       (match out_of rest with
       | Some out -> Scale.run ~quick ~pr ~out ()
       | None -> Scale.run ~quick ~pr ())
+  | "compare" ->
+      (* compare [--dir D]: validate every committed BENCH_pr*.json
+         against its family schema and flag regressions between
+         consecutive artifacts (the `make bench-guard` entry point). *)
+      let rest = Array.to_list (Array.sub Sys.argv 2 (Array.length Sys.argv - 2)) in
+      let rec dir_of = function
+        | "--dir" :: d :: _ -> Some d
+        | _ :: rest -> dir_of rest
+        | [] -> None
+      in
+      (match dir_of rest with Some dir -> Compare.run ~dir () | None -> Compare.run ())
   | "churnprobe" ->
       let runpt n =
         let a0 = Gc.allocated_bytes () in

@@ -38,7 +38,13 @@
    stays armed across the whole point (recording only on busy polls;
    record itself is allocation-free so the gc oracle's zero-budget
    steady polls are unaffected), and an SLO threshold counts breaches
-   and pins the worst op in the ring. *)
+   and pins the worst op in the ring.
+
+   Demifleet (PR 10): every request frame carries the 16-byte causal
+   context, so the server can stamp its reply-build instant against the
+   request's id with no side channel and no extra wire bytes. Each
+   band then reports a second exact decomposition — queue / to_srv /
+   from_srv — locating tail time on the request leg vs the reply leg. *)
 
 module Stack = Tcp.Stack
 module Heap = Memory.Heap
@@ -49,7 +55,11 @@ let frame_latency = 1_000
 let burst = 64
 
 (* One cumulative latency-quantile band: exact virtual-ns sums over
-   the ops retained at or above the band's cut. *)
+   the ops retained at or above the band's cut. Two decompositions of
+   the same total, both exact: {queue, wire, rest} (PR 9) and the
+   per-hop {queue, to_srv, from_srv} (PR 10) cut at the server's reply
+   build — the causal context every request frame carries since
+   Demifleet lets the server stamp each op without a side channel. *)
 type band = {
   band : string;
   cut_ns : int;
@@ -57,7 +67,9 @@ type band = {
   queue_ns : int;
   wire_ns : int;
   rest_ns : int;
-  total_ns : int; (* = queue_ns + wire_ns + rest_ns, exactly *)
+  to_srv_ns : int; (* socket write -> server builds the reply *)
+  from_srv_ns : int; (* server reply build -> client completion *)
+  total_ns : int; (* = queue + wire + rest = queue + to_srv + from_srv *)
 }
 
 type point = {
@@ -102,8 +114,10 @@ type lconn = {
   mutable conn : Stack.conn option;
   mutable can_send : bool; (* Established fired on the current conn *)
   mutable acc : Apps.Framing.accum;
-  pending : (int * int) Queue.t; (* (at_ns, sent_ns) of requests awaiting responses *)
-  backlog : (int * string) Queue.t; (* framed requests awaiting a conn *)
+  pending : (int * int * int) Queue.t;
+      (* (at_ns, sent_ns, seq) of requests awaiting responses; seq is
+         the causal req id stamped into the frame's context. *)
+  backlog : (int * int * string) Queue.t; (* (at_ns, seq, framed) awaiting a conn *)
   mutable since_birth : int;
   mutable reconnect_pending : bool; (* queued on reconnect_q *)
 }
@@ -215,6 +229,10 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
   let _listener = Stack.tcp_listen server ~port ~backlog:(n + 16) in
   let server_ep = Net.Addr.endpoint (Net.Addr.Ip.of_index 1) port in
   let store : (string, int * string) Hashtbl.t = Hashtbl.create 1024 in
+  (* seq -> virtual time the server built the reply; written in
+     drain_server from the frame's causal context, consumed (and
+     removed) at client completion. *)
+  let srv_time : (int, int) Hashtbl.t = Hashtbl.create 1024 in
   let prng = Engine.Prng.create 4242L in
   let rate_per_sec = float_of_int n *. rate_per_conn in
   let pl = Loadgen.plan ~prng ~rate_per_sec ~keys ~theta:0.99 ~get_ratio:0.5 ~start_ns:0 in
@@ -223,17 +241,17 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
   (* Demiflight retention: a deterministic reservoir over every
      completion plus the exact slowest-64, keyed by completion sequence
      number so the two sets dedup cleanly. Samples are
-     (latency, seq, queue_delay). *)
+     (latency, seq, queue_delay, to_srv). *)
   let resv =
     Metrics.Reservoir.create ~capacity:4096 ~prng:(Engine.Prng.create 0x5ca1e_f11eL)
   in
   let slow_k = 64 in
   let slowest = ref [] in
   let slow_n = ref 0 in
-  let offer_slow ((lat, seq, _) as sample) =
+  let offer_slow ((lat, seq, _, _) as sample) =
     let rec insert = function
       | [] -> [ sample ]
-      | ((l, s, _) as hd) :: tl ->
+      | ((l, s, _, _) as hd) :: tl ->
           if (lat, seq) < (l, s) then sample :: hd :: tl else hd :: insert tl
     in
     if !slow_n < slow_k then begin
@@ -242,7 +260,7 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
     end
     else
       match !slowest with
-      | (l, _, _) :: tl when lat > l -> slowest := insert tl
+      | (l, _, _, _) :: tl when lat > l -> slowest := insert tl
       | _ -> ()
   in
   let flight = Engine.Flight.create ~capacity:8192 () in
@@ -275,7 +293,7 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
     lc.acc <- Apps.Framing.create ();
     slot_set client_slots.(lc.stack_idx) c (Some lc)
   in
-  let send_framed lc framed at =
+  let send_framed lc framed at seq =
     match lc.conn with
     | Some c when lc.can_send ->
         let heap = heaps.(lc.stack_idx + 1) in
@@ -286,10 +304,10 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
         Heap.free buf;
         (* sent_ns = the socket write; everything before it is app-side
            queueing (poll granularity, backlog, reconnect waits). *)
-        Queue.add (at, !clock) lc.pending
-    | Some _ -> Queue.add (at, framed) lc.backlog
+        Queue.add (at, !clock, seq) lc.pending
+    | Some _ -> Queue.add (at, seq, framed) lc.backlog
     | None ->
-        Queue.add (at, framed) lc.backlog;
+        Queue.add (at, seq, framed) lc.backlog;
         if not lc.reconnect_pending then begin
           lc.reconnect_pending <- true;
           Queue.add lc reconnect_q
@@ -297,8 +315,8 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
   in
   let flush_backlog lc =
     while lc.can_send && not (Queue.is_empty lc.backlog) do
-      let at, framed = Queue.pop lc.backlog in
-      send_framed lc framed at
+      let at, seq, framed = Queue.pop lc.backlog in
+      send_framed lc framed at seq
     done
   in
   let rr = ref 0 in
@@ -311,7 +329,15 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
         ~key:(Apps.Workload.key_name o.Loadgen.key)
         ~value
     in
-    send_framed lc (Apps.Framing.encode body) o.Loadgen.at_ns;
+    (* Stamp the causal context (req = msg = the global issue sequence,
+       hop 1): the server reads it back from the decoded frame and
+       timestamps its reply build against the same id — per-hop
+       attribution with zero extra wire bytes, since every frame
+       carries the 16-byte context anyway. *)
+    let seq = !issued + 1 in
+    send_framed lc
+      (Apps.Framing.encode_ctx ~req:seq ~msg:seq ~parent:0 ~hop:1 body)
+      o.Loadgen.at_ns seq;
     incr issued
   in
   let drain_client lc =
@@ -331,15 +357,24 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
           match Apps.Framing.next lc.acc with
           | Some _response ->
               (match Queue.take_opt lc.pending with
-              | Some (at, sent) ->
+              | Some (at, sent, seq) ->
                   let lat = !clock - at in
                   Metrics.Hdr.add latencies lat;
                   (* Exact per-op attribution: lat >= queue + wire by
                      construction (the request and response each spend
                      frame_latency in the FIFO after the write), so
                      rest = lat - queue - wire is the stacks' and
-                     server's share and the three parts sum to lat. *)
-                  let sample = (lat, !completed, sent - at) in
+                     server's share and the three parts sum to lat.
+                     The per-hop split uses the server's reply-build
+                     stamp: queue + to_srv + from_srv = lat, also
+                     exactly, for any stamp inside [sent, now]. *)
+                  let srv =
+                    match Hashtbl.find_opt srv_time seq with
+                    | Some t -> t
+                    | None -> sent + frame_latency (* unstamped: split at arrival *)
+                  in
+                  Hashtbl.remove srv_time seq;
+                  let sample = (lat, !completed, sent - at, srv - sent) in
                   Metrics.Reservoir.offer resv sample;
                   offer_slow sample;
                   if lat > slo_ns then begin
@@ -390,6 +425,11 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
         let rec respond () =
           match Apps.Framing.next acc with
           | Some msg ->
+              (* The request's causal context survives the decode; stamp
+                 the reply-build instant against its req id. *)
+              let ctx = Apps.Framing.last acc in
+              if ctx.Apps.Framing.c_req <> 0 then
+                Hashtbl.replace srv_time ctx.Apps.Framing.c_req !clock;
               let reply = Apps.Txnstore.handle_request ~store msg in
               (match Stack.conn_state c with
               | Stack.Established_st | Stack.Close_wait ->
@@ -553,10 +593,11 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
   let retained_ops = List.sort_uniq compare (Metrics.Reservoir.to_list resv @ !slowest) in
   let wire_per_op = 2 * frame_latency in
   let mk_band name cut =
-    let in_band = List.filter (fun (lat, _, _) -> lat >= cut) retained_ops in
+    let in_band = List.filter (fun (lat, _, _, _) -> lat >= cut) retained_ops in
     let nops = List.length in_band in
-    let queue = List.fold_left (fun acc (_, _, q) -> acc + q) 0 in_band in
-    let total = List.fold_left (fun acc (lat, _, _) -> acc + lat) 0 in_band in
+    let queue = List.fold_left (fun acc (_, _, q, _) -> acc + q) 0 in_band in
+    let to_srv = List.fold_left (fun acc (_, _, _, t) -> acc + t) 0 in_band in
+    let total = List.fold_left (fun acc (lat, _, _, _) -> acc + lat) 0 in_band in
     let wire = nops * wire_per_op in
     {
       band = name;
@@ -565,6 +606,10 @@ let run_point ~conns:n ~ops_per_conn ~churn_fraction ~churn_after ~rate_per_conn
       queue_ns = queue;
       wire_ns = wire;
       rest_ns = total - queue - wire;
+      to_srv_ns = to_srv;
+      (* per-op from_srv = lat - queue - to_srv, so the band remainder
+         is exactly the per-op sums. *)
+      from_srv_ns = total - queue - to_srv;
       total_ns = total;
     }
   in
@@ -624,8 +669,9 @@ let pr6_churn_gc_mb = 184.3
 
 let band_json b =
   Printf.sprintf
-    {|{ "band": "%s", "cut_ns": %d, "ops": %d, "queue_ns": %d, "wire_ns": %d, "rest_ns": %d, "total_ns": %d }|}
-    b.band b.cut_ns b.band_ops b.queue_ns b.wire_ns b.rest_ns b.total_ns
+    {|{ "band": "%s", "cut_ns": %d, "ops": %d, "queue_ns": %d, "wire_ns": %d, "rest_ns": %d, "to_srv_ns": %d, "from_srv_ns": %d, "total_ns": %d }|}
+    b.band b.cut_ns b.band_ops b.queue_ns b.wire_ns b.rest_ns b.to_srv_ns b.from_srv_ns
+    b.total_ns
 
 let point_json p =
   Printf.sprintf
@@ -675,6 +721,8 @@ let required_keys =
     "\"p90_ns\"";
     "\"attribution\"";
     "\"bands\"";
+    "\"to_srv_ns\"";
+    "\"from_srv_ns\"";
     "\"slo\"";
     "\"flight\"";
     "\"churn_10k\"";
@@ -710,7 +758,7 @@ let quick_sweep = [ 1_000 ]
    and is recorded as the limiting factor rather than hidden. *)
 let wall_budget_s = 150.
 
-let run ~quick ?(pr = 9) ?out () =
+let run ~quick ?(pr = 10) ?out () =
   let out = match out with Some o -> o | None -> Printf.sprintf "BENCH_pr%d.json" pr in
   Memory.Gcbudget.set_armed true;
   let sweep = if quick then quick_sweep else default_sweep in
@@ -765,9 +813,18 @@ let run ~quick ?(pr = 9) ?out () =
                       b.band p.conns;
                     exit 1
                   end;
+                  if b.queue_ns + b.to_srv_ns + b.from_srv_ns <> b.total_ns then begin
+                    Printf.eprintf
+                      "scale: band %s per-hop attribution does not sum (conns=%d)\n%!"
+                      b.band p.conns;
+                    exit 1
+                  end;
                   Printf.printf
-                    "  band %-7s cut=%dns ops=%d queue=%dns wire=%dns rest=%dns total=%dns\n%!"
-                    b.band b.cut_ns b.band_ops b.queue_ns b.wire_ns b.rest_ns b.total_ns)
+                    "  band %-7s cut=%dns ops=%d queue=%dns wire=%dns rest=%dns \
+                     to_srv=%dns from_srv=%dns total=%dns\n\
+                     %!"
+                    b.band b.cut_ns b.band_ops b.queue_ns b.wire_ns b.rest_ns b.to_srv_ns
+                    b.from_srv_ns b.total_ns)
                 p.bands;
               go rest
           | exception Out_of_memory -> limiting := "memory")

@@ -41,6 +41,17 @@ let profile_conv =
   let print fmt c = Format.pp_print_string fmt c.Net.Cost.profile_name in
   Arg.conv (parse, print)
 
+(* Artifact outputs (pcaps, timelines, traces) default under out/, which
+   is git-ignored; create parents on demand so a fresh checkout works. *)
+let rec ensure_dir d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    ensure_dir (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let ensure_parent path = ensure_dir (Filename.dirname path)
+
 let simple name doc run =
   Cmd.v (Cmd.info name ~doc)
     Term.(
@@ -156,7 +167,15 @@ let trace_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "chrome" ] ~docv:"FILE" ~doc:"Write a Chrome trace-event JSON file.")
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:"Chrome trace-event JSON path (alias for --out).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Chrome trace-event JSON path (default out/trace-<flavor>.json).")
   in
   let trace_count =
     Arg.(value & opt int 16 & info [ "count" ] ~docv:"N" ~doc:"Echos to run.")
@@ -165,7 +184,7 @@ let trace_cmd =
     (Cmd.info "trace"
        ~doc:"Span tracing: per-component breakdown, Chrome export, observer-effect check.")
     Term.(
-      const (fun flavor msg_size count chrome trace_capacity ->
+      const (fun flavor msg_size count chrome out trace_capacity ->
           let open Harness.Fig_breakdown in
           let off = echo ~with_spans:false ~trace_capacity ~msg_size ~count flavor in
           let on = echo ~with_spans:true ~trace_capacity ~msg_size ~count flavor in
@@ -191,16 +210,19 @@ let trace_cmd =
           (match Harness.Chrome_trace.validate json with
           | Ok n -> Format.printf "ok: chrome trace valid (%d events)@." n
           | Error why -> check (Printf.sprintf "chrome trace valid: %s" why) false);
-          (match chrome with
-          | Some path ->
-              let oc = open_out path in
-              output_string oc json;
-              close_out oc;
-              Format.printf "wrote %s@." path
-          | None -> ());
+          let path =
+            match (out, chrome) with
+            | Some p, _ | None, Some p -> p
+            | None, None -> "out/trace-" ^ Harness.Fleet.flavor_name flavor ^ ".json"
+          in
+          ensure_parent path;
+          let oc = open_out path in
+          output_string oc json;
+          close_out oc;
+          Format.printf "wrote %s@." path;
           print_table [ on ];
           if !failures > 0 then Stdlib.exit 1)
-      $ flavor_arg $ msg_size_arg $ trace_count $ chrome $ trace_capacity_arg)
+      $ flavor_arg $ msg_size_arg $ trace_count $ chrome $ out $ trace_capacity_arg)
 
 let stats_cmd =
   let stats_count =
@@ -212,26 +234,30 @@ let stats_cmd =
       & opt (enum [ ("table", `Table); ("json", `Json) ]) `Table
       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: table | json.")
   in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the output to FILE instead of stdout.")
+  in
   Cmd.v
     (Cmd.info "stats" ~doc:"Run one echo and dump the deterministic metrics registry.")
     Term.(
-      const (fun flavor msg_size count format ->
+      const (fun flavor msg_size count format out ->
           let reg = Harness.Stats.echo ~msg_size ~count flavor in
-          match format with
-          | `Json -> print_string (Metrics.Registry.to_json reg)
-          | `Table -> Metrics.Registry.dump reg)
-      $ flavor_arg $ msg_size_arg $ stats_count $ format)
-
-(* Artifact outputs (pcaps, timelines, traces) default under out/, which
-   is git-ignored; create parents on demand so a fresh checkout works. *)
-let rec ensure_dir d =
-  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
-  else begin
-    ensure_dir (Filename.dirname d);
-    try Sys.mkdir d 0o755 with Sys_error _ -> ()
-  end
-
-let ensure_parent path = ensure_dir (Filename.dirname path)
+          match (format, out) with
+          | `Json, None -> print_string (Metrics.Registry.to_json reg)
+          | `Json, Some path ->
+              ensure_parent path;
+              let oc = open_out path in
+              output_string oc (Metrics.Registry.to_json reg);
+              close_out oc;
+              Format.printf "wrote %s@." path
+          | `Table, None -> Metrics.Registry.dump reg
+          | `Table, Some _ ->
+              Format.eprintf "stats: --out requires --format json@.";
+              Stdlib.exit 2)
+      $ flavor_arg $ msg_size_arg $ stats_count $ format $ out)
 
 (* `demi pcap`: capture one echo to a libpcap file. `--check` is the
    Demiscope observer-effect gate: the same scenario runs capture-off
@@ -274,12 +300,7 @@ let pcap_cmd =
     (Cmd.info "pcap" ~doc:"Capture an echo run to a standard libpcap file (Demiscope).")
     Term.(
       const (fun flavor msg_size count loss out lost dump check ->
-          let name =
-            match flavor with
-            | Demikernel.Boot.Catnap_os -> "catnap"
-            | Demikernel.Boot.Catnip_os -> "catnip"
-            | Demikernel.Boot.Catmint_os -> "catmint"
-          in
+          let name = Harness.Fleet.flavor_name flavor in
           let out = match out with Some p -> p | None -> "out/" ^ name ^ ".pcap" in
           let on = Harness.Wire_capture.echo ~with_capture:true ~msg_size ~count ~loss flavor in
           let session =
@@ -367,12 +388,7 @@ let timeline_cmd =
        ~doc:"Sample fabric/TCP/ring telemetry on a fixed virtual-time grid, to CSV.")
     Term.(
       const (fun flavor msg_size count out interval_us ->
-          let name =
-            match flavor with
-            | Demikernel.Boot.Catnap_os -> "catnap"
-            | Demikernel.Boot.Catnip_os -> "catnip"
-            | Demikernel.Boot.Catmint_os -> "catmint"
-          in
+          let name = Harness.Fleet.flavor_name flavor in
           let out = match out with Some p -> p | None -> "out/timeline-" ^ name ^ ".csv" in
           let r =
             Harness.Wire_capture.echo ~with_timeline:true
@@ -473,17 +489,20 @@ let slo_cmd =
           ~doc:"Chrome-trace fragment path (default out/slo-<flavor>.json).")
   in
   let slo_count = Arg.(value & opt int 64 & info [ "count" ] ~docv:"N" ~doc:"Echos to run.") in
+  let expect_breach =
+    Arg.(
+      value & flag
+      & info [ "expect-breach" ]
+          ~doc:
+            "Exit non-zero when no SLO breach was captured (for smoke tests that inject \
+             loss and must see the watchdog fire).")
+  in
   Cmd.v
     (Cmd.info "slo"
        ~doc:"SLO watchdog: capture latency outliers retroactively and dump their context.")
     Term.(
-      const (fun flavor msg_size count threshold loss out ->
-          let name =
-            match flavor with
-            | Demikernel.Boot.Catnap_os -> "catnap"
-            | Demikernel.Boot.Catnip_os -> "catnip"
-            | Demikernel.Boot.Catmint_os -> "catmint"
-          in
+      const (fun flavor msg_size count threshold loss out expect_breach ->
+          let name = Harness.Fleet.flavor_name flavor in
           let out = match out with Some p -> p | None -> "out/slo-" ^ name ^ ".json" in
           let failures = ref 0 in
           let checkf what ok =
@@ -506,8 +525,11 @@ let slo_cmd =
           Format.printf "slo: threshold %dns, %d of %d ops breached@." threshold
             (Engine.Span.outlier_count spans)
             (Engine.Span.op_count spans);
-          checkf "watchdog captured at least one outlier"
-            (Engine.Span.outliers spans <> []);
+          if expect_breach then
+            checkf "watchdog captured at least one outlier"
+              (Engine.Span.outliers spans <> [])
+          else if Engine.Span.outliers spans = [] then
+            Format.printf "no SLO breach captured (pass --expect-breach to make this fatal)@.";
           (match Engine.Span.outliers spans with
           | [] -> ()
           | outliers ->
@@ -586,7 +608,228 @@ let slo_cmd =
               Format.printf "flight ring tail:@.";
               Engine.Flight.dump ~last:16 Format.std_formatter ring);
           if !failures > 0 then Stdlib.exit 1)
-      $ flavor_arg $ msg_size_arg $ slo_count $ threshold $ loss $ out)
+      $ flavor_arg $ msg_size_arg $ slo_count $ threshold $ loss $ out $ expect_breach)
+
+(* `demi fleet`: Demifleet end to end. The default run arms the causal
+   and span recorders on a multi-host scenario (quorum-replicated
+   txnstore puts or the UDP relay), stitches the per-request causal
+   DAGs, drills into the slowest request — its events, its edges with
+   decoded wire evidence, its critical path with the exact-sum check —
+   and writes a validated Chrome export where each request is one lane
+   spanning hosts. `--profile` prints the fleet-wide critical-path
+   profile (Table-5 style, per (hop, component), sums exact by
+   construction). `--check` is the observer-effect gate: the same
+   scenario runs recorders-off then recorders-on from one seed, and the
+   trace digests and request latencies must be identical. *)
+let fleet_cmd =
+  let app_arg =
+    Arg.(
+      value
+      & opt (enum [ ("txnstore", `Txnstore); ("relay", `Relay) ]) `Txnstore
+      & info [ "app" ] ~docv:"APP" ~doc:"Scenario: txnstore | relay.")
+  in
+  let fleet_count =
+    Arg.(value & opt int 8 & info [ "count" ] ~docv:"N" ~doc:"Requests to run.")
+  in
+  let replicas =
+    Arg.(value & opt int 3 & info [ "replicas" ] ~docv:"N" ~doc:"Txnstore replicas.")
+  in
+  let quorum =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "quorum" ] ~docv:"Q"
+          ~doc:"Txnstore write quorum (default: all replicas). Q < replicas leaves a \
+                straggler ack per put that the DAG still stitches.")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.
+      & info [ "loss" ] ~docv:"P" ~doc:"Injected frame-loss probability.")
+  in
+  let profile_flag =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"Print the fleet-wide critical-path profile per (hop, component).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Verify causal tracing is observer-effect-free; exit 1 on failure.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Chrome trace path, one lane per request (default out/fleet-<flavor>.json).")
+  in
+  let top =
+    Arg.(
+      value & opt int 1
+      & info [ "top" ] ~docv:"K" ~doc:"Slowest requests to drill into.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:"Cross-host causal request tracing: DAGs, critical paths, fleet profile \
+             (Demifleet).")
+    Term.(
+      const (fun flavor app count replicas quorum loss profile_flag check out top ->
+          let name = Harness.Fleet.flavor_name flavor in
+          let app_name = match app with `Txnstore -> "txnstore" | `Relay -> "relay" in
+          let out = match out with Some p -> p | None -> "out/fleet-" ^ name ^ ".json" in
+          let failures = ref 0 in
+          let checkf what ok =
+            if ok then Format.printf "ok: %s@." what
+            else begin
+              Format.printf "FAIL: %s@." what;
+              incr failures
+            end
+          in
+          let run_scenario ~recording () =
+            match app with
+            | `Txnstore ->
+                Harness.Fleet.txnstore ~with_causal:recording ~with_spans:recording
+                  ~replicas ~count ?quorum ~loss flavor
+            | `Relay ->
+                Harness.Fleet.relay ~with_causal:recording ~with_spans:recording ~count
+                  ~loss flavor
+          in
+          let on = run_scenario ~recording:true () in
+          let causal =
+            match on.Harness.Fleet.causal with Some c -> c | None -> assert false
+          in
+          let reqs = Harness.Fleet.dag ?spans:on.Harness.Fleet.spans causal in
+          Format.printf "fleet: app=%s flavor=%s requests=%d causal-events=%d@." app_name
+            name (List.length reqs) (Engine.Causal.count causal);
+          let hdr = Metrics.Hdr.create () in
+          List.iter (Metrics.Hdr.add hdr) on.Harness.Fleet.latencies;
+          Format.printf "end-to-end: p50 %s  p99 %s  max %s@."
+            (Metrics.Table.cell_ns (Metrics.Hdr.p50 hdr))
+            (Metrics.Table.cell_ns (Metrics.Hdr.p99 hdr))
+            (Metrics.Table.cell_ns (Metrics.Hdr.max hdr));
+          checkf "every request ran to completion" (List.length reqs = count);
+          checkf "every critical path sums exactly to its end-to-end latency"
+            (List.for_all Harness.Fleet.critical_exact reqs);
+          if check then begin
+            (* Observer-effect gate: same seed, recorders detached. *)
+            let off = run_scenario ~recording:false () in
+            checkf "trace digest identical, recorders on vs off"
+              (String.equal off.Harness.Fleet.digest on.Harness.Fleet.digest);
+            checkf "request latencies identical, recorders on vs off"
+              (off.Harness.Fleet.latencies = on.Harness.Fleet.latencies)
+          end;
+          if profile_flag then begin
+            let p = Harness.Fleet.profile ~app:app_name reqs in
+            let t =
+              Metrics.Table.create
+                ~title:
+                  (Printf.sprintf "Fleet critical-path profile: %s on %s (%d requests)"
+                     app_name name p.Harness.Fleet.p_requests)
+                ~columns:[ "hop"; "component"; "reqs"; "p50"; "p99"; "total"; "share" ]
+            in
+            List.iter
+              (fun (row : Harness.Fleet.prow) ->
+                Metrics.Table.add_row t
+                  [
+                    Metrics.Table.cell_i row.pr_hop;
+                    row.pr_comp;
+                    Metrics.Table.cell_i row.pr_count;
+                    Metrics.Table.cell_ns (Metrics.Hdr.p50 row.pr_hdr);
+                    Metrics.Table.cell_ns (Metrics.Hdr.p99 row.pr_hdr);
+                    Metrics.Table.cell_ns row.pr_total;
+                    Printf.sprintf "%.1f%%"
+                      (100. *. float_of_int row.pr_total
+                      /. float_of_int (Stdlib.max 1 p.Harness.Fleet.p_e2e_total));
+                  ])
+              p.Harness.Fleet.p_rows;
+            Metrics.Table.add_row t
+              [
+                ""; "end-to-end"; Metrics.Table.cell_i p.Harness.Fleet.p_requests; "-"; "-";
+                Metrics.Table.cell_ns p.Harness.Fleet.p_e2e_total; "100.0%";
+              ];
+            Metrics.Table.print t;
+            checkf "profile rows sum exactly to the end-to-end total"
+              (Harness.Fleet.profile_exact p)
+          end;
+          (* Slowest-request drill-down: the same evidence join `demi slo`
+             prints, but per causal edge across hosts. *)
+          let by_latency =
+            List.stable_sort
+              (fun (a : Harness.Fleet.request) (b : Harness.Fleet.request) ->
+                compare (b.r_end - b.r_begin) (a.r_end - a.r_begin))
+              reqs
+          in
+          let rec take n = function
+            | [] -> []
+            | _ when n = 0 -> []
+            | x :: rest -> x :: take (n - 1) rest
+          in
+          List.iter
+            (fun (q : Harness.Fleet.request) ->
+              Format.printf "@.slowest request %d: %s on %s [%d..%d]@." q.r_id
+                (Metrics.Table.cell_ns (q.r_end - q.r_begin))
+                q.r_host q.r_begin q.r_end;
+              Format.printf "  events (%d):@." (List.length q.r_events);
+              List.iter
+                (fun (e : Engine.Causal.event) ->
+                  Format.printf "    %9d %-8s msg=%d parent=%d hop=%d %s (qtoken %d)@."
+                    e.ev_time
+                    (Engine.Causal.kind_name e.ev_kind)
+                    e.ev_msg e.ev_parent e.ev_hop e.ev_host e.ev_op)
+                q.r_events;
+              Format.printf "  edges (%d):@." (List.length q.r_edges);
+              List.iter
+                (fun (e : Harness.Fleet.edge) ->
+                  Format.printf "    msg %d hop %d %s %s %s [%d..%d] push=%d pop=%d@."
+                    e.e_msg e.e_hop e.e_src "\xe2\x86\x92" e.e_dst e.e_t0 e.e_t1 e.e_send_op
+                    e.e_recv_op;
+                  List.iter
+                    (fun ev ->
+                      Format.printf "      flow %08x [%d..%d] %s %s@." ev.Engine.Span.wire_flow
+                        ev.Engine.Span.wire_t0 ev.Engine.Span.wire_t1
+                        (match ev.Engine.Span.wire_status with
+                        | Engine.Span.Wire_delivered -> "ok  "
+                        | Engine.Span.Wire_dropped why -> "DROP(" ^ why ^ ")")
+                        ev.Engine.Span.wire_label)
+                    e.e_evidence)
+                q.r_edges;
+              let t =
+                Metrics.Table.create
+                  ~title:(Printf.sprintf "critical path of request %d" q.r_id)
+                  ~columns:[ "segment"; "hop"; "where"; "start"; "end"; "duration" ]
+              in
+              List.iter
+                (fun (s : Harness.Fleet.seg) ->
+                  Metrics.Table.add_row t
+                    [
+                      s.s_comp; Metrics.Table.cell_i s.s_hop; s.s_host;
+                      Metrics.Table.cell_i s.s_t0; Metrics.Table.cell_i s.s_t1;
+                      Metrics.Table.cell_ns (Harness.Fleet.seg_dur s);
+                    ])
+                q.r_critical;
+              Metrics.Table.print t;
+              checkf
+                (Printf.sprintf "request %d critical path sums to %s exactly" q.r_id
+                   (Metrics.Table.cell_ns (q.r_end - q.r_begin)))
+                (Harness.Fleet.critical_exact q))
+            (take (Stdlib.max 0 top) by_latency);
+          (* The fleet Chrome export: one lane per request, flow arrows
+             between hops, validated before it is written. *)
+          let json = Harness.Fleet.chrome_export ~app:app_name reqs in
+          (match Harness.Chrome_trace.validate json with
+          | Ok n -> Format.printf "ok: fleet chrome trace valid (%d events)@." n
+          | Error why -> checkf (Printf.sprintf "fleet chrome trace valid: %s" why) false);
+          ensure_parent out;
+          let oc = open_out out in
+          output_string oc json;
+          close_out oc;
+          Format.printf "wrote %s@." out;
+          if !failures > 0 then Stdlib.exit 1)
+      $ flavor_arg $ app_arg $ fleet_count $ replicas $ quorum $ loss $ profile_flag $ check
+      $ out $ top)
 
 let table5_cmd =
   let table5_count =
@@ -732,6 +975,7 @@ let cmds =
     timeline_cmd;
     flight_cmd;
     slo_cmd;
+    fleet_cmd;
     table5_cmd;
     selfcheck_cmd;
   ]

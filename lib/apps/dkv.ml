@@ -59,21 +59,36 @@ type srv = {
   api : Pdpix.api;
   store : (string, Memory.Heap.buffer) Hashtbl.t;
   log : Pdpix.qd option;
+  cur : Framing.ctx; (* causal context of the request being served *)
   mutable aof_off : int; (* bytes appended to the log, framing included *)
   mutable aof_live_floor : int; (* offset of the newest snapshot *)
   mutable compaction : bool; (* off on libOSes without log cursors *)
 }
 
 let reply srv qd status value_sga =
+  let value_len = Pdpix.sga_length value_sga in
+  let msg = Framing.fresh_msg_id srv.api in
+  let cx = srv.cur in
   let hdr =
-    (* One framed response: [u32 1+vlen][u8 status], value follows. *)
-    let value_len = Pdpix.sga_length value_sga in
-    let b = Bytes.create 5 in
-    Net.Wire.set_u32 b 0 (1 + value_len);
-    Net.Wire.set_u8 b 4 (status_byte status);
+    (* One framed response: [u32 ctx+1+vlen][ctx][u8 status], value
+       follows. The context echoes the request's (parent = its msg id,
+       hop + 1); all zeros when no recorder is attached. *)
+    let prefix =
+      if msg = 0 then Framing.header ~payload_len:(1 + value_len) ~req:0 ~msg:0 ~parent:0 ~hop:0
+      else
+        Framing.header ~payload_len:(1 + value_len) ~req:cx.Framing.c_req ~msg
+          ~parent:cx.Framing.c_msg ~hop:(cx.Framing.c_hop + 1)
+    in
+    let b = Bytes.create (Framing.hdr_size + 1) in
+    Bytes.blit_string prefix 0 b 0 Framing.hdr_size;
+    Net.Wire.set_u8 b Framing.hdr_size (status_byte status);
     srv.api.Pdpix.alloc_str (Bytes.unsafe_to_string b)
   in
-  match srv.api.Pdpix.wait (srv.api.Pdpix.push qd (hdr :: value_sga)) with
+  let qt = srv.api.Pdpix.push qd (hdr :: value_sga) in
+  if msg <> 0 then
+    Framing.note_sent srv.api ~op:qt ~req:cx.Framing.c_req ~msg ~parent:cx.Framing.c_msg
+      ~hop:(cx.Framing.c_hop + 1);
+  match srv.api.Pdpix.wait qt with
   | Pdpix.Pushed | Pdpix.Failed _ ->
       (* Free only the header; value buffers belong to the store (UAF
          protection covers a concurrent DEL racing the in-flight push). *)
@@ -157,24 +172,26 @@ let dispatch srv qd ~cmd ~key ~take_value =
    one buffer and nothing was pending. Parse in place; a SET re-windows
    the buffer onto the value bytes and stores it — the incoming PUT
    lands in the store without a copy (§7.2's Redis story). *)
-let try_fast_path srv cs sga =
+let try_fast_path srv cs ~pop_op sga =
   match sga with
   | [ buf ] when Framing.buffered cs.acc = 0 ->
       let data = Memory.Heap.data buf in
       let abs = Memory.Heap.offset buf in
       let len = Memory.Heap.length buf in
-      if len < 7 then false
+      if len < Framing.hdr_size + 3 then false
       else begin
         let frame_len = Net.Wire.get_u32 data abs in
         if 4 + frame_len <> len then false
         else begin
-          let cmd = Net.Wire.get_u8 data (abs + 4) in
-          let klen = Net.Wire.get_u16 data (abs + 5) in
-          if frame_len < 3 + klen then false
+          let cmd = Net.Wire.get_u8 data (abs + 4 + Framing.ctx_size) in
+          let klen = Net.Wire.get_u16 data (abs + 5 + Framing.ctx_size) in
+          if frame_len < Framing.ctx_size + 3 + klen then false
           else begin
-            let key = Bytes.sub_string data (abs + 7) klen in
-            let value_off = 7 + klen in
-            let value_len = frame_len - 3 - klen in
+            Framing.read_ctx data (abs + 4) srv.cur;
+            Framing.note_received srv.api ~op:pop_op srv.cur;
+            let key = Bytes.sub_string data (abs + Framing.hdr_size + 3) klen in
+            let value_off = Framing.hdr_size + 3 + klen in
+            let value_len = frame_len - Framing.ctx_size - 3 - klen in
             if cmd = cmd_set && srv.log <> None then persist_set srv [ buf ];
             dispatch srv cs.qd ~cmd ~key ~take_value:(fun () ->
                 Memory.Heap.set_bounds buf
@@ -222,8 +239,10 @@ let recover_from_aof srv log =
         let record = Pdpix.sga_to_string sga in
         List.iter api.Pdpix.free sga;
         srv.aof_off <- srv.aof_off + 4 + String.length record;
-        (if String.length record > 4 then
-           let inner = String.sub record 4 (String.length record - 4) in
+        (if String.length record > Framing.hdr_size then
+           let inner =
+             String.sub record Framing.hdr_size (String.length record - Framing.hdr_size)
+           in
            match parse_command inner with
            | Some (Set, key, value) -> store_replace srv key (api.Pdpix.alloc_str value)
            | Some _ | None -> ());
@@ -239,7 +258,10 @@ let server ?(port = 6379) ?(persist = false) (api : Pdpix.api) =
   api.Pdpix.listen lqd ~backlog:64;
   let log = if persist then Some (api.Pdpix.open_log "dkv.aof") else None in
   let srv =
-    { api; store = Hashtbl.create 1024; log; aof_off = 0; aof_live_floor = 0; compaction = true }
+    {
+      api; store = Hashtbl.create 1024; log; cur = Framing.make_ctx ();
+      aof_off = 0; aof_live_floor = 0; compaction = true;
+    }
   in
   (match log with
   | Some l -> (
@@ -254,7 +276,7 @@ let server ?(port = 6379) ?(persist = false) (api : Pdpix.api) =
   let rec loop () =
     let arr = Array.of_list (List.map fst !tokens) in
     let i, completion = api.Pdpix.wait_any arr in
-    let _, role = List.nth !tokens i in
+    let qt, role = List.nth !tokens i in
     remove i;
     (match (completion, role) with
     | Pdpix.Accepted qd, Accept ->
@@ -262,7 +284,7 @@ let server ?(port = 6379) ?(persist = false) (api : Pdpix.api) =
         add (api.Pdpix.pop qd) (Conn { qd; acc = Framing.create () })
     | Pdpix.Popped [], Conn cs -> api.Pdpix.close cs.qd
     | Pdpix.Popped sga, Conn cs ->
-        if not (try_fast_path srv cs sga) then begin
+        if not (try_fast_path srv cs ~pop_op:qt sga) then begin
           List.iter
             (fun buf ->
               Framing.feed cs.acc (Memory.Heap.to_string buf);
@@ -271,6 +293,8 @@ let server ?(port = 6379) ?(persist = false) (api : Pdpix.api) =
           let rec drain () =
             match Framing.next cs.acc with
             | Some msg ->
+                Framing.note_received api ~op:qt (Framing.last cs.acc);
+                Framing.ctx_copy ~src:(Framing.last cs.acc) ~dst:srv.cur;
                 handle_message srv cs msg;
                 drain ()
             | None -> ()
@@ -292,8 +316,11 @@ type client = Framing.chan
 let client_connect api dst = Framing.connect api dst
 
 let request c ~cmd ~key ~value =
-  Framing.send c (encode_request ~cmd ~key ~value);
-  match Framing.recv c with
+  let req = Framing.fresh_request (Framing.chan_api c) in
+  Framing.send_ctx c ~req ~parent:0 ~hop:1 (encode_request ~cmd ~key ~value);
+  let resp = Framing.recv c in
+  Framing.finish_request (Framing.chan_api c) ~req;
+  match resp with
   | Some resp when String.length resp >= 1 ->
       let status = status_of_byte (Char.code resp.[0]) in
       (status, String.sub resp 1 (String.length resp - 1))

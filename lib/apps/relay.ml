@@ -3,25 +3,31 @@ open Demikernel
 let op_register = 0
 let op_relay = 1
 
-let header_size = 5
+(* [u32 session][u8 op][16 B causal context] payload. Like Framing, the
+   context bytes ride in every datagram (zeros when no Demifleet
+   recorder is attached), so packet sizes never depend on tracing. *)
+let header_size = 5 + Framing.ctx_size
 
-let make_packet api ~session ~op payload_size =
+let make_packet api ~session ~op ?(req = 0) ?(msg = 0) ?(parent = 0) ?(hop = 0) payload_size =
   let b = Bytes.make (header_size + payload_size) 'r' in
   Net.Wire.set_u32 b 0 session;
   Net.Wire.set_u8 b 4 op;
+  Framing.write_ctx b 5 ~req ~msg ~parent ~hop;
   api.Pdpix.alloc_str (Bytes.unsafe_to_string b)
 
 let server ?(port = 3478) (api : Pdpix.api) =
   let qd = api.Pdpix.socket Pdpix.Udp in
   api.Pdpix.bind qd (Net.Addr.endpoint 0 port);
   let sessions : (int, Net.Addr.endpoint) Hashtbl.t = Hashtbl.create 64 in
+  let cx = Framing.make_ctx () in
   let rec loop () =
-    (match api.Pdpix.wait (api.Pdpix.pop qd) with
+    let pop_qt = api.Pdpix.pop qd in
+    (match api.Pdpix.wait pop_qt with
     | Pdpix.Popped_from (from, sga) -> (
         let first = match sga with b :: _ -> b | [] -> failwith "relay: empty sga" in
         let data = Memory.Heap.data first in
         let off = Memory.Heap.offset first in
-        if Memory.Heap.length first < header_size then List.iter api.Pdpix.free sga
+        if Memory.Heap.length first < 5 then List.iter api.Pdpix.free sga
         else
           let session = Net.Wire.get_u32 data off in
           let op = Net.Wire.get_u8 data (off + 4) in
@@ -32,8 +38,20 @@ let server ?(port = 3478) (api : Pdpix.api) =
           else
             match Hashtbl.find_opt sessions session with
             | Some receiver -> (
-                (* Forward the packet unchanged — zero-copy relay. *)
-                match api.Pdpix.wait (api.Pdpix.pushto qd receiver sga) with
+                (* Kernel-path generators send bare 5-byte headers; only
+                   full-header packets carry a context to decode. *)
+                if Memory.Heap.length first >= header_size then begin
+                  Framing.read_ctx data (off + 5) cx;
+                  Framing.note_received api ~op:pop_qt cx
+                end;
+                (* Forward the packet unchanged — zero-copy relay. The
+                   forwarded leg keeps the same msg id (the bytes are
+                   untouched), one hop further along. *)
+                let fwd_qt = api.Pdpix.pushto qd receiver sga in
+                Framing.note_sent api ~op:fwd_qt ~req:cx.Framing.c_req
+                  ~msg:cx.Framing.c_msg ~parent:cx.Framing.c_parent
+                  ~hop:(cx.Framing.c_hop + 1);
+                match api.Pdpix.wait fwd_qt with
                 | Pdpix.Pushed -> List.iter api.Pdpix.free sga
                 | _ -> failwith "relay: forward failed")
             | None -> List.iter api.Pdpix.free sga)
@@ -52,16 +70,30 @@ let generator ~dst ~src_port ~session ~msg_size ~count ?record ?on_done (api : P
   | Pdpix.Pushed -> api.Pdpix.free reg
   | _ -> failwith "relay generator: register failed");
   let payload_size = max 0 (msg_size - header_size) in
+  let cx = Framing.make_ctx () in
   let rec go n =
     if n > 0 then begin
       let start = api.Pdpix.clock () in
-      let pkt = make_packet api ~session ~op:op_relay payload_size in
-      (match api.Pdpix.wait (api.Pdpix.pushto qd dst [ pkt ]) with
+      let req = Framing.fresh_request api in
+      let msg = Framing.fresh_msg_id api in
+      let pkt = make_packet api ~session ~op:op_relay ~req ~msg ~hop:1 payload_size in
+      let send_qt = api.Pdpix.pushto qd dst [ pkt ] in
+      Framing.note_sent api ~op:send_qt ~req ~msg ~parent:0 ~hop:1;
+      (match api.Pdpix.wait send_qt with
       | Pdpix.Pushed -> api.Pdpix.free pkt
       | _ -> failwith "relay generator: send failed");
-      (match api.Pdpix.wait (api.Pdpix.pop qd) with
-      | Pdpix.Popped_from (_, sga) -> List.iter api.Pdpix.free sga
+      let pop_qt = api.Pdpix.pop qd in
+      (match api.Pdpix.wait pop_qt with
+      | Pdpix.Popped_from (_, sga) ->
+          (match sga with
+          | first :: _ when Memory.Heap.length first >= header_size ->
+              Framing.read_ctx (Memory.Heap.data first)
+                (Memory.Heap.offset first + 5) cx;
+              Framing.note_received api ~op:pop_qt cx
+          | _ -> ());
+          List.iter api.Pdpix.free sga
       | _ -> failwith "relay generator: pop failed");
+      Framing.finish_request api ~req;
       (match record with Some f -> f (api.Pdpix.clock () - start) | None -> ());
       go (n - 1)
     end

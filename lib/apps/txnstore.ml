@@ -41,12 +41,9 @@ let handle_request ~store msg =
     else "\x00"
   end
 
-let handle srv_api store qd msg =
+let handle srv_api store cs msg =
   let payload = handle_request ~store msg in
-  let buf = srv_api.Pdpix.alloc_str (Framing.encode payload) in
-  match srv_api.Pdpix.wait (srv_api.Pdpix.push qd [ buf ]) with
-  | Pdpix.Pushed | Pdpix.Failed _ -> srv_api.Pdpix.free buf
-  | _ -> failwith "txnstore: unexpected push completion"
+  Framing.reply_on srv_api cs.qd ~to_ctx:(Framing.last cs.acc) payload
 
 type role = Accept | Conn of conn_state
 
@@ -61,7 +58,7 @@ let server ?(port = 7447) (api : Pdpix.api) =
   let rec loop () =
     let arr = Array.of_list (List.map fst !tokens) in
     let i, completion = api.Pdpix.wait_any arr in
-    let _, role = List.nth !tokens i in
+    let qt, role = List.nth !tokens i in
     remove i;
     (match (completion, role) with
     | Pdpix.Accepted qd, Accept ->
@@ -77,7 +74,8 @@ let server ?(port = 7447) (api : Pdpix.api) =
         let rec drain () =
           match Framing.next cs.acc with
           | Some msg ->
-              handle api store cs.qd msg;
+              Framing.note_received api ~op:qt (Framing.last cs.acc);
+              handle api store cs msg;
               drain ()
           | None -> ()
         in
@@ -92,9 +90,14 @@ let server ?(port = 7447) (api : Pdpix.api) =
 
 (* ---------- client ---------- *)
 
+type replica = {
+  chan : Framing.chan;
+  mutable owed : int; (* acks of past quorum writes not yet drained *)
+}
+
 type client = {
   api : Pdpix.api;
-  chans : Framing.chan array;
+  chans : replica array;
   prng : Engine.Prng.t;
   mutable rr : int;
 }
@@ -102,10 +105,24 @@ type client = {
 let connect api ~replicas ~seed =
   {
     api;
-    chans = Array.of_list (List.map (Framing.connect api) replicas);
+    chans =
+      Array.of_list
+        (List.map (fun ep -> { chan = Framing.connect api ep; owed = 0 }) replicas);
     prng = Engine.Prng.create (Int64.of_int seed);
     rr = 0;
   }
+
+(* Per-connection replies are FIFO, so before reading a fresh response
+   off a replica every straggler ack it still owes must be consumed.
+   Draining notes the straggler's [Received] under its original request
+   id — the DAG keeps the non-quorum leg, it just lands after End. *)
+let drain_owed r =
+  while r.owed > 0 do
+    (match Framing.recv r.chan with
+    | Some _ -> ()
+    | None -> failwith "txnstore client: replica closed");
+    r.owed <- r.owed - 1
+  done
 
 let encode_get key =
   let b = Bytes.create (3 + String.length key) in
@@ -131,31 +148,54 @@ let parse_get_response resp =
   else None
 
 let get c key =
-  let chan = c.chans.(c.rr mod Array.length c.chans) in
+  let r = c.chans.(c.rr mod Array.length c.chans) in
   c.rr <- c.rr + 1;
-  Framing.send chan (encode_get key);
-  match Framing.recv chan with
+  drain_owed r;
+  let req = Framing.fresh_request c.api in
+  Framing.send_ctx r.chan ~req ~parent:0 ~hop:1 (encode_get key);
+  let resp = Framing.recv r.chan in
+  Framing.finish_request c.api ~req;
+  match resp with
   | Some resp -> (
       match parse_get_response resp with Some hit -> Some hit | None -> None)
   | None -> failwith "txnstore client: replica closed"
 
-let put c key ~version value =
+let put ?quorum c key ~version value =
   let msg = encode_put key ~version value in
+  let n = Array.length c.chans in
+  let q = match quorum with None -> n | Some q -> max 1 (min q n) in
+  Array.iter drain_owed c.chans;
+  let req = Framing.fresh_request c.api in
   (* Send to every replica before waiting for any ack — push completes
      at transmission, so the three replications overlap on the wire. *)
-  Array.iter (fun chan -> Framing.send chan msg) c.chans;
+  Array.iter (fun r -> Framing.send_ctx r.chan ~req ~parent:0 ~hop:1 msg) c.chans;
+  (* Acks drain in replica order (each wait overlaps the others'
+     arrivals), so the quorum is the first [q] replicas' acks —
+     deterministic, and any straggler is always a highest-index
+     replica, left owed for a later drain. *)
+  let acked = ref 0 in
   Array.iter
-    (fun chan ->
-      match Framing.recv chan with
-      | Some "\x01" -> ()
-      | Some _ | None -> failwith "txnstore client: put not acked")
-    c.chans
+    (fun r ->
+      if !acked < q then begin
+        (match Framing.recv r.chan with
+        | Some "\x01" -> ()
+        | Some _ | None -> failwith "txnstore client: put not acked");
+        incr acked
+      end
+      else r.owed <- r.owed + 1)
+    c.chans;
+  Framing.finish_request c.api ~req
 
 let rmw c key f =
   let version, value = match get c key with Some (v, s) -> (v, s) | None -> (0, "") in
   put c key ~version:(version + 1) (f value)
 
-let close c = Array.iter Framing.close c.chans
+let close c =
+  Array.iter
+    (fun r ->
+      drain_owed r;
+      Framing.close r.chan)
+    c.chans
 
 let ycsb_f ~dst_replicas ~keys ~value_size ~txns ~theta ~seed ?record ?on_done (api : Pdpix.api)
     =

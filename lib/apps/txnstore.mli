@@ -32,8 +32,11 @@ val connect :
 val get : client -> string -> (int * string) option
 (** (version, value). *)
 
-val put : client -> string -> version:int -> string -> unit
-(** Replicate to every replica and wait for all acks. *)
+val put : ?quorum:int -> client -> string -> version:int -> string -> unit
+(** Replicate to every replica; wait for [quorum] acks (default: all).
+    Acks drain in replica order, so a sub-quorum straggler is always a
+    highest-index replica; its ack is consumed lazily before the next
+    operation that touches that connection (or at {!close}). *)
 
 val rmw : client -> string -> (string -> string) -> unit
 (** One YCSB-F transaction: read, modify, write everywhere. *)

@@ -38,6 +38,8 @@ type api = {
   free : Memory.Heap.buffer -> unit;
   clock : unit -> int;
   libos_name : string;
+  host_name : string;
+  causal : unit -> Engine.Causal.t option;
 }
 
 let sga_length sga = List.fold_left (fun n b -> n + Memory.Heap.length b) 0 sga

@@ -72,6 +72,14 @@ type api = {
   (* --- introspection --- *)
   clock : unit -> int;
   libos_name : string;
+  host_name : string;
+      (** The simulated machine's name — the {!Engine.Span} owner and
+          fabric port label, so causal events join spans and wire
+          evidence without translation. *)
+  causal : unit -> Engine.Causal.t option;
+      (** The world's Demifleet recorder, if one is attached. A thunk so
+          arming after api construction is seen; [None] costs callers a
+          single branch. *)
 }
 
 val sga_length : sga -> int

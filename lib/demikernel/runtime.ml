@@ -336,6 +336,8 @@ let make_api t ops =
     free = Memory.Heap.free;
     clock = (fun () -> Host.now t.host);
     libos_name = ops.op_name;
+    host_name = t.host.Host.name;
+    causal = (fun () -> Engine.Sim.causal t.host.Host.sim);
   }
 
 let new_fp_slot t =

@@ -1,0 +1,63 @@
+(* Demifleet: the cross-host causal-context recorder. One recorder per
+   Sim.t (attached like Trace/Span/Flight); every host appends into the
+   same time-ordered stream, so stitching needs no clock alignment. *)
+
+type kind = Begin | Sent | Received | End
+
+let kind_name = function
+  | Begin -> "begin"
+  | Sent -> "sent"
+  | Received -> "received"
+  | End -> "end"
+
+type event = {
+  ev_kind : kind;
+  ev_req : int;
+  ev_msg : int;
+  ev_parent : int;
+  ev_hop : int;
+  ev_host : string;
+  ev_op : int;
+  ev_time : Clock.t;
+}
+
+type t = {
+  capacity : int;
+  mutable events : event list; (* newest first *)
+  mutable kept : int;
+  mutable dropped : int;
+  mutable next_req : int;
+  mutable next_msg : int;
+}
+
+let create ?(capacity = 262_144) () =
+  { capacity; events = []; kept = 0; dropped = 0; next_req = 0; next_msg = 0 }
+
+(* Ids start at 1: a zero on the wire always means "no context", which
+   is exactly what a recorder-off run writes. *)
+let fresh_req t =
+  t.next_req <- t.next_req + 1;
+  t.next_req
+
+let fresh_msg t =
+  t.next_msg <- t.next_msg + 1;
+  t.next_msg
+
+(* dlint-allow: transitive-alloc-in-hotpath -- causal instrumentation: one cons cell into a capacity-bounded buffer, and only when a recorder is attached; steady measurement runs attach none *)
+let note t ~kind ~req ~msg ~parent ~hop ~host ~op ~now =
+  if t.kept < t.capacity then begin
+    t.events <-
+      {
+        ev_kind = kind; ev_req = req; ev_msg = msg; ev_parent = parent;
+        ev_hop = hop; ev_host = host; ev_op = op; ev_time = now;
+      }
+      :: t.events;
+    t.kept <- t.kept + 1
+  end
+  else t.dropped <- t.dropped + 1
+
+let events t = List.rev t.events
+let count t = t.kept
+let dropped t = t.dropped
+let requests t = t.next_req
+let messages t = t.next_msg

@@ -7,6 +7,7 @@ type t = {
   mutable tracer : Trace.t option;
   mutable spans : Span.t option;
   mutable flight : Flight.t option;
+  mutable causal : Causal.t option;
   mutable teardown_hooks : (unit -> unit) list; (* newest first *)
   mutable sampler : (Clock.t -> unit) option;
   mutable sampler_interval : Clock.t;
@@ -23,6 +24,7 @@ let create ?(seed = 1L) () =
     tracer = None;
     spans = None;
     flight = None;
+    causal = None;
     teardown_hooks = [];
     sampler = None;
     sampler_interval = 0;
@@ -141,6 +143,21 @@ let enable_flight ?capacity t =
       f
 
 let flight t = t.flight
+
+let enable_causal ?capacity t =
+  match t.causal with
+  | Some c -> c
+  | None ->
+      let c = Causal.create ?capacity () in
+      t.causal <- Some c;
+      at_teardown t (fun () ->
+          let n = Causal.dropped c in
+          if n > 0 then
+            Format.eprintf
+              "causal report: %d event(s) dropped from the ring (raise the capacity)@." n);
+      c
+
+let causal t = t.causal
 
 (* One branch when no recorder is attached; when one is, the record is
    O(1) into pre-allocated arrays. Unlike trace_event there is no thunk

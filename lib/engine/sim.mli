@@ -93,6 +93,18 @@ val enable_flight : ?capacity:int -> t -> Flight.t
 
 val flight : t -> Flight.t option
 
+(** {1 Causal request contexts (Demifleet)} *)
+
+val enable_causal : ?capacity:int -> t -> Causal.t
+(** Attach (or return the existing) causal-context recorder. On first
+    attach a teardown hook is registered that warns (stderr) when
+    events were dropped. Like spans and the flight ring, the recorder
+    is a pure observer: enabling it must not change the event
+    interleaving, the clock, or {!Trace.digest} ([demi fleet --check]
+    is the gate). *)
+
+val causal : t -> Causal.t option
+
 val flight_note : t -> cat:Trace.category -> label:string -> int -> int -> unit
 (** Record one flight event at the current virtual time; a single
     branch when no recorder is attached, O(1) and allocation-free when

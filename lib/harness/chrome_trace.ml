@@ -53,6 +53,33 @@ let ev_json e =
   Buffer.add_char b '}';
   Buffer.contents b
 
+(* Render an event list as a trace JSON document. Global order:
+   metadata first, then by ts; on ties E before B so a span ending at t
+   closes before the next one starting at t opens. Shared by the span
+   exporter and Demifleet's per-request lanes. *)
+let render ?(extra = []) evs =
+  let rank e = match e.ph with 'M' -> 0 | 'E' -> 1 | _ -> 2 in
+  let indexed = List.mapi (fun i e -> (i, e)) evs in
+  let sorted =
+    List.stable_sort
+      (fun (i, a) (j, b) ->
+        match compare a.ts b.ts with
+        | 0 -> ( match compare (rank a) (rank b) with 0 -> compare i j | c -> c)
+        | c -> c)
+      indexed
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[\n";
+  List.iteri
+    (fun i (_, e) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf (ev_json e))
+    sorted;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ns\"";
+  List.iter (fun (k, raw) -> Buffer.add_string buf (Printf.sprintf ",\"%s\":%s" (escape k) raw)) extra;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
 (* Greedy sub-track allocation: items sorted by (start, longer first);
    returns (subtrack_index, item) with items on one sub-track disjoint. *)
 let allocate items ~start ~stop =
@@ -274,29 +301,7 @@ let export ?(extra = []) spans =
                       pid = dpid; tid = dtid; id; arg = None;
                     })))
     (Engine.Span.wire_events spans);
-  (* Global order: metadata first, then by ts; on ties E before B so a
-     span ending at t closes before the next one starting at t opens. *)
-  let rank e = match e.ph with 'M' -> 0 | 'E' -> 1 | _ -> 2 in
-  let indexed = List.mapi (fun i e -> (i, e)) (List.rev !events) in
-  let sorted =
-    List.stable_sort
-      (fun (i, a) (j, b) ->
-        match compare a.ts b.ts with
-        | 0 -> ( match compare (rank a) (rank b) with 0 -> compare i j | c -> c)
-        | c -> c)
-      indexed
-  in
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\"traceEvents\":[\n";
-  List.iteri
-    (fun i (_, e) ->
-      if i > 0 then Buffer.add_string buf ",\n";
-      Buffer.add_string buf (ev_json e))
-    sorted;
-  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ns\"";
-  List.iter (fun (k, raw) -> Buffer.add_string buf (Printf.sprintf ",\"%s\":%s" (escape k) raw)) extra;
-  Buffer.add_string buf "}\n";
-  Buffer.contents buf
+  render ~extra (List.rev !events)
 
 (* ---------- validator ---------- *)
 

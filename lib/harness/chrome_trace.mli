@@ -8,6 +8,27 @@
     fractional microseconds (the trace-event unit) with no precision
     loss. Open the output in [chrome://tracing] or Perfetto. *)
 
+type ev = {
+  name : string;
+  cat : string;
+  ph : char;  (** 'B' | 'E' | 'X' | 'M' | 's' | 'f' (flow arrows). *)
+  ts : int;  (** virtual ns; printed as fractional µs, no precision loss. *)
+  pid : int;
+  tid : int;
+  id : int option;  (** flow-event binding id ('s'/'f' only). *)
+  arg : (string * string) option;  (** key, raw json. *)
+}
+(** One trace event, for exporters that build their own lanes (e.g.
+    Demifleet's request-per-lane view). *)
+
+val escape : string -> string
+(** JSON string-body escaping (quotes, backslashes, control chars). *)
+
+val render : ?extra:(string * string) list -> ev list -> string
+(** Sort (metadata first, then by ts with E before B on ties, stable)
+    and wrap as a trace-event JSON document that {!validate} accepts.
+    [extra] appends top-level [(key, raw_json)] fields. *)
+
 val export : ?extra:(string * string) list -> Engine.Span.t -> string
 (** Render all recorded intervals and completed op spans, plus Demiscope
     causal flows: each wire event becomes a flow arrow ([ph:"s"] /

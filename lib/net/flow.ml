@@ -44,3 +44,17 @@ let of_frame frame =
   | Decode.Arp_info _ | Decode.Frag_info _ | Decode.Ip_other _ | Decode.Eth_other _
   | Decode.Short _ ->
       None
+
+(* Flow ↔ request correlation (Demifleet): the wire events that can be
+   evidence for one causal edge — frames from the edge's sender host to
+   its receiver host whose journey overlaps the edge's [Sent, Received]
+   window. Retransmits and drops inside the window are included; that
+   is the point. *)
+let evidence ~src ~dst ~t0 ~t1 events =
+  List.filter
+    (fun (e : Engine.Span.wire_event) ->
+      String.equal e.Engine.Span.wire_src src
+      && String.equal e.Engine.Span.wire_dst dst
+      && e.Engine.Span.wire_t1 >= t0
+      && e.Engine.Span.wire_t0 <= t1)
+    events

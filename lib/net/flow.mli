@@ -21,3 +21,16 @@ val of_frame : string -> int option
     frames that carry no conversation (ARP, malformed, unknown
     ethertypes) and for non-first IPv4 fragments (no ports on the
     wire). *)
+
+val evidence :
+  src:string ->
+  dst:string ->
+  t0:int ->
+  t1:int ->
+  Engine.Span.wire_event list ->
+  Engine.Span.wire_event list
+(** Flow ↔ request correlation (Demifleet): the wire events that can
+    witness one causal edge — frames from host [src] to host [dst]
+    (port-label names) whose journey overlaps [\[t0, t1\]], the edge's
+    [Sent]→[Received] window. Drops and retransmits inside the window
+    are included. *)

@@ -122,7 +122,20 @@ let output t ~dst_ip ~protocol ~len ~write =
               ~dst:Net.Addr.Mac.broadcast;
             entry
       in
-      Queue.add (fun dst_mac -> emit_ipv4 t ~dst_mac ~dst_ip ~protocol ~len ~write) entry.waiting
+      (* ARP miss: the frame can only be emitted when the reply lands,
+         but [write] may read an app buffer whose push qtoken has
+         already completed — ownership is back with the app the moment
+         the caller returns, and the slab may be reused. Materialize
+         the transport payload now so the parked thunk never touches
+         app memory later. Cold path: only the first packet(s) to an
+         unresolved destination ever park. *)
+      let payload = Bytes.create len in
+      write payload 0;
+      Queue.add
+        (fun dst_mac ->
+          emit_ipv4 t ~dst_mac ~dst_ip ~protocol ~len ~write:(fun b off ->
+              Bytes.blit payload 0 b off len))
+        entry.waiting
 
 let learn t ~sender_ip ~sender_mac =
   Hashtbl.replace t.arp_table sender_ip sender_mac;

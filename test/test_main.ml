@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "demikernel"
-    [ ("engine", Test_engine.suite); ("metrics", Test_metrics.suite); ("memory", Test_memory.suite); ("net", Test_net.suite); ("tcp", Test_tcp.suite); ("demikernel", Test_demikernel.suite); ("apps", Test_apps.suite); ("oskernel", Test_oskernel.suite); ("baselines+harness", Test_baselines.suite); ("recovery", Test_recovery.suite); ("more", Test_more.suite); ("units", Test_units.suite); ("trace", Test_trace.suite); ("demiscope", Test_demiscope.suite); ("demiflight", Test_flight.suite); ("lint", Test_lint.suite) ]
+    [ ("engine", Test_engine.suite); ("metrics", Test_metrics.suite); ("memory", Test_memory.suite); ("net", Test_net.suite); ("tcp", Test_tcp.suite); ("demikernel", Test_demikernel.suite); ("apps", Test_apps.suite); ("oskernel", Test_oskernel.suite); ("baselines+harness", Test_baselines.suite); ("recovery", Test_recovery.suite); ("more", Test_more.suite); ("units", Test_units.suite); ("trace", Test_trace.suite); ("demiscope", Test_demiscope.suite); ("demiflight", Test_flight.suite); ("demifleet", Test_fleet.suite); ("lint", Test_lint.suite) ]
